@@ -1,0 +1,361 @@
+// Benchmarks regenerating the paper's tables and figures (one per
+// artifact; see DESIGN.md §4 for the experiment index) plus micro-benches
+// for the simulation substrate.
+//
+// The figure benches share one cached experiment suite, so the first bench
+// to touch a configuration pays for its simulations and the series are
+// attached to the bench output via ReportMetric. Set RCAST_FULL=1 to run
+// at the paper's full §4.1 scale instead of the quick profile.
+package rcast_test
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"rcast"
+	"rcast/internal/experiments"
+	"rcast/internal/scenario"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+func sharedSuite() *experiments.Suite {
+	suiteOnce.Do(func() {
+		profile := experiments.Quick()
+		if os.Getenv("RCAST_FULL") == "1" {
+			profile = experiments.Paper()
+		}
+		suite = experiments.NewSuite(profile, benchOutput())
+	})
+	return suite
+}
+
+func benchOutput() io.Writer {
+	if os.Getenv("RCAST_BENCH_VERBOSE") == "1" {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+// BenchmarkTable1ProtocolBehavior regenerates Table 1: the protocol
+// behaviour of 802.11 / ODPM / Rcast.
+func BenchmarkTable1ProtocolBehavior(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.AwakeFraction, r.Scheme.String()+"_awake")
+	}
+}
+
+// BenchmarkFig5PerNodeEnergy regenerates Fig. 5: per-node energy curves
+// sorted ascending for the four (rate, mobility) panels.
+func BenchmarkFig5PerNodeEnergy(b *testing.B) {
+	s := sharedSuite()
+	var panels []experiments.Fig5Panel
+	for i := 0; i < b.N; i++ {
+		var err error
+		panels, err = s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := panels[0] // low rate, mobile
+	for sch, curve := range p.Curves {
+		b.ReportMetric(curve[len(curve)-1], sch.String()+"_maxJ")
+	}
+}
+
+// BenchmarkFig6EnergyVariance regenerates Fig. 6: variance of per-node
+// energy vs packet rate, mobile and static.
+func BenchmarkFig6EnergyVariance(b *testing.B) {
+	s := sharedSuite()
+	var points []experiments.SweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCorner(b, points, func(p experiments.SweepPoint) float64 { return p.EnergyVariance }, "varJ")
+}
+
+// BenchmarkFig7EnergyPDREPB regenerates Fig. 7: total energy, packet
+// delivery ratio and energy-per-bit vs packet rate.
+func BenchmarkFig7EnergyPDREPB(b *testing.B) {
+	s := sharedSuite()
+	var points []experiments.SweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCorner(b, points, func(p experiments.SweepPoint) float64 { return p.TotalJoules }, "J")
+	reportCorner(b, points, func(p experiments.SweepPoint) float64 { return p.PDR }, "pdr")
+}
+
+// BenchmarkFig8DelayOverhead regenerates Fig. 8: average delay and
+// normalized routing overhead vs packet rate.
+func BenchmarkFig8DelayOverhead(b *testing.B) {
+	s := sharedSuite()
+	var points []experiments.SweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCorner(b, points, func(p experiments.SweepPoint) float64 { return p.AvgDelaySec }, "delay_s")
+	reportCorner(b, points, func(p experiments.SweepPoint) float64 { return p.NormalizedOverhead }, "nro")
+}
+
+// BenchmarkFig9RoleNumber regenerates Fig. 9: role number vs per-node
+// energy scatter digests.
+func BenchmarkFig9RoleNumber(b *testing.B) {
+	s := sharedSuite()
+	var panels []experiments.Fig9Panel
+	for i := 0; i < b.N; i++ {
+		var err error
+		panels, err = s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range panels {
+		if p.Rate == experiments.Quick().HighRate {
+			b.ReportMetric(p.RoleMax, p.Scheme.String()+"_roleMax")
+		}
+	}
+}
+
+// BenchmarkAblationOverhearPolicies regenerates ablation A1: the §3.2
+// overhearing-decision factors.
+func BenchmarkAblationOverhearPolicies(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.PolicyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.AblationPolicies()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.TotalJoules, r.Policy+"_J")
+	}
+}
+
+// BenchmarkAblationOverhearingLevels regenerates ablation A2: the Fig. 2
+// no / unconditional / randomized overhearing taxonomy.
+func BenchmarkAblationOverhearingLevels(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.LevelResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.AblationLevels()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.TotalJoules, r.Scheme.String()+"_J")
+	}
+}
+
+// BenchmarkAblationBroadcastRcast regenerates ablation A3: the §5
+// broadcast-Rcast RREQ damping extension.
+func BenchmarkAblationBroadcastRcast(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.GossipResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.AblationGossip()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := "flood"
+		if r.Gossip {
+			name = "gossip"
+		}
+		b.ReportMetric(r.RREQTx, name+"_rreq")
+	}
+}
+
+// BenchmarkAblationCacheStrategies regenerates ablation A4: DSR cache
+// strategies (capacity, Hu & Johnson timeouts) under limited overhearing.
+func BenchmarkAblationCacheStrategies(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.CacheResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.AblationCacheStrategies()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.PDR, "pdr_cap"+itoa(r.Capacity)+"_life"+itoa(int(r.Lifetime.Seconds())))
+	}
+}
+
+// BenchmarkAblationLifetime regenerates ablation A5: network lifetime with
+// finite batteries.
+func BenchmarkAblationLifetime(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.LifetimeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.AblationLifetime()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.DeadNodes), r.Scheme.String()+"_dead")
+	}
+}
+
+// BenchmarkAblationRoutingProtocols regenerates ablation A6: DSR vs AODV.
+func BenchmarkAblationRoutingProtocols(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.RoutingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.AblationRouting()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Scheme == scenario.SchemeRcast && !r.Hello {
+			b.ReportMetric(r.Overhead, r.Routing.String()+"_nro")
+		}
+	}
+}
+
+// BenchmarkAblationATIMReliability regenerates ablation A7: the paper's
+// §4.1 reliable-ATIM assumption vs a slotted contention model.
+func BenchmarkAblationATIMReliability(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.ATIMResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.AblationATIM()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Contention {
+			b.ReportMetric(r.PDR, "contention_pdr_r"+itoa(int(r.Rate*10)))
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func reportCorner(b *testing.B, points []experiments.SweepPoint, get func(experiments.SweepPoint) float64, unit string) {
+	b.Helper()
+	low := sharedSuiteProfile().LowRate
+	for _, p := range points {
+		if p.Rate == low && !p.Static {
+			b.ReportMetric(get(p), p.Scheme.String()+"_"+unit)
+		}
+	}
+}
+
+func sharedSuiteProfile() experiments.Profile {
+	if os.Getenv("RCAST_FULL") == "1" {
+		return experiments.Paper()
+	}
+	return experiments.Quick()
+}
+
+// --- substrate micro/macro benchmarks ---
+
+// BenchmarkFullRunRcast measures one complete small Rcast simulation per
+// iteration (25 nodes, 40 simulated seconds).
+func BenchmarkFullRunRcast(b *testing.B) {
+	benchmarkFullRun(b, rcast.SchemeRcast)
+}
+
+// BenchmarkFullRunAlwaysOn measures one complete small 802.11 simulation
+// per iteration.
+func BenchmarkFullRunAlwaysOn(b *testing.B) {
+	benchmarkFullRun(b, rcast.SchemeAlwaysOn)
+}
+
+// BenchmarkFullRunODPM measures one complete small ODPM simulation per
+// iteration.
+func BenchmarkFullRunODPM(b *testing.B) {
+	benchmarkFullRun(b, rcast.SchemeODPM)
+}
+
+func benchmarkFullRun(b *testing.B, scheme rcast.Scheme) {
+	cfg := rcast.PaperDefaults()
+	cfg.Scheme = scheme
+	cfg.Nodes = 25
+	cfg.FieldW = 750
+	cfg.Connections = 5
+	cfg.Duration = 40 * rcast.Second
+	cfg.Pause = 20 * rcast.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := rcast.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Originated == 0 {
+			b.Fatal("no traffic")
+		}
+	}
+}
+
+// BenchmarkSimulatedSecondsPerSecond reports the simulator's time dilation
+// at paper density: how many simulated seconds one wall-clock second buys.
+func BenchmarkSimulatedSecondsPerSecond(b *testing.B) {
+	cfg := scenario.PaperDefaults()
+	cfg.Duration = 30 * rcast.Second
+	cfg.Pause = 15 * rcast.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := scenario.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	simSeconds := cfg.Duration.Seconds() * float64(b.N)
+	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "simsec/s")
+}

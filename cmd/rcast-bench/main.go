@@ -1,0 +1,120 @@
+// Command rcast-bench regenerates the paper's tables and figures as text
+// series (see DESIGN.md §4 for the experiment index).
+//
+// Examples:
+//
+//	rcast-bench                    # quick profile, every figure
+//	rcast-bench -profile paper     # full §4.1 scale (tens of minutes)
+//	rcast-bench -only fig7,fig8    # selected figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rcast/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rcast-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rcast-bench", flag.ContinueOnError)
+	var (
+		profileName = fs.String("profile", "quick", "experiment profile: quick or paper")
+		only        = fs.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,a1,a2,a3,a4,a5,a6,a7")
+		reps        = fs.Int("reps", 0, "override replication count (0 = profile default)")
+		csvDir      = fs.String("csv", "", "also write sweep/fig5/fig9 series as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p experiments.Profile
+	switch *profileName {
+	case "quick":
+		p = experiments.Quick()
+	case "paper":
+		p = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown profile %q (want quick or paper)", *profileName)
+	}
+	if *reps > 0 {
+		p.Reps = *reps
+	}
+
+	s := experiments.NewSuite(p, os.Stdout)
+	if *csvDir != "" {
+		defer func() {
+			if err := writeCSVs(s, *csvDir); err != nil {
+				fmt.Fprintln(os.Stderr, "rcast-bench: csv:", err)
+			}
+		}()
+	}
+	if *only == "" {
+		return s.All()
+	}
+	steps := map[string]func() error{
+		"table1": func() error { _, err := s.Table1(); return err },
+		"fig5":   func() error { _, err := s.Fig5(); return err },
+		"fig6":   func() error { _, err := s.Fig6(); return err },
+		"fig7":   func() error { _, err := s.Fig7(); return err },
+		"fig8":   func() error { _, err := s.Fig8(); return err },
+		"fig9":   func() error { _, err := s.Fig9(); return err },
+		"a1":     func() error { _, err := s.AblationPolicies(); return err },
+		"a2":     func() error { _, err := s.AblationLevels(); return err },
+		"a3":     func() error { _, err := s.AblationGossip(); return err },
+		"a4":     func() error { _, err := s.AblationCacheStrategies(); return err },
+		"a5":     func() error { _, err := s.AblationLifetime(); return err },
+		"a6":     func() error { _, err := s.AblationRouting(); return err },
+		"a7":     func() error { _, err := s.AblationATIM(); return err },
+	}
+	for _, name := range strings.Split(*only, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		step, ok := steps[name]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSVs exports the machine-readable series next to the text report.
+func writeCSVs(s *experiments.Suite, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	exports := []struct {
+		name  string
+		write func(w io.Writer) error
+	}{
+		{name: "sweep.csv", write: s.WriteSweepCSV},
+		{name: "fig5.csv", write: s.WriteFig5CSV},
+		{name: "fig9.csv", write: s.WriteFig9CSV},
+	}
+	for _, e := range exports {
+		f, err := os.Create(filepath.Join(dir, e.name))
+		if err != nil {
+			return err
+		}
+		if err := e.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSelectedQuickFigure(t *testing.T) {
+	// table1 on the quick profile runs three small simulation batches.
+	if err := run([]string{"-only", "table1", "-reps", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-profile", "bogus"}); err == nil {
+		t.Error("accepted unknown profile")
+	}
+	if err := run([]string{"-only", "fig99"}); err == nil {
+		t.Error("accepted unknown figure")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}

@@ -1,0 +1,138 @@
+// Command rcast-sim runs one MANET simulation and prints its metrics.
+//
+// Examples:
+//
+//	rcast-sim -scheme Rcast -rate 0.4 -pause 600s
+//	rcast-sim -scheme ODPM -rate 2.0 -static -nodes 100 -duration 1125s
+//	rcast-sim -scheme Rcast -per-node   # dump per-node energy and roles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"rcast"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rcast-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rcast-sim", flag.ContinueOnError)
+	var (
+		schemeName = fs.String("scheme", "Rcast", "scheme: 802.11, PSM, PSM-no-overhear, ODPM, Rcast")
+		nodes      = fs.Int("nodes", 100, "number of nodes")
+		fieldW     = fs.Float64("field-w", 1500, "field width (m)")
+		fieldH     = fs.Float64("field-h", 300, "field height (m)")
+		rng        = fs.Float64("range", 250, "radio range (m)")
+		conns      = fs.Int("connections", 20, "CBR connections")
+		rate       = fs.Float64("rate", 0.4, "packets per second per connection")
+		size       = fs.Int("size", 512, "payload bytes per packet")
+		duration   = fs.Duration("duration", 1125*time.Second, "simulated time")
+		pause      = fs.Duration("pause", 600*time.Second, "random waypoint pause time")
+		static     = fs.Bool("static", false, "static scenario (pause = duration)")
+		speed      = fs.Float64("speed", 20, "maximum node speed (m/s)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		reps       = fs.Int("reps", 1, "replications (seed, seed+1, ...)")
+		gossip     = fs.Float64("gossip", 0, "broadcast-Rcast fanout (0 disables)")
+		perNode    = fs.Bool("per-node", false, "dump per-node energy and role numbers")
+		routing    = fs.String("routing", "DSR", "routing protocol: DSR or AODV")
+		battery    = fs.Float64("battery", 0, "battery capacity in joules (0 = unlimited)")
+		traceFile  = fs.String("trace", "", "write NDJSON event trace to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scheme, err := rcast.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	cfg := rcast.PaperDefaults()
+	cfg.Scheme = scheme
+	cfg.Nodes = *nodes
+	cfg.FieldW, cfg.FieldH = *fieldW, *fieldH
+	cfg.RangeM = *rng
+	cfg.Connections = *conns
+	cfg.PacketRate = *rate
+	cfg.PacketBytes = *size
+	cfg.Duration = rcast.Seconds(duration.Seconds())
+	cfg.Pause = rcast.Seconds(pause.Seconds())
+	cfg.MaxSpeed = *speed
+	cfg.Seed = *seed
+	cfg.GossipFanout = *gossip
+	cfg.BatteryJoules = *battery
+	if *static {
+		cfg.Pause = cfg.Duration
+	}
+	switch *routing {
+	case "DSR":
+		cfg.Routing = rcast.RoutingDSR
+	case "AODV":
+		cfg.Routing = rcast.RoutingAODV
+	default:
+		return fmt.Errorf("unknown routing %q (want DSR or AODV)", *routing)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Trace = rcast.NewTraceWriter(f)
+	}
+
+	agg, err := rcast.RunReplications(cfg, *reps)
+	if err != nil {
+		return err
+	}
+	res := agg.Results[0]
+
+	fmt.Printf("scheme            %v\n", scheme)
+	fmt.Printf("nodes             %d on %.0fx%.0f m, range %.0f m\n", cfg.Nodes, cfg.FieldW, cfg.FieldH, cfg.RangeM)
+	fmt.Printf("traffic           %d CBR x %.2f pkt/s x %d B, %.0f s\n",
+		cfg.Connections, cfg.PacketRate, cfg.PacketBytes, cfg.Duration.Seconds())
+	fmt.Printf("replications      %d\n", *reps)
+	fmt.Println()
+	fmt.Printf("packet delivery   %.2f%% ± %.2f\n", 100*agg.PDR.Mean(), 100*agg.PDR.CI95())
+	fmt.Printf("avg delay         %.3f s\n", agg.AvgDelaySec.Mean())
+	fmt.Printf("total energy      %.0f J (%.1f J/node)\n",
+		agg.TotalJoules.Mean(), agg.TotalJoules.Mean()/float64(cfg.Nodes))
+	fmt.Printf("energy variance   %.1f J^2\n", agg.EnergyVariance.Mean())
+	fmt.Printf("energy per bit    %.3e J/bit\n", agg.EnergyPerBit.Mean())
+	fmt.Printf("routing overhead  %.2f control tx per delivered packet\n", agg.NormalizedOverhead.Mean())
+	fmt.Printf("delay p50/p95     %.3f / %.3f s, mean hops %.2f\n",
+		res.DelayP50Sec, res.DelayP95Sec, res.MeanHops)
+	if cfg.BatteryJoules > 0 {
+		fmt.Printf("network lifetime  first death %.0f s, %d/%d nodes dead\n",
+			res.FirstDeath.Seconds(), res.DeadNodes, cfg.Nodes)
+	}
+	fmt.Printf("drops             %v\n", res.Drops)
+	fmt.Printf("channel           %d tx, %d collisions, %d missed asleep\n",
+		res.Channel.Transmissions, res.Channel.Collisions, res.Channel.MissedAsleep)
+
+	if *perNode {
+		fmt.Println("\nnode  joules    role")
+		type row struct {
+			id     int
+			joules float64
+			role   float64
+		}
+		rows := make([]row, len(res.PerNodeJoules))
+		for i := range rows {
+			rows[i] = row{id: i, joules: res.PerNodeJoules[i], role: res.RoleNumbers[i]}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].joules < rows[j].joules })
+		for _, r := range rows {
+			fmt.Printf("%4d  %8.1f  %6.0f\n", r.id, r.joules, r.role)
+		}
+	}
+	return nil
+}

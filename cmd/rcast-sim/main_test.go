@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tinyArgs(extra ...string) []string {
+	base := []string{
+		"-nodes", "20", "-field-w", "600", "-connections", "4",
+		"-duration", "20s", "-pause", "10s", "-rate", "0.5",
+	}
+	return append(base, extra...)
+}
+
+func TestRunDefaultScheme(t *testing.T) {
+	if err := run(tinyArgs()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEverySchemeAndRouting(t *testing.T) {
+	for _, scheme := range []string{"802.11", "PSM", "PSM-no-overhear", "ODPM", "Rcast"} {
+		if err := run(tinyArgs("-scheme", scheme)); err != nil {
+			t.Fatalf("scheme %s: %v", scheme, err)
+		}
+	}
+	if err := run(tinyArgs("-routing", "AODV")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStaticPerNodeBatteryReps(t *testing.T) {
+	if err := run(tinyArgs("-static", "-per-node", "-battery", "15", "-reps", "2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGossip(t *testing.T) {
+	if err := run(tinyArgs("-gossip", "3")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	if err := run(tinyArgs("-trace", path)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"originate"`) {
+		t.Fatal("trace file missing originate events")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus"}); err == nil {
+		t.Error("accepted unknown scheme")
+	}
+	if err := run([]string{"-routing", "bogus"}); err == nil {
+		t.Error("accepted unknown routing")
+	}
+	if err := run([]string{"-nodes", "1"}); err == nil {
+		t.Error("accepted one-node network")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("accepted unknown flag")
+	}
+	if err := run(tinyArgs("-trace", filepath.Join(t.TempDir(), "no", "such", "dir", "t"))); err == nil {
+		t.Error("accepted unwritable trace path")
+	}
+}

@@ -1,0 +1,59 @@
+// Energy balance and network lifetime: the paper's second claim is that
+// Rcast spreads energy consumption more evenly than ODPM (Figs. 5/6/9).
+// This example runs both schemes, prints the per-node energy distribution,
+// and estimates network lifetime as the time until the hottest node would
+// drain a fixed battery — the intro's motivation for energy balance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcast"
+)
+
+const batteryJoules = 800 // hypothetical battery budget per node
+
+func main() {
+	fmt.Println("Energy balance, 60 nodes, 12 flows at 1.0 pkt/s, 400 s, static")
+	fmt.Printf("%-8s %8s %8s %8s %8s %10s %14s\n",
+		"scheme", "min(J)", "med(J)", "max(J)", "var", "hottest-W", "lifetime(s)")
+
+	for _, scheme := range []rcast.Scheme{rcast.SchemeODPM, rcast.SchemeRcast} {
+		cfg := rcast.PaperDefaults()
+		cfg.Scheme = scheme
+		cfg.Nodes = 60
+		cfg.FieldW = 1200
+		cfg.Connections = 12
+		cfg.PacketRate = 1.0
+		cfg.Duration = 400 * rcast.Second
+		cfg.Pause = cfg.Duration // static scenario: balance differs most
+
+		res, err := rcast.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		lo, med, hi := distribution(res.PerNodeJoules)
+		hottestW := hi / cfg.Duration.Seconds()
+		lifetime := batteryJoules / hottestW
+		fmt.Printf("%-8v %8.1f %8.1f %8.1f %8.1f %10.3f %14.0f\n",
+			scheme, lo, med, hi, res.EnergyVariance, hottestW, lifetime)
+	}
+
+	fmt.Println("\nThe hottest node bounds network lifetime: once a relay dies the")
+	fmt.Println("topology degrades. Rcast's randomized overhearing avoids the")
+	fmt.Println("preferential attachment that overloads a few ODPM relays (§2.1.3).")
+}
+
+func distribution(xs []float64) (lo, med, hi float64) {
+	lo, hi = xs[0], xs[0]
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1]
+}

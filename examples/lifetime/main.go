@@ -1,0 +1,52 @@
+// Network lifetime: give every node the same finite battery and watch the
+// network die under each scheme — the paper's introduction argues that
+// both device and network lifetime hinge on the power saving mechanism,
+// because dead relays take routes down with them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcast"
+)
+
+func main() {
+	const (
+		duration = 300 * rcast.Second
+		battery  = 1.15 * 180 // an always-awake radio dies at t=180 s
+	)
+	fmt.Printf("Network lifetime, 50 nodes, %.0f J batteries, %.0f s run\n",
+		battery, duration.Seconds())
+	fmt.Printf("%-16s %14s %11s %8s %10s\n",
+		"scheme", "firstDeath(s)", "deadNodes", "PDR", "energy(J)")
+
+	for _, scheme := range []rcast.Scheme{
+		rcast.SchemeAlwaysOn, rcast.SchemeODPM, rcast.SchemeRcast,
+	} {
+		cfg := rcast.PaperDefaults()
+		cfg.Scheme = scheme
+		cfg.Nodes = 50
+		cfg.FieldW = 1000
+		cfg.Connections = 10
+		cfg.PacketRate = 0.4
+		cfg.Duration = duration
+		cfg.Pause = duration / 2
+		cfg.BatteryJoules = battery
+
+		res, err := rcast.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		first := "-"
+		if res.FirstDeath > 0 {
+			first = fmt.Sprintf("%.0f", res.FirstDeath.Seconds())
+		}
+		fmt.Printf("%-16v %14s %8d/%d %7.1f%% %10.0f\n",
+			scheme, first, res.DeadNodes, cfg.Nodes, 100*res.PDR, res.TotalJoules)
+	}
+
+	fmt.Println("\nEvery always-on node dies at the same instant (the flat energy")
+	fmt.Println("profile of Fig. 5 made lethal); ODPM loses its pinned-awake")
+	fmt.Println("forwarders; Rcast's balanced duty cycle keeps the fleet alive.")
+}

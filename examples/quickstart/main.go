@@ -1,0 +1,39 @@
+// Quickstart: run the paper's headline comparison — always-on 802.11,
+// ODPM and Rcast — on a reduced network and print the energy/PDR/delay
+// trade-off each scheme makes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcast"
+)
+
+func main() {
+	fmt.Println("Rcast quickstart: 50 nodes, 10 CBR flows at 0.4 pkt/s, 300 s")
+	fmt.Printf("%-16s %10s %8s %10s %12s\n", "scheme", "energy(J)", "PDR", "delay(s)", "J/bit")
+
+	for _, scheme := range rcast.Schemes() {
+		cfg := rcast.PaperDefaults()
+		cfg.Scheme = scheme
+		cfg.Nodes = 50
+		cfg.FieldW = 1000
+		cfg.Connections = 10
+		cfg.PacketRate = 0.4
+		cfg.Duration = 300 * rcast.Second
+		cfg.Pause = 150 * rcast.Second
+
+		res, err := rcast.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16v %10.0f %7.1f%% %10.3f %12.2e\n",
+			scheme, res.TotalJoules, 100*res.PDR, res.AvgDelaySec, res.EnergyPerBit)
+	}
+
+	fmt.Println("\nExpected shape (paper §4): 802.11 burns the most energy with the")
+	fmt.Println("best delay; Rcast cuts energy sharply for ~half a beacon interval of")
+	fmt.Println("extra delay per hop; ODPM sits between them on delay but keeps hot")
+	fmt.Println("nodes awake, hurting both total energy and energy balance.")
+}

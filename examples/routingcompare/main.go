@@ -1,0 +1,52 @@
+// Routing comparison: the paper's §1 footnote contrasts DSR (route caches
+// fed by overhearing) with AODV (timeout-expiring routing tables, no
+// overhearing, periodic hellos). This example runs both protocols on the
+// Rcast power-save stack and shows why the paper builds on DSR.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcast"
+)
+
+func main() {
+	fmt.Println("DSR vs AODV on the Rcast PSM stack — 40 nodes, 8 flows, 0.4 pkt/s, 200 s")
+	fmt.Printf("%-18s %8s %10s %10s %12s\n", "routing", "PDR", "overhead", "energy(J)", "ctl packets")
+
+	type variant struct {
+		label   string
+		routing rcast.Routing
+		hello   bool
+	}
+	for _, v := range []variant{
+		{label: "DSR", routing: rcast.RoutingDSR},
+		{label: "AODV (no hello)", routing: rcast.RoutingAODV},
+		{label: "AODV (hello 1s)", routing: rcast.RoutingAODV, hello: true},
+	} {
+		cfg := rcast.PaperDefaults()
+		cfg.Scheme = rcast.SchemeRcast
+		cfg.Routing = v.routing
+		cfg.Nodes = 40
+		cfg.FieldW = 900
+		cfg.Connections = 8
+		cfg.PacketRate = 0.4
+		cfg.Duration = 200 * rcast.Second
+		cfg.Pause = 100 * rcast.Second
+		if v.routing == rcast.RoutingAODV && !v.hello {
+			cfg.AODV.HelloInterval = 0
+		}
+
+		res, err := rcast.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %7.1f%% %10.2f %10.0f %12d\n",
+			v.label, 100*res.PDR, res.NormalizedOverhead, res.TotalJoules, res.ControlTx)
+	}
+
+	fmt.Println("\nAODV re-floods whenever its 3 s route timeout lapses between")
+	fmt.Println("packets, and its hello broadcasts keep PSM neighborhoods awake —")
+	fmt.Println("the reasons the paper integrates Rcast with DSR (§1, §2.1).")
+}

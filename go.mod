@@ -1,0 +1,3 @@
+module rcast
+
+go 1.22

@@ -1,0 +1,173 @@
+package clocksync
+
+import (
+	"testing"
+
+	"rcast/internal/sim"
+)
+
+func TestTSFKeepsSpreadBelowATIMWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	n, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(120 * sim.Second)
+	spread := n.Spread(120 * sim.Second)
+	// The ATIM window is 50 ms = 50 000 µs; TSF must hold the spread
+	// orders of magnitude below it (the paper's synchrony assumption).
+	if spread > 1000 {
+		t.Fatalf("clock spread = %.0f µs after 120 s, want < 1000", spread)
+	}
+	sent, _ := n.Beacons()
+	if sent == 0 {
+		t.Fatal("no beacons transmitted")
+	}
+}
+
+func TestUnsynchronizedClocksDiverge(t *testing.T) {
+	// Control: without beacon rounds, ±100 ppm drift over 120 s spreads
+	// clocks by up to 24 ms — TSF is doing real work in the test above.
+	cfg := DefaultConfig()
+	n, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Spread(120 * sim.Second); got < 5000 {
+		t.Fatalf("free-running spread = %.0f µs, expected millisecond-scale drift", got)
+	}
+}
+
+func TestFastestClockBecomesReference(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stations = 8
+	n, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identify the fastest station (max drift): TSF converges everyone
+	// towards it, so it should adopt (almost) never.
+	fastest, rate := 0, -1e9
+	for i, s := range n.stations {
+		if s.driftPPM > rate {
+			rate = s.driftPPM
+			fastest = i
+		}
+	}
+	// Give the fastest clock a head start so initial offsets don't mask
+	// the drift ordering during the test horizon.
+	n.stations[fastest].offset = cfg.MaxInitialOffsetMicros + 1
+	n.Run(60 * sim.Second)
+	for i, s := range n.stations {
+		if i == fastest {
+			if s.Adoptions() != 0 {
+				t.Fatalf("fastest station adopted %d times", s.Adoptions())
+			}
+			continue
+		}
+		if s.Adoptions() == 0 {
+			t.Fatalf("station %d never adopted a timestamp", i)
+		}
+	}
+}
+
+func TestClocksOnlyMoveForward(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stations = 10
+	n, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample each station's clock at beacon boundaries: adoption must
+	// never make a clock read earlier than a previous sample plus zero.
+	prev := make([]float64, cfg.Stations)
+	for i, s := range n.stations {
+		prev[i] = s.LocalTime(0)
+	}
+	for step := sim.Time(1); step <= 40; step++ {
+		at := step * 250 * sim.Millisecond
+		n.Run(at)
+		for i, s := range n.stations {
+			now := s.LocalTime(at)
+			if now < prev[i] {
+				t.Fatalf("station %d clock moved backwards: %f -> %f", i, prev[i], now)
+			}
+			prev[i] = now
+		}
+	}
+}
+
+func TestPartitionedComponentsSyncIndependently(t *testing.T) {
+	// Two disjoint cliques of 4: spreads within each component shrink, but
+	// the components need not agree with each other.
+	cfg := DefaultConfig()
+	cfg.Stations = 8
+	adj := make([][]int, 8)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				adj[i] = append(adj[i], j)
+				adj[i+4] = append(adj[i+4], j+4)
+			}
+		}
+	}
+	n, err := New(cfg, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(60 * sim.Second)
+	at := 60 * sim.Second
+	spreadWithin := func(lo, hi int) float64 {
+		minT, maxT := n.stations[lo].LocalTime(at), n.stations[lo].LocalTime(at)
+		for i := lo; i < hi; i++ {
+			lt := n.stations[i].LocalTime(at)
+			if lt < minT {
+				minT = lt
+			}
+			if lt > maxT {
+				maxT = lt
+			}
+		}
+		return maxT - minT
+	}
+	if s := spreadWithin(0, 4); s > 1000 {
+		t.Fatalf("component A spread = %.0f µs", s)
+	}
+	if s := spreadWithin(4, 8); s > 1000 {
+		t.Fatalf("component B spread = %.0f µs", s)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Stations: 1, BeaconPeriod: sim.Second}, nil); err == nil {
+		t.Error("accepted one station")
+	}
+	if _, err := New(Config{Stations: 3}, nil); err == nil {
+		t.Error("accepted zero beacon period")
+	}
+	if _, err := New(Config{Stations: 3, BeaconPeriod: sim.Second}, make([][]int, 2)); err == nil {
+		t.Error("accepted mismatched adjacency")
+	}
+	// Defaults are filled in.
+	n, err := New(Config{Stations: 3, BeaconPeriod: sim.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.cfg.Slots != 31 || n.cfg.MaxDriftPPM != MaxDriftPPM {
+		t.Fatalf("defaults not applied: %+v", n.cfg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		n, err := New(DefaultConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(30 * sim.Second)
+		return n.Spread(30 * sim.Second)
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different spreads")
+	}
+}

@@ -1,0 +1,172 @@
+// Package energy implements the paper's two-state radio energy model.
+//
+// Following §4.2 of the paper (Lucent WaveLAN-II numbers), a node consumes
+// DefaultAwakeWatts while awake — the paper collapses idle listening,
+// receiving and transmitting into one figure — and DefaultSleepWatts in the
+// low-power doze state, a ~25× difference.
+package energy
+
+import (
+	"errors"
+	"fmt"
+
+	"rcast/internal/sim"
+)
+
+// Power figures (Lucent IEEE 802.11 WaveLAN-II, paper §4.2). The paper is
+// internally inconsistent about the sleep figure: its §4.3 arithmetic
+// ("1.15 W × 225 s + .45 W × 900 s") uses 0.45 W, but the hardware doze
+// current it cites (9 mA × 5 V) is 0.045 W, and the abstract's headline
+// ratios (Rcast 157–236% less energy than PSM — impossible when sleeping
+// costs 39% of being awake) are only reachable with 0.045 W. We default to
+// the hardware figure, which also preserves the intro's "25×" claim, and
+// export the alternative for sensitivity runs (see EXPERIMENTS.md).
+const (
+	DefaultAwakeWatts  = 1.15  // idle listening / rx / tx
+	DefaultSleepWatts  = 0.045 // low-power doze (9 mA × 5 V)
+	PaperTextSleepWatt = 0.45  // the figure §4.3's in-text arithmetic uses
+)
+
+// State is the radio power state.
+type State int
+
+// Radio power states.
+const (
+	Awake State = iota + 1
+	Asleep
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Awake:
+		return "awake"
+	case Asleep:
+		return "asleep"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ErrTimeReversal is returned when the meter is driven backwards in time.
+var ErrTimeReversal = errors.New("energy: observation before last update")
+
+// Meter integrates a node's energy consumption over time. It is driven by
+// SetState calls at power-state transitions; consumption between calls is
+// attributed to the state in force.
+type Meter struct {
+	awakeW, sleepW float64
+
+	state  State
+	lastAt sim.Time
+	joules float64
+
+	awakeFor sim.Time
+	sleepFor sim.Time
+
+	capacity float64 // joules; 0 means unlimited
+}
+
+// NewMeter returns a meter that is Awake at t=0. Non-positive power values
+// fall back to the paper defaults. capacityJoules limits the battery;
+// pass 0 for an unlimited battery (the paper's setting).
+func NewMeter(awakeW, sleepW, capacityJoules float64) *Meter {
+	if awakeW <= 0 {
+		awakeW = DefaultAwakeWatts
+	}
+	if sleepW <= 0 {
+		sleepW = DefaultSleepWatts
+	}
+	return &Meter{awakeW: awakeW, sleepW: sleepW, state: Awake, capacity: capacityJoules}
+}
+
+// State returns the current power state.
+func (m *Meter) State() State { return m.state }
+
+// SetState integrates consumption up to now and switches to s. Setting the
+// current state is a harmless (and common) no-op apart from the
+// integration. It returns ErrTimeReversal if now precedes the last update.
+func (m *Meter) SetState(now sim.Time, s State) error {
+	if err := m.accrue(now); err != nil {
+		return err
+	}
+	m.state = s
+	return nil
+}
+
+// ObserveAt integrates consumption up to now without changing state.
+func (m *Meter) ObserveAt(now sim.Time) error { return m.accrue(now) }
+
+func (m *Meter) accrue(now sim.Time) error {
+	if now < m.lastAt {
+		return ErrTimeReversal
+	}
+	dt := now - m.lastAt
+	m.lastAt = now
+	if m.Depleted() {
+		return nil // a dead battery draws nothing
+	}
+	switch m.state {
+	case Awake:
+		m.joules += m.awakeW * dt.Seconds()
+		m.awakeFor += dt
+	case Asleep:
+		m.joules += m.sleepW * dt.Seconds()
+		m.sleepFor += dt
+	}
+	if m.capacity > 0 && m.joules > m.capacity {
+		m.joules = m.capacity
+	}
+	return nil
+}
+
+// DepletionIn returns how long the battery lasts from the last update at
+// the current state's draw, or sim.MaxTime for an unlimited battery or a
+// zero-draw state. A depleted battery returns 0.
+func (m *Meter) DepletionIn() sim.Time {
+	if m.capacity <= 0 {
+		return sim.MaxTime
+	}
+	remaining := m.capacity - m.joules
+	if remaining <= 0 {
+		return 0
+	}
+	var watts float64
+	switch m.state {
+	case Awake:
+		watts = m.awakeW
+	case Asleep:
+		watts = m.sleepW
+	}
+	if watts <= 0 {
+		return sim.MaxTime
+	}
+	return sim.FromSeconds(remaining / watts)
+}
+
+// Joules returns total consumption through the last update.
+func (m *Meter) Joules() float64 { return m.joules }
+
+// AwakeTime returns cumulative time spent awake through the last update.
+func (m *Meter) AwakeTime() sim.Time { return m.awakeFor }
+
+// SleepTime returns cumulative time spent asleep through the last update.
+func (m *Meter) SleepTime() sim.Time { return m.sleepFor }
+
+// RemainingFraction returns the battery fraction left in [0, 1]. With an
+// unlimited battery it always returns 1.
+func (m *Meter) RemainingFraction() float64 {
+	if m.capacity <= 0 {
+		return 1
+	}
+	rem := 1 - m.joules/m.capacity
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Depleted reports whether a limited battery has been exhausted.
+func (m *Meter) Depleted() bool {
+	return m.capacity > 0 && m.joules >= m.capacity
+}

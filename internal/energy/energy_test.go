@@ -1,0 +1,190 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rcast/internal/sim"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAlwaysAwakeMatchesPaperFigure(t *testing.T) {
+	// Paper §4.3: 802.11 nodes consume 1.15 W × 1125 s = 1293.75 J.
+	m := NewMeter(0, 0, 0)
+	if err := m.ObserveAt(1125 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Joules(); !almostEqual(got, 1293.75) {
+		t.Fatalf("Joules = %v, want 1293.75", got)
+	}
+}
+
+func TestPSMIdleBudgetMatchesPaperFigure(t *testing.T) {
+	// Paper §4.3 in-text arithmetic: a PS node awake only for ATIM windows
+	// (20% duty cycle over 1125 s) consumes
+	// 1.15 W × 225 s + 0.45 W × 900 s = 663.75 J under the paper's sleep
+	// figure (PaperTextSleepWatt).
+	m := NewMeter(0, PaperTextSleepWatt, 0)
+	beacon, atim := 250*sim.Millisecond, 50*sim.Millisecond
+	var now sim.Time
+	for now < 1125*sim.Second {
+		if err := m.SetState(now, Awake); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetState(now+atim, Asleep); err != nil {
+			t.Fatal(err)
+		}
+		now += beacon
+	}
+	if err := m.ObserveAt(1125 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := 1.15*225 + 0.45*900
+	if got := m.Joules(); !almostEqual(got, want) || !almostEqual(got, 663.75) {
+		t.Fatalf("Joules = %v, want %v", got, want)
+	}
+	if got := m.AwakeTime(); got != 225*sim.Second {
+		t.Fatalf("AwakeTime = %v, want 225s", got)
+	}
+	if got := m.SleepTime(); got != 900*sim.Second {
+		t.Fatalf("SleepTime = %v, want 900s", got)
+	}
+}
+
+func TestSleepIsCheaper(t *testing.T) {
+	awake := NewMeter(0, 0, 0)
+	asleep := NewMeter(0, 0, 0)
+	if err := asleep.SetState(0, Asleep); err != nil {
+		t.Fatal(err)
+	}
+	_ = awake.ObserveAt(100 * sim.Second)
+	_ = asleep.ObserveAt(100 * sim.Second)
+	ratio := awake.Joules() / asleep.Joules()
+	if ratio < 25 || ratio > 26 {
+		t.Fatalf("awake/sleep ratio = %v, want ~25.6 (paper's 25x)", ratio)
+	}
+}
+
+func TestTimeReversalRejected(t *testing.T) {
+	m := NewMeter(0, 0, 0)
+	if err := m.ObserveAt(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ObserveAt(5 * sim.Second); err != ErrTimeReversal {
+		t.Fatalf("err = %v, want ErrTimeReversal", err)
+	}
+	if err := m.SetState(5*sim.Second, Asleep); err != ErrTimeReversal {
+		t.Fatalf("err = %v, want ErrTimeReversal", err)
+	}
+}
+
+func TestRedundantSetStateIsHarmless(t *testing.T) {
+	m := NewMeter(0, 0, 0)
+	for s := 1; s <= 10; s++ {
+		if err := m.SetState(sim.Time(s)*sim.Second, Awake); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Joules(); !almostEqual(got, 11.5) {
+		t.Fatalf("Joules = %v, want 11.5", got)
+	}
+}
+
+func TestBattery(t *testing.T) {
+	m := NewMeter(1.0, 0.1, 10) // 10 J capacity, 1 W awake
+	if m.RemainingFraction() != 1 || m.Depleted() {
+		t.Fatal("fresh battery not full")
+	}
+	_ = m.ObserveAt(5 * sim.Second)
+	if got := m.RemainingFraction(); !almostEqual(got, 0.5) {
+		t.Fatalf("RemainingFraction = %v, want 0.5", got)
+	}
+	_ = m.ObserveAt(20 * sim.Second)
+	if !m.Depleted() {
+		t.Fatal("battery should be depleted")
+	}
+	if m.RemainingFraction() != 0 {
+		t.Fatalf("RemainingFraction = %v, want 0", m.RemainingFraction())
+	}
+}
+
+func TestUnlimitedBatteryNeverDepletes(t *testing.T) {
+	m := NewMeter(0, 0, 0)
+	_ = m.ObserveAt(1e6 * sim.Second)
+	if m.Depleted() || m.RemainingFraction() != 1 {
+		t.Fatal("unlimited battery depleted")
+	}
+}
+
+func TestDepletionIn(t *testing.T) {
+	m := NewMeter(1.0, 0.1, 100) // 100 J, 1 W awake, 0.1 W asleep
+	if got := m.DepletionIn(); got != 100*sim.Second {
+		t.Fatalf("awake DepletionIn = %v, want 100s", got)
+	}
+	if err := m.SetState(50*sim.Second, Asleep); err != nil {
+		t.Fatal(err)
+	}
+	// 50 J left at 0.1 W -> 500 s.
+	if got := m.DepletionIn(); got != 500*sim.Second {
+		t.Fatalf("asleep DepletionIn = %v, want 500s", got)
+	}
+	_ = m.ObserveAt(550 * sim.Second)
+	if got := m.DepletionIn(); got != 0 {
+		t.Fatalf("depleted DepletionIn = %v, want 0", got)
+	}
+	unlimited := NewMeter(1, 0.1, 0)
+	if got := unlimited.DepletionIn(); got != sim.MaxTime {
+		t.Fatalf("unlimited DepletionIn = %v, want MaxTime", got)
+	}
+}
+
+func TestDepletedBatteryStopsAccruing(t *testing.T) {
+	m := NewMeter(1.0, 0.1, 10)
+	_ = m.ObserveAt(20 * sim.Second) // depletes at t=10
+	if got := m.Joules(); got != 10 {
+		t.Fatalf("Joules = %v, want capped at 10", got)
+	}
+	awakeBefore := m.AwakeTime()
+	_ = m.ObserveAt(40 * sim.Second)
+	if m.Joules() != 10 {
+		t.Fatal("dead battery kept consuming")
+	}
+	if m.AwakeTime() != awakeBefore {
+		t.Fatal("dead battery accumulated state time")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Awake.String() != "awake" || Asleep.String() != "asleep" {
+		t.Error("State.String broken")
+	}
+	if State(99).String() != "State(99)" {
+		t.Error("unknown State.String broken")
+	}
+}
+
+// Property: total energy equals awakeW*awakeTime + sleepW*sleepTime for any
+// schedule of state changes.
+func TestEnergyDecompositionProperty(t *testing.T) {
+	prop := func(steps []uint8) bool {
+		m := NewMeter(2.0, 0.25, 0)
+		var now sim.Time
+		for _, s := range steps {
+			now += sim.Time(s) * sim.Millisecond
+			st := Awake
+			if s%2 == 0 {
+				st = Asleep
+			}
+			if err := m.SetState(now, st); err != nil {
+				return false
+			}
+		}
+		want := 2.0*m.AwakeTime().Seconds() + 0.25*m.SleepTime().Seconds()
+		return math.Abs(m.Joules()-want) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

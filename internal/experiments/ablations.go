@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"rcast/internal/core"
+	"rcast/internal/scenario"
+)
+
+// PolicyResult is one row of the overhearing-policy ablation.
+type PolicyResult struct {
+	Policy         string
+	TotalJoules    float64
+	EnergyVariance float64
+	PDR            float64
+	AvgDelaySec    float64
+	Overhead       float64
+}
+
+// AblationPolicies compares the paper's evaluated P_R = 1/neighbors policy
+// against the §3.2/§5 factor policies (sender ID, battery, mobility, and
+// all factors combined) on the Rcast stack at the low-rate mobile point.
+func (s *Suite) AblationPolicies() ([]PolicyResult, error) {
+	policies := []core.Policy{
+		core.Rcast{}, core.SenderID{}, core.Battery{}, core.Mobility{}, core.Combined{},
+	}
+	s.printf("== Ablation A1: overhearing-decision factors (Rcast stack, rate=%.1f, mobile) ==\n", s.p.LowRate)
+	s.printf("%-10s %10s %10s %8s %9s %9s\n", "policy", "energy(J)", "varJ", "PDR", "delay(s)", "overhead")
+	var rows []PolicyResult
+	for _, pol := range policies {
+		cfg := s.config(runKey{scheme: scenario.SchemeRcast, rate: s.p.LowRate})
+		cfg.Policy = pol
+		a, err := scenario.RunReplications(cfg, s.p.Reps)
+		if err != nil {
+			return nil, err
+		}
+		row := PolicyResult{
+			Policy:         pol.Name(),
+			TotalJoules:    a.TotalJoules.Mean(),
+			EnergyVariance: a.EnergyVariance.Mean(),
+			PDR:            a.PDR.Mean(),
+			AvgDelaySec:    a.AvgDelaySec.Mean(),
+			Overhead:       a.NormalizedOverhead.Mean(),
+		}
+		rows = append(rows, row)
+		s.printf("%-10s %10.0f %10.0f %8.3f %9.3f %9.2f\n",
+			row.Policy, row.TotalJoules, row.EnergyVariance, row.PDR, row.AvgDelaySec, row.Overhead)
+	}
+	s.printf("\n")
+	return rows, nil
+}
+
+// LevelResult is one row of the overhearing-level ablation.
+type LevelResult struct {
+	Scheme         scenario.Scheme
+	TotalJoules    float64
+	PDR            float64
+	Overhead       float64
+	EnergyPerBit   float64
+	EnergyVariance float64
+}
+
+// AblationLevels compares the Fig. 2 overhearing taxonomy end to end:
+// no overhearing (naive PSM), unconditional overhearing (unmodified PSM),
+// and randomized overhearing (Rcast).
+func (s *Suite) AblationLevels() ([]LevelResult, error) {
+	schemes := []scenario.Scheme{
+		scenario.SchemePSMNoOverhear, scenario.SchemePSM, scenario.SchemeRcast,
+	}
+	s.printf("== Ablation A2: no / unconditional / randomized overhearing (rate=%.1f, mobile) ==\n", s.p.LowRate)
+	s.printf("%-16s %10s %8s %9s %10s %10s\n", "scheme", "energy(J)", "PDR", "overhead", "EPB", "varJ")
+	var rows []LevelResult
+	for _, sch := range schemes {
+		a, err := s.agg(runKey{scheme: sch, rate: s.p.LowRate})
+		if err != nil {
+			return nil, err
+		}
+		row := LevelResult{
+			Scheme:         sch,
+			TotalJoules:    a.TotalJoules.Mean(),
+			PDR:            a.PDR.Mean(),
+			Overhead:       a.NormalizedOverhead.Mean(),
+			EnergyPerBit:   a.EnergyPerBit.Mean(),
+			EnergyVariance: a.EnergyVariance.Mean(),
+		}
+		rows = append(rows, row)
+		s.printf("%-16s %10.0f %8.3f %9.2f %10.2e %10.0f\n",
+			sch, row.TotalJoules, row.PDR, row.Overhead, row.EnergyPerBit, row.EnergyVariance)
+	}
+	s.printf("\n")
+	return rows, nil
+}
+
+// GossipResult is one row of the broadcast-Rcast ablation.
+type GossipResult struct {
+	Gossip   bool
+	PDR      float64
+	RREQTx   float64 // mean RREQ transmissions per replication
+	Overhead float64
+}
+
+// AblationGossip compares plain RREQ flooding against the §5 extension of
+// Rcast-ing broadcasts (probabilistic rebroadcast damping) on the Rcast
+// stack at the high-rate mobile point, where discoveries are most frequent.
+func (s *Suite) AblationGossip() ([]GossipResult, error) {
+	s.printf("== Ablation A3: broadcast Rcast (RREQ rebroadcast damping, rate=%.1f, mobile) ==\n", s.p.HighRate)
+	s.printf("%-8s %8s %12s %9s\n", "gossip", "PDR", "RREQ tx", "overhead")
+	var rows []GossipResult
+	for _, gossip := range []bool{false, true} {
+		a, err := s.agg(runKey{scheme: scenario.SchemeRcast, rate: s.p.HighRate, gossip: gossip})
+		if err != nil {
+			return nil, err
+		}
+		var rreq float64
+		for _, r := range a.Results {
+			rreq += float64(r.ControlByClass[core.ClassRREQ])
+		}
+		rreq /= float64(len(a.Results))
+		row := GossipResult{
+			Gossip:   gossip,
+			PDR:      a.PDR.Mean(),
+			RREQTx:   rreq,
+			Overhead: a.NormalizedOverhead.Mean(),
+		}
+		rows = append(rows, row)
+		s.printf("%-8v %8.3f %12.0f %9.2f\n", gossip, row.PDR, row.RREQTx, row.Overhead)
+	}
+	s.printf("\n")
+	return rows, nil
+}

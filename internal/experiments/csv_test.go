@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteSweepCSV(t *testing.T) {
+	s := NewSuite(tiny(), nil)
+	var buf bytes.Buffer
+	if err := s.WriteSweepCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 2 pauses x 2 rates x 3 schemes.
+	if len(records) != 1+2*2*3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[0][0] != "pause" || len(records[0]) != 9 {
+		t.Fatalf("header = %v", records[0])
+	}
+	for _, rec := range records[1:] {
+		if rec[0] != "mobile" && rec[0] != "static" {
+			t.Fatalf("bad pause %q", rec[0])
+		}
+	}
+}
+
+func TestWriteFig5CSV(t *testing.T) {
+	s := NewSuite(tiny(), nil)
+	var buf bytes.Buffer
+	if err := s.WriteFig5CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 4 panels x 3 schemes x N nodes.
+	want := 1 + 4*3*tiny().Nodes
+	if len(records) != want {
+		t.Fatalf("rows = %d, want %d", len(records), want)
+	}
+}
+
+func TestWriteFig9CSV(t *testing.T) {
+	s := NewSuite(tiny(), nil)
+	var buf bytes.Buffer
+	if err := s.WriteFig9CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	// header + 2 rates x 3 schemes x N nodes.
+	want := 1 + 2*3*tiny().Nodes
+	if lines != want {
+		t.Fatalf("lines = %d, want %d", lines, want)
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	s := NewSuite(tiny(), nil)
+	line, err := s.SummaryLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"802.11", "ODPM", "Rcast", "J/"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("summary %q missing %q", line, want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§4), plus the ablations DESIGN.md calls out. Each
+// generator prints the same rows/series the paper reports and returns the
+// underlying data for programmatic checks.
+//
+// Runs are cached per (scheme, rate, pause, gossip) so the figure
+// generators share simulations: Figs. 6, 7 and 8 all derive from one rate
+// sweep, and Figs. 5 and 9 reuse its corner points.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rcast/internal/scenario"
+	"rcast/internal/sim"
+)
+
+// Profile scales the experiment suite. Paper() is the §4.1 setup; Quick()
+// is a reduced profile for CI and `go test -bench`.
+type Profile struct {
+	Name           string
+	Nodes          int
+	FieldW, FieldH float64
+	Connections    int
+	Duration       sim.Time
+	Reps           int
+	// Rates is the packet-rate sweep for Figs. 6–8; it must contain
+	// LowRate and HighRate, the corner points used by Figs. 5 and 9.
+	Rates             []float64
+	LowRate, HighRate float64
+	// PauseMobile is the mobile pause time; the static scenario uses
+	// pause = Duration, as in the paper.
+	PauseMobile sim.Time
+	BaseSeed    int64
+}
+
+// Paper returns the full-scale profile of §4.1. The paper averages ten
+// replications; three keep the suite under an hour while stabilizing the
+// series (see EXPERIMENTS.md).
+func Paper() Profile {
+	return Profile{
+		Name:        "paper",
+		Nodes:       100,
+		FieldW:      1500,
+		FieldH:      300,
+		Connections: 20,
+		Duration:    1125 * sim.Second,
+		Reps:        3,
+		Rates:       []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0},
+		LowRate:     0.4,
+		HighRate:    2.0,
+		PauseMobile: 600 * sim.Second,
+		BaseSeed:    1,
+	}
+}
+
+// Quick returns a reduced profile (≈ 50× faster) preserving the paper's
+// qualitative shape: fewer nodes on a proportionally smaller field, shorter
+// runs, a coarser rate sweep, one replication.
+func Quick() Profile {
+	return Profile{
+		Name:        "quick",
+		Nodes:       40,
+		FieldW:      900,
+		FieldH:      300,
+		Connections: 8,
+		Duration:    150 * sim.Second,
+		Reps:        1,
+		Rates:       []float64{0.2, 0.4, 1.0, 2.0},
+		LowRate:     0.4,
+		HighRate:    2.0,
+		PauseMobile: 75 * sim.Second,
+		BaseSeed:    1,
+	}
+}
+
+// figureSchemes are the three schemes of the paper's figures.
+var figureSchemes = []scenario.Scheme{
+	scenario.SchemeAlwaysOn,
+	scenario.SchemeODPM,
+	scenario.SchemeRcast,
+}
+
+// runKey identifies a cached simulation batch.
+type runKey struct {
+	scheme scenario.Scheme
+	rate   float64
+	static bool
+	gossip bool
+}
+
+// Suite runs and caches the simulations behind all generators.
+type Suite struct {
+	p     Profile
+	out   io.Writer
+	cache map[runKey]*scenario.Aggregate
+}
+
+// NewSuite creates a suite writing its reports to out.
+func NewSuite(p Profile, out io.Writer) *Suite {
+	if out == nil {
+		out = io.Discard
+	}
+	return &Suite{p: p, out: out, cache: make(map[runKey]*scenario.Aggregate)}
+}
+
+// Runs returns how many distinct simulation batches have been executed.
+func (s *Suite) Runs() int { return len(s.cache) }
+
+func (s *Suite) config(k runKey) scenario.Config {
+	cfg := scenario.PaperDefaults()
+	cfg.Scheme = k.scheme
+	cfg.Nodes = s.p.Nodes
+	cfg.FieldW = s.p.FieldW
+	cfg.FieldH = s.p.FieldH
+	cfg.Connections = s.p.Connections
+	cfg.Duration = s.p.Duration
+	cfg.PacketRate = k.rate
+	cfg.Seed = s.p.BaseSeed
+	if k.static {
+		cfg.Pause = s.p.Duration
+	} else {
+		cfg.Pause = s.p.PauseMobile
+	}
+	if k.gossip {
+		cfg.GossipFanout = 3
+	}
+	return cfg
+}
+
+// agg returns the cached aggregate for a key, running it on first use.
+func (s *Suite) agg(k runKey) (*scenario.Aggregate, error) {
+	if a, ok := s.cache[k]; ok {
+		return a, nil
+	}
+	a, err := scenario.RunReplications(s.config(k), s.p.Reps)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %v rate=%.1f static=%v: %w",
+			k.scheme, k.rate, k.static, err)
+	}
+	s.cache[k] = a
+	return a, nil
+}
+
+func (s *Suite) printf(format string, args ...any) {
+	fmt.Fprintf(s.out, format, args...)
+}
+
+func pauseLabel(static bool) string {
+	if static {
+		return "Tpause=static"
+	}
+	return "Tpause=mobile"
+}
+
+// All regenerates every table and figure in order.
+func (s *Suite) All() error {
+	steps := []func() error{
+		func() error { _, err := s.Table1(); return err },
+		func() error { _, err := s.Fig5(); return err },
+		func() error { _, err := s.Fig6(); return err },
+		func() error { _, err := s.Fig7(); return err },
+		func() error { _, err := s.Fig8(); return err },
+		func() error { _, err := s.Fig9(); return err },
+		func() error { _, err := s.AblationPolicies(); return err },
+		func() error { _, err := s.AblationLevels(); return err },
+		func() error { _, err := s.AblationGossip(); return err },
+		func() error { _, err := s.AblationCacheStrategies(); return err },
+		func() error { _, err := s.AblationLifetime(); return err },
+		func() error { _, err := s.AblationRouting(); return err },
+		func() error { _, err := s.AblationATIM(); return err },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Package geom provides the minimal 2-D geometry used by the mobility and
+// radio models: points, distances, and the rectangular simulation field.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a location in metres on the simulation field.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q component-wise.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub returns p - q component-wise.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{X: p.X * k, Y: p.Y * k} }
+
+// DistanceTo returns the Euclidean distance in metres between p and q.
+func (p Point) DistanceTo(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Sqrt(p.X*p.X + p.Y*p.Y) }
+
+// Lerp linearly interpolates from p to q; f=0 yields p, f=1 yields q.
+func (p Point) Lerp(q Point, f float64) Point {
+	return Point{X: p.X + (q.X-p.X)*f, Y: p.Y + (q.Y-p.Y)*f}
+}
+
+// String formats the point with centimetre precision.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned field anchored at the origin, W metres wide and
+// H metres tall — e.g. the paper's 1500 m × 300 m field.
+type Rect struct {
+	W, H float64
+}
+
+// Contains reports whether p lies inside the field (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= r.W && p.Y >= 0 && p.Y <= r.H
+}
+
+// Clamp returns p restricted to the field.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, 0), r.W),
+		Y: math.Min(math.Max(p.Y, 0), r.H),
+	}
+}
+
+// Area returns the field area in square metres.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// RandomPoint samples a uniformly distributed point inside the field.
+func (r Rect) RandomPoint(rng *rand.Rand) Point {
+	return Point{X: rng.Float64() * r.W, Y: rng.Float64() * r.H}
+}

@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{X: 3, Y: 4}
+	q := Point{X: 1, Y: 2}
+	if got := p.Add(q); got != (Point{X: 4, Y: 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{X: 2, Y: 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{X: 6, Y: 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{}, Point{X: 3, Y: 4}, 5},
+		{Point{X: 1, Y: 1}, Point{X: 1, Y: 1}, 0},
+		{Point{X: -1, Y: 0}, Point{X: 1, Y: 0}, 2},
+	}
+	for _, tt := range tests {
+		if got := tt.p.DistanceTo(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("DistanceTo(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	prop := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		p, q := Point{X: ax, Y: ay}, Point{X: bx, Y: by}
+		return p.DistanceTo(q) == q.DistanceTo(p) && p.DistanceTo(q) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Point{X: 0, Y: 0}, Point{X: 10, Y: 20}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{X: 5, Y: 10}) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestRectContainsClamp(t *testing.T) {
+	r := Rect{W: 1500, H: 300}
+	if !r.Contains(Point{X: 0, Y: 0}) || !r.Contains(Point{X: 1500, Y: 300}) {
+		t.Error("Contains rejects boundary")
+	}
+	if r.Contains(Point{X: -1, Y: 0}) || r.Contains(Point{X: 0, Y: 301}) {
+		t.Error("Contains accepts outside point")
+	}
+	if got := r.Clamp(Point{X: -5, Y: 999}); got != (Point{X: 0, Y: 300}) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := r.Area(); got != 450000 {
+		t.Errorf("Area = %v", got)
+	}
+}
+
+func TestRandomPointInField(t *testing.T) {
+	r := Rect{W: 1500, H: 300}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		p := r.RandomPoint(rng)
+		if !r.Contains(p) {
+			t.Fatalf("RandomPoint outside field: %v", p)
+		}
+	}
+}
+
+func TestRandomPointCoversField(t *testing.T) {
+	// Sanity: quadrant coverage of the uniform sampler.
+	r := Rect{W: 100, H: 100}
+	rng := rand.New(rand.NewSource(2))
+	var quad [4]int
+	for i := 0; i < 4000; i++ {
+		p := r.RandomPoint(rng)
+		idx := 0
+		if p.X > 50 {
+			idx++
+		}
+		if p.Y > 50 {
+			idx += 2
+		}
+		quad[idx]++
+	}
+	for i, n := range quad {
+		if n < 800 {
+			t.Errorf("quadrant %d undersampled: %d/4000", i, n)
+		}
+	}
+}

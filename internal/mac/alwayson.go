@@ -1,0 +1,67 @@
+package mac
+
+import (
+	"math/rand"
+
+	"rcast/internal/core"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// AlwaysOn is the paper's "802.11" scheme: plain DCF with the radio awake
+// for the whole run. Packets are transmitted as soon as the medium allows,
+// and every in-range neighbor physically overhears every frame.
+type AlwaysOn struct {
+	radio *phy.Radio
+	dcf   *dcf
+	up    Upcalls
+	stats Stats
+}
+
+var _ Mac = (*AlwaysOn)(nil)
+
+// NewAlwaysOn builds an always-on MAC for the given radio.
+func NewAlwaysOn(
+	sched *sim.Scheduler,
+	ch *phy.Channel,
+	radio *phy.Radio,
+	rng *rand.Rand,
+	p Params,
+	up Upcalls,
+) *AlwaysOn {
+	m := &AlwaysOn{radio: radio, up: up}
+	m.dcf = newDCF(sched, ch, radio, rng, p, &m.stats, m.deliver)
+	m.dcf.setWindow(true, sim.MaxTime)
+	return m
+}
+
+// Kill permanently silences the node (battery depletion).
+func (m *AlwaysOn) Kill() {
+	m.dcf.setWindow(false, 0)
+	m.radio.SetAwake(false)
+}
+
+// Send implements Mac.
+func (m *AlwaysOn) Send(p Packet) {
+	if p.Level == 0 {
+		p.Level = core.LevelUnconditional // no PSM: everyone hears everything
+	}
+	m.dcf.enqueue(p)
+}
+
+// NodeID implements Mac.
+func (m *AlwaysOn) NodeID() phy.NodeID { return m.radio.ID() }
+
+// Stats implements Mac.
+func (m *AlwaysOn) Stats() Stats { return m.stats }
+
+func (m *AlwaysOn) deliver(from phy.NodeID, pkt Packet, toMe bool) {
+	if m.up == nil {
+		return
+	}
+	if toMe {
+		m.up.OnReceive(from, pkt)
+		return
+	}
+	m.up.OnOverhear(from, pkt)
+}

@@ -1,0 +1,187 @@
+package mac
+
+import (
+	"math/rand"
+
+	"rcast/internal/core"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// Announcement is one (reliable) ATIM advertisement: sender From has
+// buffered traffic for To, advertised with the given overhearing level.
+type Announcement struct {
+	From  phy.NodeID
+	To    phy.NodeID // phy.Broadcast for flooded packets
+	Level core.Level
+}
+
+// Station is a PSM participant driven by the Coordinator.
+type Station interface {
+	// BeaconStart fires at each beacon boundary: the station wakes for the
+	// ATIM window and returns its advertisements for this interval.
+	BeaconStart(now sim.Time) []Announcement
+	// ATIMEnd fires when the ATIM window closes, carrying the
+	// advertisements this station decoded (already filtered for radio
+	// range and, under ATIM contention, slot collisions); the station
+	// decides whether to stay awake.
+	ATIMEnd(now sim.Time, heard []Announcement, nextBeacon sim.Time)
+	// ATIMOutcome fires before ATIMEnd under ATIM contention, listing
+	// which of this station's own advertisements were decoded by their
+	// destinations (admission to the data phase).
+	ATIMOutcome(now sim.Time, admitted []Announcement)
+	// Radio exposes the station's transceiver for range computations.
+	Radio() *phy.Radio
+}
+
+// Coordinator drives the synchronized beacon cycle shared by all PSM
+// stations, resolves which advertisements each station can decode (range
+// always; slot collisions under ATIM contention), and reports admission
+// outcomes back to senders. The paper assumes stations are
+// clock-synchronized (§2.2, citing Tseng et al.; see internal/clocksync);
+// the coordinator is that assumption made concrete.
+type Coordinator struct {
+	sched    *sim.Scheduler
+	ch       *phy.Channel
+	p        Params
+	rng      *rand.Rand
+	interval sim.Time
+	atim     sim.Time
+	stations []Station
+	stopAt   sim.Time
+
+	beacons        uint64
+	atimCollisions uint64
+}
+
+// NewCoordinator creates a beacon coordinator over the given channel.
+// stopAt bounds the run; no beacons fire at or after it. rng drives the
+// ATIM slot draws and may be nil when p.ATIMContention is false.
+func NewCoordinator(sched *sim.Scheduler, ch *phy.Channel, p Params, rng *rand.Rand, stopAt sim.Time) *Coordinator {
+	interval := p.BeaconInterval
+	atim := p.ATIMWindow
+	if atim >= interval {
+		atim = interval / 5
+	}
+	if p.ATIMSlots < 1 {
+		p.ATIMSlots = 64
+	}
+	return &Coordinator{
+		sched:    sched,
+		ch:       ch,
+		p:        p,
+		rng:      rng,
+		interval: interval,
+		atim:     atim,
+		stopAt:   stopAt,
+	}
+}
+
+// AddStation registers a PSM station. All stations must be registered
+// before Start.
+func (c *Coordinator) AddStation(s Station) { c.stations = append(c.stations, s) }
+
+// Beacons returns how many beacon boundaries have fired.
+func (c *Coordinator) Beacons() uint64 { return c.beacons }
+
+// ATIMCollisions returns how many advertisement receptions were lost to
+// slot collisions (contention mode only).
+func (c *Coordinator) ATIMCollisions() uint64 { return c.atimCollisions }
+
+// Start schedules the first beacon at t=0 (i.e. immediately).
+func (c *Coordinator) Start() {
+	c.sched.After(0, c.beacon)
+}
+
+func (c *Coordinator) beacon() {
+	now := c.sched.Now()
+	if now >= c.stopAt {
+		return
+	}
+	c.beacons++
+	// Gather advertisements from every station, in deterministic order.
+	type tagged struct {
+		ann    Announcement
+		sender int
+		slot   int
+	}
+	var anns []tagged
+	for si, s := range c.stations {
+		for _, a := range s.BeaconStart(now) {
+			t := tagged{ann: a, sender: si}
+			if c.p.ATIMContention {
+				t.slot = c.rng.Intn(c.p.ATIMSlots)
+			}
+			anns = append(anns, t)
+		}
+	}
+	next := now + c.interval
+	c.sched.After(c.atim, func() {
+		at := c.sched.Now()
+		// Resolve what each station decodes.
+		heard := make([][]Announcement, len(c.stations))
+		heardIdx := make([]map[int]struct{}, len(c.stations))
+		for ri, r := range c.stations {
+			rr := r.Radio()
+			// Indices of announcements receivable at r (sender in range).
+			var receivable []int
+			for gi, t := range anns {
+				if t.sender == ri {
+					continue
+				}
+				if c.ch.InRange(rr, c.stations[t.sender].Radio(), at) {
+					receivable = append(receivable, gi)
+				}
+			}
+			if c.p.ATIMContention {
+				// Same-slot announcements collide at this receiver.
+				bySlot := make(map[int]int, len(receivable))
+				for _, gi := range receivable {
+					bySlot[anns[gi].slot]++
+				}
+				kept := receivable[:0]
+				for _, gi := range receivable {
+					if bySlot[anns[gi].slot] == 1 {
+						kept = append(kept, gi)
+					} else {
+						c.atimCollisions++
+					}
+				}
+				receivable = kept
+			}
+			heardIdx[ri] = make(map[int]struct{}, len(receivable))
+			for _, gi := range receivable {
+				heardIdx[ri][gi] = struct{}{}
+				heard[ri] = append(heard[ri], anns[gi].ann)
+			}
+		}
+		// Admission outcomes for senders (contention mode): a unicast
+		// advertisement is admitted iff its destination decoded it;
+		// broadcasts are always admitted (no ATIM-ACK in 802.11).
+		if c.p.ATIMContention {
+			dstIndex := make(map[phy.NodeID]int, len(c.stations))
+			for si, s := range c.stations {
+				dstIndex[s.Radio().ID()] = si
+			}
+			admitted := make([][]Announcement, len(c.stations))
+			for gi, t := range anns {
+				ok := t.ann.To == phy.Broadcast
+				if !ok {
+					if di, present := dstIndex[t.ann.To]; present {
+						_, ok = heardIdx[di][gi]
+					}
+				}
+				if ok {
+					admitted[t.sender] = append(admitted[t.sender], t.ann)
+				}
+			}
+			for si, s := range c.stations {
+				s.ATIMOutcome(at, admitted[si])
+			}
+		}
+		for ri, s := range c.stations {
+			s.ATIMEnd(at, heard[ri], next)
+		}
+	})
+	c.sched.After(c.interval, c.beacon)
+}

@@ -1,0 +1,482 @@
+package mac
+
+import (
+	"math/rand"
+
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// txJob is one packet moving through the DCF transmit pipeline.
+type txJob struct {
+	seq     uint64
+	pkt     Packet
+	retries int
+	cw      int
+}
+
+// dcf is the 802.11 distributed coordination function engine: a FIFO
+// transmit queue drained head-of-line with physical and virtual (NAV)
+// carrier sense, DIFS spacing, slotted binary-exponential backoff, an
+// RTS/CTS exchange for unicast data at or above the RTS threshold,
+// per-unicast ACKs, and a retry limit.
+//
+// The engine is gated by a transmit window: PSM enables it for the data
+// phase of each beacon interval and disables it during ATIM windows and
+// sleep; AlwaysOn leaves it enabled forever. An exchange that would not
+// complete before the window closes stalls until the window is reset.
+type dcf struct {
+	sched *sim.Scheduler
+	ch    *phy.Channel
+	radio *phy.Radio
+	rng   *rand.Rand
+	p     Params
+
+	queue     []*txJob
+	current   *txJob // job in service (backoff, handshake or on the air)
+	enabled   bool
+	windowEnd sim.Time
+	stalled   bool
+
+	// eligible, when non-nil, gates which queued packets may be served in
+	// the current window (PSM admission control under ATIM contention).
+	eligible func(Packet) bool
+
+	attemptTimer *sim.Timer
+	ctsTimer     *sim.Timer
+	ackTimer     *sim.Timer
+	awaitingCTS  bool
+	awaitingAck  bool
+
+	// navUntil is the virtual carrier-sense reservation learned from
+	// overheard RTS/CTS frames.
+	navUntil sim.Time
+
+	nextSeq  uint64
+	lastSeen map[phy.NodeID]uint64
+
+	// deliver is the owner upcall for every decoded data frame. toMe is
+	// true for frames addressed to this node or broadcast.
+	deliver func(from phy.NodeID, pkt Packet, toMe bool)
+
+	stats *Stats
+}
+
+var _ phy.Receiver = (*dcf)(nil)
+
+// Control-frame payloads for the RTS/CTS handshake. Dur reserves the
+// medium (NAV) from the end of the carrying frame.
+type rtsFrame struct {
+	Seq uint64
+	Dur sim.Time
+}
+
+type ctsFrame struct {
+	Seq uint64
+	Dur sim.Time
+}
+
+func newDCF(
+	sched *sim.Scheduler,
+	ch *phy.Channel,
+	radio *phy.Radio,
+	rng *rand.Rand,
+	p Params,
+	stats *Stats,
+	deliver func(from phy.NodeID, pkt Packet, toMe bool),
+) *dcf {
+	d := &dcf{
+		sched:    sched,
+		ch:       ch,
+		radio:    radio,
+		rng:      rng,
+		p:        p,
+		lastSeen: make(map[phy.NodeID]uint64),
+		deliver:  deliver,
+		stats:    stats,
+	}
+	radio.SetReceiver(d)
+	return d
+}
+
+// enqueue appends a packet to the transmit queue and kicks the pipeline.
+func (d *dcf) enqueue(pkt Packet) {
+	d.nextSeq++
+	d.queue = append(d.queue, &txJob{seq: d.nextSeq, pkt: pkt, cw: d.p.CWMin})
+	d.kick()
+}
+
+// queueLen returns the number of queued (not yet completed) packets.
+func (d *dcf) queueLen() int { return len(d.queue) }
+
+// queuedPackets returns the queued packets head-first. The caller must not
+// retain the slice across scheduler events.
+func (d *dcf) queuedPackets() []Packet {
+	out := make([]Packet, len(d.queue))
+	for i, j := range d.queue {
+		out[i] = j.pkt
+	}
+	return out
+}
+
+// setWindow opens (enabled=true) or closes the transmit window. Closing
+// cancels any pending backoff attempt or handshake wait; a frame already on
+// the air completes (window sizing prevents exchanges from straddling the
+// close).
+func (d *dcf) setWindow(enabled bool, end sim.Time) {
+	d.enabled = enabled
+	d.windowEnd = end
+	d.stalled = false
+	if !enabled {
+		for _, tm := range []**sim.Timer{&d.attemptTimer, &d.ctsTimer, &d.ackTimer} {
+			if *tm != nil {
+				(*tm).Cancel()
+				*tm = nil
+			}
+		}
+		d.awaitingCTS = false
+		d.awaitingAck = false
+		d.current = nil // the job stays queued for the next window
+		return
+	}
+	d.kick()
+}
+
+// setEligible installs (or clears) the admission gate and re-kicks.
+func (d *dcf) setEligible(f func(Packet) bool) {
+	d.eligible = f
+	d.kick()
+}
+
+// failJobs removes every queued, not-in-service job matching the predicate
+// and reports link failure for it (ATIM retry exhaustion).
+func (d *dcf) failJobs(match func(Packet) bool) int {
+	kept := d.queue[:0]
+	var failed []*txJob
+	for _, job := range d.queue {
+		if job != d.current && match(job.pkt) {
+			failed = append(failed, job)
+			continue
+		}
+		kept = append(kept, job)
+	}
+	for i := len(kept); i < len(d.queue); i++ {
+		d.queue[i] = nil
+	}
+	d.queue = kept
+	for _, job := range failed {
+		d.stats.AtimFailures++
+		if job.pkt.OnResult != nil {
+			job.pkt.OnResult(false)
+		}
+	}
+	return len(failed)
+}
+
+// kick starts an attempt for the first eligible job if the pipeline is
+// idle.
+func (d *dcf) kick() {
+	if !d.enabled || d.stalled || d.awaitingCTS || d.awaitingAck || d.attemptTimer != nil {
+		return
+	}
+	if d.current == nil {
+		for _, job := range d.queue {
+			if d.eligible == nil || d.eligible(job.pkt) {
+				d.current = job
+				break
+			}
+		}
+	}
+	if d.current == nil {
+		return
+	}
+	d.attempt(d.current)
+}
+
+// usesRTS reports whether job's transmission starts with an RTS/CTS
+// handshake (unicast data at or above the threshold, as in ns-2 where the
+// default threshold of 0 applies it to all unicast data).
+func (d *dcf) usesRTS(job *txJob) bool {
+	if job.pkt.Dst == phy.Broadcast {
+		return false
+	}
+	return job.pkt.Bytes+d.p.DataHeaderBytes >= d.p.RTSThresholdBytes
+}
+
+// airtime helpers.
+func (d *dcf) dataAirtime(job *txJob) sim.Time {
+	return phy.Airtime(job.pkt.Bytes+d.p.DataHeaderBytes, d.p.DataRateMbps)
+}
+
+func (d *dcf) ackAirtime() sim.Time { return phy.Airtime(d.p.AckBytes, d.p.DataRateMbps) }
+func (d *dcf) rtsAirtime() sim.Time { return phy.Airtime(d.p.RTSBytes, d.p.DataRateMbps) }
+func (d *dcf) ctsAirtime() sim.Time { return phy.Airtime(d.p.CTSBytes, d.p.DataRateMbps) }
+
+// exchangeDuration returns the worst-case on-air time of sending job,
+// including the RTS/CTS handshake and ACK where applicable.
+func (d *dcf) exchangeDuration(job *txJob) sim.Time {
+	dur := d.dataAirtime(job)
+	if job.pkt.Dst != phy.Broadcast {
+		dur += d.p.SIFS + d.ackAirtime()
+	}
+	if d.usesRTS(job) {
+		dur += d.rtsAirtime() + d.p.SIFS + d.ctsAirtime() + d.p.SIFS
+	}
+	return dur
+}
+
+// mediumBusy combines physical and virtual carrier sense.
+func (d *dcf) mediumBusy(now sim.Time) bool {
+	return d.radio.CarrierBusy(now) || d.navUntil > now ||
+		d.radio.Transmitting(now)
+}
+
+// mediumFreeAt returns the earliest instant the medium is expected idle.
+func (d *dcf) mediumFreeAt(now sim.Time) sim.Time {
+	free := sim.MaxOf(now, d.radio.CarrierBusyUntil())
+	return sim.MaxOf(free, d.navUntil)
+}
+
+// attempt schedules one CSMA/CA transmission attempt for job.
+func (d *dcf) attempt(job *txJob) {
+	now := d.sched.Now()
+	backoff := sim.Time(d.rng.Intn(job.cw+1)) * d.p.SlotTime
+	start := d.mediumFreeAt(now) + d.p.DIFS + backoff
+	if start+d.exchangeDuration(job) > d.windowEnd {
+		// Will not fit before the window closes: stall until reset.
+		d.stalled = true
+		return
+	}
+	d.attemptTimer = d.sched.After(start-now, func() {
+		d.attemptTimer = nil
+		d.fire(job)
+	})
+}
+
+// fire begins the exchange for job if the medium is still idle, else
+// re-contends.
+func (d *dcf) fire(job *txJob) {
+	now := d.sched.Now()
+	if !d.enabled {
+		return
+	}
+	if d.mediumBusy(now) {
+		// Someone grabbed the medium during our backoff; contend again with
+		// a fresh draw from the same window (approximates backoff freezing).
+		d.attempt(job)
+		return
+	}
+	if d.usesRTS(job) {
+		d.sendRTS(job)
+		return
+	}
+	d.sendData(job)
+}
+
+// sendRTS transmits the RTS and waits for the CTS.
+func (d *dcf) sendRTS(job *txJob) {
+	rtsAir := d.rtsAirtime()
+	// NAV carried by the RTS: everything after the RTS itself.
+	nav := d.p.SIFS + d.ctsAirtime() + d.p.SIFS + d.dataAirtime(job) + d.p.SIFS + d.ackAirtime()
+	d.stats.RtsTx++
+	d.ch.Transmit(d.radio, phy.Frame{
+		From:    d.radio.ID(),
+		To:      job.pkt.Dst,
+		Bytes:   d.p.RTSBytes,
+		Payload: &rtsFrame{Seq: job.seq, Dur: nav},
+	}, d.p.DataRateMbps)
+
+	d.awaitingCTS = true
+	timeout := rtsAir + d.p.SIFS + d.ctsAirtime() + 3*d.p.SlotTime
+	d.ctsTimer = d.sched.After(timeout, func() {
+		d.ctsTimer = nil
+		d.awaitingCTS = false
+		d.retry(job)
+	})
+}
+
+// sendData transmits the data frame and, for unicast, waits for the ACK.
+func (d *dcf) sendData(job *txJob) {
+	frame := phy.Frame{
+		From:    d.radio.ID(),
+		To:      job.pkt.Dst,
+		Bytes:   job.pkt.Bytes + d.p.DataHeaderBytes,
+		Payload: &dataFrame{Seq: job.seq, Pkt: job.pkt},
+	}
+	d.ch.Transmit(d.radio, frame, d.p.DataRateMbps)
+	airtime := d.dataAirtime(job)
+
+	if job.pkt.Dst == phy.Broadcast {
+		d.stats.BroadcastTx++
+		d.sched.After(airtime, func() { d.complete(job, true) })
+		return
+	}
+
+	d.stats.DataTx++
+	d.awaitingAck = true
+	timeout := airtime + d.p.SIFS + d.ackAirtime() + 3*d.p.SlotTime
+	d.ackTimer = d.sched.After(timeout, func() {
+		d.ackTimer = nil
+		d.awaitingAck = false
+		d.retry(job)
+	})
+}
+
+// retry re-contends after a missing CTS or ACK, doubling the contention
+// window, until the retry limit is exhausted.
+func (d *dcf) retry(job *txJob) {
+	job.retries++
+	if job.retries > d.p.RetryLimit {
+		d.complete(job, false)
+		return
+	}
+	job.cw = (job.cw+1)*2 - 1
+	if job.cw > d.p.CWMax {
+		job.cw = d.p.CWMax
+	}
+	if !d.enabled {
+		// Window closed mid-retry; the job stays queued for the next phase.
+		d.current = nil
+		return
+	}
+	d.attempt(job)
+}
+
+// complete finishes the in-service job and moves on.
+func (d *dcf) complete(job *txJob, ok bool) {
+	for i, q := range d.queue {
+		if q == job {
+			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+			break
+		}
+	}
+	if d.current == job {
+		d.current = nil
+	}
+	if ok && job.pkt.Dst != phy.Broadcast {
+		d.stats.LinkSuccess++
+	}
+	if !ok {
+		d.stats.LinkFailures++
+	}
+	if job.pkt.OnResult != nil {
+		job.pkt.OnResult(ok)
+	}
+	d.kick()
+}
+
+// OnFrame implements phy.Receiver.
+func (d *dcf) OnFrame(f phy.Frame) {
+	switch pl := f.Payload.(type) {
+	case *rtsFrame:
+		d.onRTS(f, pl)
+	case *ctsFrame:
+		d.onCTS(f, pl)
+	case *ackFrame:
+		d.onAck(f, pl)
+	case *dataFrame:
+		d.onData(f, pl)
+	}
+}
+
+func (d *dcf) onRTS(f phy.Frame, rts *rtsFrame) {
+	now := d.sched.Now()
+	if f.To != d.radio.ID() {
+		// Virtual carrier sense: defer for the whole announced exchange.
+		d.extendNAV(now + rts.Dur)
+		return
+	}
+	// Respond with a CTS iff our medium is idle (standard behaviour);
+	// otherwise stay silent and let the sender retry.
+	if d.radio.CarrierBusy(now) || d.navUntil > now || d.radio.Transmitting(now) {
+		return
+	}
+	ctsNAV := rts.Dur - d.p.SIFS - d.ctsAirtime()
+	d.sched.After(d.p.SIFS, func() {
+		d.stats.CtsTx++
+		d.ch.Transmit(d.radio, phy.Frame{
+			From:    d.radio.ID(),
+			To:      f.From,
+			Bytes:   d.p.CTSBytes,
+			Payload: &ctsFrame{Seq: rts.Seq, Dur: ctsNAV},
+		}, d.p.DataRateMbps)
+	})
+}
+
+func (d *dcf) onCTS(f phy.Frame, cts *ctsFrame) {
+	now := d.sched.Now()
+	if f.To != d.radio.ID() {
+		d.extendNAV(now + cts.Dur)
+		return
+	}
+	if !d.awaitingCTS || d.current == nil {
+		return
+	}
+	job := d.current
+	if cts.Seq != job.seq {
+		return
+	}
+	d.awaitingCTS = false
+	if d.ctsTimer != nil {
+		d.ctsTimer.Cancel()
+		d.ctsTimer = nil
+	}
+	d.sched.After(d.p.SIFS, func() {
+		if !d.enabled {
+			return
+		}
+		d.sendData(job)
+	})
+}
+
+func (d *dcf) onAck(f phy.Frame, ack *ackFrame) {
+	if f.To != d.radio.ID() || !d.awaitingAck || d.current == nil {
+		return
+	}
+	job := d.current
+	if ack.Seq != job.seq {
+		return
+	}
+	d.awaitingAck = false
+	if d.ackTimer != nil {
+		d.ackTimer.Cancel()
+		d.ackTimer = nil
+	}
+	d.complete(job, true)
+}
+
+func (d *dcf) onData(f phy.Frame, df *dataFrame) {
+	toMe := f.To == d.radio.ID()
+	if toMe {
+		// ACK after SIFS regardless of duplicate status (the retransmission
+		// means our previous ACK was lost).
+		d.sched.After(d.p.SIFS, func() {
+			d.stats.AckTx++
+			d.ch.Transmit(d.radio, phy.Frame{
+				From:    d.radio.ID(),
+				To:      f.From,
+				Bytes:   d.p.AckBytes,
+				Payload: &ackFrame{Seq: df.Seq},
+			}, d.p.DataRateMbps)
+		})
+	}
+	// Per-sender duplicate suppression: sequence numbers are monotone per
+	// sender, retransmissions reuse the same value.
+	if last, ok := d.lastSeen[f.From]; ok && df.Seq <= last {
+		return
+	}
+	d.lastSeen[f.From] = df.Seq
+	if toMe || f.To == phy.Broadcast {
+		d.stats.Delivered++
+		d.deliver(f.From, df.Pkt, true)
+		return
+	}
+	d.stats.Overheard++
+	d.deliver(f.From, df.Pkt, false)
+}
+
+func (d *dcf) extendNAV(until sim.Time) {
+	if until > d.navUntil {
+		d.navUntil = until
+	}
+}

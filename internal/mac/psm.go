@@ -1,0 +1,354 @@
+package mac
+
+import (
+	"math/rand"
+
+	"rcast/internal/core"
+	"rcast/internal/energy"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// senderRecencyWindow is how long a sender counts as "recently heard" for
+// the sender-ID overhearing factor.
+const senderRecencyWindow = 2 * sim.Second
+
+// PSM is a beacon-synchronized 802.11 power-save MAC with Rcast ATIM
+// subtypes. All stations wake for every ATIM window; packets queued before
+// the window are advertised; the configured core.Policy decides which
+// non-addressed neighbors stay awake through the data phase.
+//
+// Following the paper's own modelling assumption (§4.1), the ATIM
+// advertisement exchange is treated as reliable: an announcement reaches
+// exactly the neighbors in radio range at the beacon instant. The energy
+// cost of the ATIM window (every station awake) is fully charged.
+//
+// A PSM node can also be driven by an ODPM-style power manager through
+// ExtendAM and the fast-path callback; see package odpm.
+type PSM struct {
+	sched  *sim.Scheduler
+	ch     *phy.Channel
+	radio  *phy.Radio
+	meter  *energy.Meter
+	policy core.Policy
+	rng    *rand.Rand
+	p      Params
+	up     Upcalls
+
+	dcf     *dcf
+	pending []Packet // packets not yet advertised
+
+	amUntil sim.Time // ODPM: node stays in active mode until this instant
+	// fastPath, when set (ODPM), reports whether dst is currently in AM so
+	// the packet can bypass the beacon cycle.
+	fastPath func(dst phy.NodeID) bool
+
+	lastHeard     map[phy.NodeID]sim.Time
+	prevNeighbors map[phy.NodeID]struct{}
+	linkChurn     float64 // EWMA link changes per second
+
+	// ATIM-contention admission state (Params.ATIMContention).
+	lastAnnounced []annKey
+	admitted      map[annKey]struct{}
+	atimMisses    map[annKey]int
+
+	dead bool
+
+	stats Stats
+}
+
+// annKey identifies one distinct advertisement.
+type annKey struct {
+	dst phy.NodeID
+	lvl core.Level
+}
+
+var _ Mac = (*PSM)(nil)
+var _ Station = (*PSM)(nil)
+
+// NewPSM builds a PSM MAC. The meter must be the node's energy meter; the
+// policy decides advertised levels and overhearing.
+func NewPSM(
+	sched *sim.Scheduler,
+	ch *phy.Channel,
+	radio *phy.Radio,
+	meter *energy.Meter,
+	policy core.Policy,
+	rng *rand.Rand,
+	p Params,
+	up Upcalls,
+) *PSM {
+	m := &PSM{
+		sched:         sched,
+		ch:            ch,
+		radio:         radio,
+		meter:         meter,
+		policy:        policy,
+		rng:           rng,
+		p:             p,
+		up:            up,
+		lastHeard:     make(map[phy.NodeID]sim.Time),
+		prevNeighbors: make(map[phy.NodeID]struct{}),
+	}
+	m.dcf = newDCF(sched, ch, radio, rng, p, &m.stats, m.deliver)
+	if p.ATIMContention {
+		m.admitted = make(map[annKey]struct{})
+		m.atimMisses = make(map[annKey]int)
+	}
+	return m
+}
+
+// Radio implements Station.
+func (m *PSM) Radio() *phy.Radio { return m.radio }
+
+// SetFastPath installs the ODPM fast-path query (may be nil).
+func (m *PSM) SetFastPath(f func(dst phy.NodeID) bool) { m.fastPath = f }
+
+// ExtendAM keeps the node in active mode until at least `until`. While in
+// AM the node never sleeps and may transmit outside the beacon data phase.
+func (m *PSM) ExtendAM(until sim.Time) {
+	if m.dead || until <= m.amUntil {
+		return
+	}
+	m.amUntil = until
+	now := m.sched.Now()
+	if !m.radio.Awake() {
+		m.radio.SetAwake(true)
+		_ = m.meter.SetState(now, energy.Awake)
+	}
+	// Open the transmit window immediately: AM nodes behave like 802.11.
+	if !m.dcf.enabled {
+		m.dcf.setWindow(true, m.nextBoundary(now))
+	}
+}
+
+// InAM reports whether the node is in active mode at now.
+func (m *PSM) InAM(now sim.Time) bool { return now < m.amUntil }
+
+// nextBoundary returns the next beacon boundary strictly after now.
+func (m *PSM) nextBoundary(now sim.Time) sim.Time {
+	bi := m.p.BeaconInterval
+	return (now/bi + 1) * bi
+}
+
+// Send implements Mac. Packets normally wait for the next ATIM window; an
+// AM node with an AM next hop (ODPM fast path) transmits immediately.
+func (m *PSM) Send(p Packet) {
+	if m.dead {
+		if p.OnResult != nil {
+			p.OnResult(false)
+		}
+		return
+	}
+	if p.Level == 0 {
+		p.Level = m.policy.AdvertiseLevel(p.Class)
+	}
+	now := m.sched.Now()
+	if m.fastPath != nil && p.Dst != phy.Broadcast && m.InAM(now) && m.fastPath(p.Dst) {
+		m.dcf.enqueue(p)
+		return
+	}
+	m.pending = append(m.pending, p)
+}
+
+// NodeID implements Mac.
+func (m *PSM) NodeID() phy.NodeID { return m.radio.ID() }
+
+// Stats implements Mac.
+func (m *PSM) Stats() Stats { return m.stats }
+
+// LinkChangesPerSec returns the node's mobility estimate.
+func (m *PSM) LinkChangesPerSec() float64 { return m.linkChurn }
+
+// Kill permanently silences the node (battery depletion): the radio goes
+// down, the transmit window closes, and beacon callbacks become no-ops.
+func (m *PSM) Kill() {
+	m.dead = true
+	m.amUntil = 0
+	m.dcf.setWindow(false, 0)
+	m.radio.SetAwake(false)
+	_ = m.meter.SetState(m.sched.Now(), energy.Asleep)
+}
+
+// Dead reports whether Kill was called.
+func (m *PSM) Dead() bool { return m.dead }
+
+// BeaconStart implements Station: wake up, quiesce data transmission for
+// the ATIM window, fold pending packets into the transmit queue, and return
+// this interval's advertisements.
+func (m *PSM) BeaconStart(now sim.Time) []Announcement {
+	if m.dead {
+		return nil
+	}
+	m.radio.SetAwake(true)
+	_ = m.meter.SetState(now, energy.Awake)
+	m.dcf.setWindow(false, 0)
+	m.updateChurn(now)
+
+	for _, p := range m.pending {
+		m.dcf.enqueue(p)
+	}
+	m.pending = nil
+
+	// One ATIM per distinct (destination, level); covers all buffered
+	// frames to that destination, as in 802.11 PSM.
+	seen := make(map[annKey]struct{})
+	var anns []Announcement
+	m.lastAnnounced = m.lastAnnounced[:0]
+	for _, p := range m.dcf.queuedPackets() {
+		k := annKey{dst: p.Dst, lvl: p.Level}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		anns = append(anns, Announcement{From: m.radio.ID(), To: p.Dst, Level: p.Level})
+		m.lastAnnounced = append(m.lastAnnounced, k)
+		if len(anns) >= m.p.MaxAnnouncements {
+			break
+		}
+	}
+	m.stats.Announced += uint64(len(anns))
+	return anns
+}
+
+// ATIMOutcome implements Station: under ATIM contention, record which of
+// this interval's advertisements reached their destinations. Unadmitted
+// packets wait for the next beacon; after ATIMRetryLimit consecutive
+// failed advertisements they are dropped as link failures (the sender's
+// MAC gives up on the destination).
+func (m *PSM) ATIMOutcome(_ sim.Time, admitted []Announcement) {
+	if m.admitted == nil || m.dead {
+		return
+	}
+	clear(m.admitted)
+	for _, a := range admitted {
+		m.admitted[annKey{dst: a.To, lvl: a.Level}] = struct{}{}
+	}
+	limit := m.p.ATIMRetryLimit
+	if limit < 1 {
+		limit = 3
+	}
+	for _, k := range m.lastAnnounced {
+		if _, ok := m.admitted[k]; ok {
+			delete(m.atimMisses, k)
+			continue
+		}
+		if k.dst == phy.Broadcast {
+			continue
+		}
+		m.atimMisses[k]++
+		if m.atimMisses[k] >= limit {
+			delete(m.atimMisses, k)
+			key := k
+			m.dcf.failJobs(func(p Packet) bool {
+				return p.Dst == key.dst && p.Level == key.lvl
+			})
+		}
+	}
+	m.dcf.setEligible(func(p Packet) bool {
+		if p.Dst == phy.Broadcast {
+			return true
+		}
+		_, ok := m.admitted[annKey{dst: p.Dst, lvl: p.Level}]
+		return ok
+	})
+}
+
+// ATIMEnd implements Station: decide whether to stay awake for the data
+// phase based on this interval's advertisements, then either open the
+// transmit window or sleep until the next beacon.
+func (m *PSM) ATIMEnd(now sim.Time, heard []Announcement, nextBeacon sim.Time) {
+	if m.dead {
+		return
+	}
+	awake := m.InAM(now) || m.dcf.queueLen() > 0
+	if !awake {
+		awake = m.shouldStayAwake(now, heard)
+	}
+	if awake {
+		m.stats.AwakePhases++
+		m.dcf.setWindow(true, nextBeacon)
+		return
+	}
+	m.stats.SleptPhases++
+	m.dcf.setWindow(false, 0)
+	m.radio.SetAwake(false)
+	_ = m.meter.SetState(now, energy.Asleep)
+}
+
+// shouldStayAwake scans the advertisements this station decoded (the
+// coordinator already filtered for range and contention) and applies the
+// paper's three-step rule (§3.2): stay awake if addressed, if
+// unconditional overhearing is requested, or if randomized overhearing is
+// requested and the policy's coin says yes.
+func (m *PSM) shouldStayAwake(now sim.Time, heard []Announcement) bool {
+	me := m.radio.ID()
+	var (
+		ctx     core.ListenContext
+		haveCtx bool
+	)
+	for _, a := range heard {
+		if a.From == me {
+			continue
+		}
+		if a.To == me || a.To == phy.Broadcast {
+			return true
+		}
+		if a.Level == core.LevelNone {
+			continue
+		}
+		if !haveCtx {
+			ctx = m.listenContext(now)
+			haveCtx = true
+		}
+		heard, ok := m.lastHeard[a.From]
+		ctx.SenderRecentlyHeard = ok && now-heard <= senderRecencyWindow
+		if m.policy.ShouldOverhear(m.rng, a.Level, ctx) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *PSM) listenContext(now sim.Time) core.ListenContext {
+	return core.ListenContext{
+		Neighbors:         m.ch.CountNeighbors(m.radio, now),
+		RemainingEnergy:   m.meter.RemainingFraction(),
+		LinkChangesPerSec: m.linkChurn,
+	}
+}
+
+// updateChurn refreshes the EWMA of neighbor-set changes per second.
+func (m *PSM) updateChurn(now sim.Time) {
+	cur := make(map[phy.NodeID]struct{})
+	for _, id := range m.ch.Neighbors(m.radio, now) {
+		cur[id] = struct{}{}
+	}
+	changes := 0
+	for id := range cur {
+		if _, ok := m.prevNeighbors[id]; !ok {
+			changes++
+		}
+	}
+	for id := range m.prevNeighbors {
+		if _, ok := cur[id]; !ok {
+			changes++
+		}
+	}
+	m.prevNeighbors = cur
+	rate := float64(changes) / m.p.BeaconInterval.Seconds()
+	const alpha = 0.2
+	m.linkChurn = (1-alpha)*m.linkChurn + alpha*rate
+}
+
+func (m *PSM) deliver(from phy.NodeID, pkt Packet, toMe bool) {
+	m.lastHeard[from] = m.sched.Now()
+	if m.up == nil {
+		return
+	}
+	if toMe {
+		m.up.OnReceive(from, pkt)
+		return
+	}
+	m.up.OnOverhear(from, pkt)
+}

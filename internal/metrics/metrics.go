@@ -1,0 +1,186 @@
+// Package metrics collects the paper's performance measures during a run:
+// packet delivery ratio, end-to-end delay, normalized routing overhead,
+// per-node energy, energy-per-bit, energy variance, and role numbers
+// (§4.2: the extent to which a node lies on the paths cached during all
+// packet transmissions).
+package metrics
+
+import (
+	"rcast/internal/core"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+	"rcast/internal/stats"
+)
+
+// Collector accumulates events for one run. It is wired into every node's
+// routing hooks; methods take the acting node's ID where relevant.
+type Collector struct {
+	nodes int
+
+	originated uint64
+	delivered  uint64
+	dropped    map[string]uint64
+
+	totalDelay    sim.Time
+	delaySamples  []float64 // seconds, one per delivery
+	totalHops     uint64
+	deliveredBits float64
+
+	controlTx map[core.Class]uint64
+	dataTx    uint64
+
+	forwards []uint64  // data packets forwarded per node
+	roles    []float64 // role numbers per node
+}
+
+// NewCollector creates a collector for a run with the given node count.
+func NewCollector(nodes int) *Collector {
+	return &Collector{
+		nodes:     nodes,
+		dropped:   make(map[string]uint64),
+		controlTx: make(map[core.Class]uint64),
+		forwards:  make([]uint64, nodes),
+		roles:     make([]float64, nodes),
+	}
+}
+
+// DataOriginated records an application packet entering the network.
+func (c *Collector) DataOriginated() { c.originated++ }
+
+// DataDelivered records an end-to-end delivery with the given latency,
+// payload size and hop count (link transmissions from source to
+// destination).
+func (c *Collector) DataDelivered(delay sim.Time, payloadBytes, hops int) {
+	c.delivered++
+	c.totalDelay += delay
+	c.delaySamples = append(c.delaySamples, delay.Seconds())
+	if hops > 0 {
+		c.totalHops += uint64(hops)
+	}
+	c.deliveredBits += float64(payloadBytes) * 8
+}
+
+// DataDropped records a loss with a reason tag.
+func (c *Collector) DataDropped(reason string) { c.dropped[reason]++ }
+
+// DataForwarded records node id relaying a data packet.
+func (c *Collector) DataForwarded(id phy.NodeID) {
+	if int(id) >= 0 && int(id) < c.nodes {
+		c.forwards[id]++
+	}
+	c.dataTx++
+}
+
+// DataTransmitted records any data transmission (origination hop).
+func (c *Collector) DataTransmitted() { c.dataTx++ }
+
+// ControlSent records one routing-control transmission (per hop).
+func (c *Collector) ControlSent(class core.Class) { c.controlTx[class]++ }
+
+// RouteCached records a route inserted into some node's cache: each
+// intermediate node's role number increases (paper §4.2).
+func (c *Collector) RouteCached(path []phy.NodeID) {
+	if len(path) < 3 {
+		return
+	}
+	for _, id := range path[1 : len(path)-1] {
+		if int(id) >= 0 && int(id) < c.nodes {
+			c.roles[id]++
+		}
+	}
+}
+
+// Originated returns the number of application packets originated.
+func (c *Collector) Originated() uint64 { return c.originated }
+
+// Delivered returns the number of end-to-end deliveries.
+func (c *Collector) Delivered() uint64 { return c.delivered }
+
+// PDR returns the packet delivery ratio in [0, 1] (1 when no packets were
+// originated).
+func (c *Collector) PDR() float64 {
+	if c.originated == 0 {
+		return 1
+	}
+	return float64(c.delivered) / float64(c.originated)
+}
+
+// AvgDelaySeconds returns the mean end-to-end delay of delivered packets.
+func (c *Collector) AvgDelaySeconds() float64 {
+	if c.delivered == 0 {
+		return 0
+	}
+	return c.totalDelay.Seconds() / float64(c.delivered)
+}
+
+// DelayPercentile returns the p-th percentile of end-to-end delay in
+// seconds over delivered packets.
+func (c *Collector) DelayPercentile(p float64) float64 {
+	return stats.Percentile(c.delaySamples, p)
+}
+
+// MeanHops returns the mean hop count of delivered packets.
+func (c *Collector) MeanHops() float64 {
+	if c.delivered == 0 {
+		return 0
+	}
+	return float64(c.totalHops) / float64(c.delivered)
+}
+
+// DeliveredBits returns the total delivered payload bits.
+func (c *Collector) DeliveredBits() float64 { return c.deliveredBits }
+
+// ControlTransmissions returns total routing-control transmissions, and
+// the per-class breakdown (the returned map is a copy).
+func (c *Collector) ControlTransmissions() (total uint64, byClass map[core.Class]uint64) {
+	byClass = make(map[core.Class]uint64, len(c.controlTx))
+	for k, v := range c.controlTx {
+		byClass[k] = v
+		total += v
+	}
+	return total, byClass
+}
+
+// NormalizedOverhead returns routing-control transmissions per delivered
+// data packet — the paper's "normalized routing overhead" (Fig. 8). It
+// returns the raw control count when nothing was delivered.
+func (c *Collector) NormalizedOverhead() float64 {
+	total, _ := c.ControlTransmissions()
+	if c.delivered == 0 {
+		return float64(total)
+	}
+	return float64(total) / float64(c.delivered)
+}
+
+// EnergyPerBit returns joules per successfully delivered payload bit given
+// the run's total energy (Fig. 7c/f). Zero delivered bits yields +Inf-free
+// 0 to keep reports readable; callers should check DeliveredBits.
+func (c *Collector) EnergyPerBit(totalJoules float64) float64 {
+	if c.deliveredBits == 0 {
+		return 0
+	}
+	return totalJoules / c.deliveredBits
+}
+
+// RoleNumbers returns a copy of the per-node role numbers.
+func (c *Collector) RoleNumbers() []float64 {
+	out := make([]float64, len(c.roles))
+	copy(out, c.roles)
+	return out
+}
+
+// Forwards returns a copy of the per-node data-forward counts.
+func (c *Collector) Forwards() []uint64 {
+	out := make([]uint64, len(c.forwards))
+	copy(out, c.forwards)
+	return out
+}
+
+// Drops returns a copy of the per-reason drop counts.
+func (c *Collector) Drops() map[string]uint64 {
+	out := make(map[string]uint64, len(c.dropped))
+	for k, v := range c.dropped {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"rcast/internal/core"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+func TestPDRAndDelay(t *testing.T) {
+	c := NewCollector(10)
+	if c.PDR() != 1 {
+		t.Error("empty collector PDR should be 1")
+	}
+	for i := 0; i < 4; i++ {
+		c.DataOriginated()
+	}
+	c.DataDelivered(100*sim.Millisecond, 512, 2)
+	c.DataDelivered(300*sim.Millisecond, 512, 4)
+	c.DataDropped("no-route")
+	if got := c.PDR(); got != 0.5 {
+		t.Errorf("PDR = %v, want 0.5", got)
+	}
+	if got := c.AvgDelaySeconds(); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("AvgDelay = %v, want 0.2", got)
+	}
+	if got := c.DeliveredBits(); got != 2*512*8 {
+		t.Errorf("DeliveredBits = %v", got)
+	}
+	if c.Originated() != 4 || c.Delivered() != 2 {
+		t.Error("counts wrong")
+	}
+	if c.Drops()["no-route"] != 1 {
+		t.Error("drop reason not recorded")
+	}
+	if got := c.MeanHops(); got != 3 {
+		t.Errorf("MeanHops = %v, want 3", got)
+	}
+	if got := c.DelayPercentile(50); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("DelayPercentile(50) = %v, want 0.2", got)
+	}
+	if got := c.DelayPercentile(100); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("DelayPercentile(100) = %v, want 0.3", got)
+	}
+}
+
+func TestEmptyDelayAndHops(t *testing.T) {
+	c := NewCollector(3)
+	if c.MeanHops() != 0 || c.DelayPercentile(95) != 0 {
+		t.Error("empty collector delay/hops not zero")
+	}
+}
+
+func TestNormalizedOverhead(t *testing.T) {
+	c := NewCollector(10)
+	for i := 0; i < 6; i++ {
+		c.ControlSent(core.ClassRREQ)
+	}
+	c.ControlSent(core.ClassRREP)
+	c.ControlSent(core.ClassRERR)
+	// Nothing delivered: raw count.
+	if got := c.NormalizedOverhead(); got != 8 {
+		t.Errorf("NRO (no deliveries) = %v, want 8", got)
+	}
+	c.DataOriginated()
+	c.DataOriginated()
+	c.DataDelivered(0, 512, 1)
+	c.DataDelivered(0, 512, 1)
+	if got := c.NormalizedOverhead(); got != 4 {
+		t.Errorf("NRO = %v, want 4", got)
+	}
+	total, byClass := c.ControlTransmissions()
+	if total != 8 || byClass[core.ClassRREQ] != 6 || byClass[core.ClassRREP] != 1 || byClass[core.ClassRERR] != 1 {
+		t.Errorf("ControlTransmissions = %d %v", total, byClass)
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	c := NewCollector(10)
+	if got := c.EnergyPerBit(100); got != 0 {
+		t.Errorf("EPB with zero bits = %v, want 0", got)
+	}
+	c.DataDelivered(0, 1250, 1) // 10000 bits
+	if got := c.EnergyPerBit(100); got != 0.01 {
+		t.Errorf("EPB = %v, want 0.01", got)
+	}
+}
+
+func TestRoleNumbersCountIntermediates(t *testing.T) {
+	c := NewCollector(5)
+	c.RouteCached([]phy.NodeID{0, 1, 2, 3}) // intermediates 1, 2
+	c.RouteCached([]phy.NodeID{4, 2, 0})    // intermediate 2
+	c.RouteCached([]phy.NodeID{0, 1})       // no intermediates
+	roles := c.RoleNumbers()
+	want := []float64{0, 1, 2, 0, 0}
+	for i := range want {
+		if roles[i] != want[i] {
+			t.Fatalf("roles = %v, want %v", roles, want)
+		}
+	}
+	// Out-of-range IDs are ignored, not a panic.
+	c.RouteCached([]phy.NodeID{0, 99, 1})
+}
+
+func TestForwards(t *testing.T) {
+	c := NewCollector(3)
+	c.DataForwarded(1)
+	c.DataForwarded(1)
+	c.DataForwarded(99) // ignored per-node, still counted as a data tx
+	c.DataTransmitted()
+	f := c.Forwards()
+	if f[1] != 2 || f[0] != 0 {
+		t.Errorf("forwards = %v", f)
+	}
+}
+
+func TestSnapshotsAreCopies(t *testing.T) {
+	c := NewCollector(3)
+	c.RouteCached([]phy.NodeID{0, 1, 2})
+	r := c.RoleNumbers()
+	r[1] = 99
+	if c.RoleNumbers()[1] != 1 {
+		t.Error("RoleNumbers returned aliased storage")
+	}
+	c.DataDropped("x")
+	d := c.Drops()
+	d["x"] = 99
+	if c.Drops()["x"] != 1 {
+		t.Error("Drops returned aliased storage")
+	}
+}

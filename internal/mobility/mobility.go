@@ -1,0 +1,140 @@
+// Package mobility implements node movement models. The primary model is
+// the random waypoint model used by the paper (Johnson & Maltz): a node
+// travels to a uniformly chosen destination at a uniformly chosen speed,
+// pauses for a fixed time, and repeats.
+//
+// Positions are computed analytically from a lazily extended list of
+// movement legs, so queries at arbitrary instants are exact and no periodic
+// "mobility tick" events are needed.
+package mobility
+
+import (
+	"math/rand"
+
+	"rcast/internal/geom"
+	"rcast/internal/sim"
+)
+
+// Model yields a node's position at any simulated instant. Implementations
+// must be monotone-query friendly but are required to answer arbitrary
+// (including repeated or out-of-order) instants consistently.
+type Model interface {
+	// PositionAt returns the node position at instant t >= 0.
+	PositionAt(t sim.Time) geom.Point
+}
+
+// Static pins a node at a fixed point. It models the paper's "static
+// scenario" (pause time = simulation length).
+type Static struct {
+	P geom.Point
+}
+
+var _ Model = Static{}
+
+// PositionAt implements Model.
+func (s Static) PositionAt(sim.Time) geom.Point { return s.P }
+
+// Waypoint is the random waypoint model.
+//
+// Each leg moves in a straight line from the previous waypoint to a fresh
+// uniform destination at a speed drawn uniformly from [MinSpeed, MaxSpeed],
+// then pauses for Pause. MinSpeed defaults to 0.1 m/s to avoid the
+// well-known random-waypoint artifact of nodes becoming permanently stuck at
+// near-zero speed.
+type Waypoint struct {
+	field    geom.Rect
+	minSpeed float64
+	maxSpeed float64
+	pause    sim.Time
+	rng      *rand.Rand
+
+	legs []leg // covers [0, legs[len-1].end)
+}
+
+var _ Model = (*Waypoint)(nil)
+
+type leg struct {
+	start, end sim.Time
+	from, to   geom.Point // equal while pausing
+}
+
+// WaypointConfig parameterizes NewWaypoint.
+type WaypointConfig struct {
+	Field    geom.Rect
+	MinSpeed float64  // m/s; defaults to 0.1 if <= 0
+	MaxSpeed float64  // m/s; must be >= MinSpeed
+	Pause    sim.Time // dwell time at each waypoint
+	Start    geom.Point
+}
+
+// NewWaypoint creates a random waypoint model. The rng must be dedicated to
+// this node (see sim.Stream) to keep trajectories reproducible.
+func NewWaypoint(cfg WaypointConfig, rng *rand.Rand) *Waypoint {
+	minSpeed := cfg.MinSpeed
+	if minSpeed <= 0 {
+		minSpeed = 0.1
+	}
+	maxSpeed := cfg.MaxSpeed
+	if maxSpeed < minSpeed {
+		maxSpeed = minSpeed
+	}
+	w := &Waypoint{
+		field:    cfg.Field,
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		pause:    cfg.Pause,
+		rng:      rng,
+	}
+	// Nodes begin paused at their start position, matching ns-2 setdest.
+	w.legs = append(w.legs, leg{start: 0, end: cfg.Pause, from: cfg.Start, to: cfg.Start})
+	return w
+}
+
+// PositionAt implements Model.
+func (w *Waypoint) PositionAt(t sim.Time) geom.Point {
+	if t < 0 {
+		t = 0
+	}
+	w.extendTo(t)
+	// Binary search the covering leg.
+	lo, hi := 0, len(w.legs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.legs[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l := w.legs[lo]
+	if l.from == l.to || l.end == l.start {
+		return l.from
+	}
+	f := float64(t-l.start) / float64(l.end-l.start)
+	if f > 1 {
+		f = 1
+	}
+	return l.from.Lerp(l.to, f)
+}
+
+// extendTo appends legs until the trajectory covers instant t.
+func (w *Waypoint) extendTo(t sim.Time) {
+	for w.legs[len(w.legs)-1].end <= t {
+		last := w.legs[len(w.legs)-1]
+		from := last.to
+		to := w.field.RandomPoint(w.rng)
+		speed := w.minSpeed + w.rng.Float64()*(w.maxSpeed-w.minSpeed)
+		dist := from.DistanceTo(to)
+		dur := sim.FromSeconds(dist / speed)
+		if dur < sim.Microsecond {
+			dur = sim.Microsecond
+		}
+		move := leg{start: last.end, end: last.end + dur, from: from, to: to}
+		w.legs = append(w.legs, move)
+		if w.pause > 0 {
+			w.legs = append(w.legs, leg{
+				start: move.end, end: move.end + w.pause, from: to, to: to,
+			})
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package mobility
+
+import (
+	"testing"
+
+	"rcast/internal/geom"
+	"rcast/internal/sim"
+)
+
+var testField = geom.Rect{W: 1500, H: 300}
+
+func newTestWaypoint(t *testing.T, pause sim.Time, seed int64) *Waypoint {
+	t.Helper()
+	return NewWaypoint(WaypointConfig{
+		Field:    testField,
+		MaxSpeed: 20,
+		Pause:    pause,
+		Start:    geom.Point{X: 750, Y: 150},
+	}, sim.Stream(seed, "mob"))
+}
+
+func TestStaticNeverMoves(t *testing.T) {
+	s := Static{P: geom.Point{X: 10, Y: 20}}
+	for _, at := range []sim.Time{0, sim.Second, 1125 * sim.Second} {
+		if got := s.PositionAt(at); got != s.P {
+			t.Fatalf("PositionAt(%v) = %v, want %v", at, got, s.P)
+		}
+	}
+}
+
+func TestWaypointStartsAtStart(t *testing.T) {
+	w := newTestWaypoint(t, 0, 1)
+	if got := w.PositionAt(0); got != (geom.Point{X: 750, Y: 150}) {
+		t.Fatalf("PositionAt(0) = %v", got)
+	}
+}
+
+func TestWaypointStaysInField(t *testing.T) {
+	w := newTestWaypoint(t, 5*sim.Second, 2)
+	for s := 0; s <= 1125; s++ {
+		p := w.PositionAt(sim.Time(s) * sim.Second)
+		if !testField.Contains(p) {
+			t.Fatalf("left the field at t=%ds: %v", s, p)
+		}
+	}
+}
+
+func TestWaypointSpeedBounded(t *testing.T) {
+	w := newTestWaypoint(t, 0, 3)
+	const dt = 100 * sim.Millisecond
+	prev := w.PositionAt(0)
+	for s := sim.Time(dt); s <= 600*sim.Second; s += dt {
+		cur := w.PositionAt(s)
+		speed := prev.DistanceTo(cur) / dt.Seconds()
+		// Allow slack for the instant a leg boundary falls inside dt.
+		if speed > 2*20+1 {
+			t.Fatalf("speed %v m/s at t=%v exceeds bound", speed, s)
+		}
+		prev = cur
+	}
+}
+
+func TestWaypointPausesAtWaypoints(t *testing.T) {
+	w := newTestWaypoint(t, 60*sim.Second, 4)
+	// The node is paused during [0, 60s): position must not change.
+	p0 := w.PositionAt(0)
+	p1 := w.PositionAt(30 * sim.Second)
+	if p0 != p1 {
+		t.Fatalf("node moved during initial pause: %v -> %v", p0, p1)
+	}
+	p2 := w.PositionAt(61 * sim.Second)
+	if p2 == p0 {
+		t.Fatalf("node did not start moving after pause")
+	}
+}
+
+func TestWaypointDeterministic(t *testing.T) {
+	a := newTestWaypoint(t, 10*sim.Second, 7)
+	b := newTestWaypoint(t, 10*sim.Second, 7)
+	for s := 0; s <= 300; s += 13 {
+		at := sim.Time(s) * sim.Second
+		if a.PositionAt(at) != b.PositionAt(at) {
+			t.Fatalf("same-seed trajectories diverge at t=%v", at)
+		}
+	}
+}
+
+func TestWaypointDifferentSeedsDiverge(t *testing.T) {
+	a := newTestWaypoint(t, 0, 8)
+	b := newTestWaypoint(t, 0, 9)
+	diverged := false
+	for s := 1; s <= 300; s++ {
+		at := sim.Time(s) * sim.Second
+		if a.PositionAt(at) != b.PositionAt(at) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+func TestWaypointOutOfOrderQueriesConsistent(t *testing.T) {
+	w := newTestWaypoint(t, 5*sim.Second, 10)
+	forward := make([]geom.Point, 0, 100)
+	for s := 0; s < 100; s++ {
+		forward = append(forward, w.PositionAt(sim.Time(s)*sim.Second))
+	}
+	for s := 99; s >= 0; s-- {
+		if got := w.PositionAt(sim.Time(s) * sim.Second); got != forward[s] {
+			t.Fatalf("out-of-order query at t=%ds: %v != %v", s, got, forward[s])
+		}
+	}
+}
+
+func TestWaypointNegativeTimeClamped(t *testing.T) {
+	w := newTestWaypoint(t, 0, 11)
+	if got := w.PositionAt(-sim.Second); got != w.PositionAt(0) {
+		t.Fatalf("negative time not clamped: %v", got)
+	}
+}
+
+func TestWaypointMinSpeedDefault(t *testing.T) {
+	// MaxSpeed below default MinSpeed should be lifted to MinSpeed, not
+	// produce a zero or negative speed range.
+	w := NewWaypoint(WaypointConfig{
+		Field:    testField,
+		MaxSpeed: 0.01,
+		Start:    geom.Point{X: 1, Y: 1},
+	}, sim.Stream(12, "mob"))
+	if got := w.PositionAt(1000 * sim.Second); !testField.Contains(got) {
+		t.Fatalf("position %v outside field", got)
+	}
+	if w.minSpeed != 0.1 || w.maxSpeed != 0.1 {
+		t.Fatalf("speed bounds = [%v, %v], want [0.1, 0.1]", w.minSpeed, w.maxSpeed)
+	}
+}
+
+func TestWaypointMobilityIncreasesWithLowPause(t *testing.T) {
+	// Displacement over a long window should be larger with no pause than
+	// with a huge pause.
+	mobile := newTestWaypoint(t, 0, 13)
+	parked := newTestWaypoint(t, 1125*sim.Second, 13)
+	var dMobile, dParked float64
+	for s := 0; s < 600; s += 10 {
+		at := sim.Time(s) * sim.Second
+		next := at + 10*sim.Second
+		dMobile += mobile.PositionAt(at).DistanceTo(mobile.PositionAt(next))
+		dParked += parked.PositionAt(at).DistanceTo(parked.PositionAt(next))
+	}
+	if dMobile <= dParked {
+		t.Fatalf("mobile travelled %v m <= parked %v m", dMobile, dParked)
+	}
+	if dParked != 0 {
+		t.Fatalf("node with pause=simtime moved %v m, want 0", dParked)
+	}
+}

@@ -1,0 +1,78 @@
+package odpm
+
+import (
+	"testing"
+
+	"rcast/internal/core"
+	"rcast/internal/energy"
+	"rcast/internal/geom"
+	"rcast/internal/mac"
+	"rcast/internal/mobility"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+func newPSM(t *testing.T) (*sim.Scheduler, *mac.PSM) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	ch := phy.NewChannel(sched, 250)
+	radio := ch.AddRadio(0, mobility.Static{P: geom.Point{}})
+	meter := energy.NewMeter(0, 0, 0)
+	psm := mac.NewPSM(sched, ch, radio, meter, core.None{}, sim.Stream(1, "m"), mac.DefaultParams(), nil)
+	return sched, psm
+}
+
+func TestDefaultsMatchODPMPaper(t *testing.T) {
+	sched, psm := newPSM(t)
+	m := New(sched, psm, 0, 0)
+	if m.rrepKeepAlive != 5*sim.Second || m.dataKeepAlive != 2*sim.Second {
+		t.Fatalf("defaults = %v/%v, want 5s/2s", m.rrepKeepAlive, m.dataKeepAlive)
+	}
+}
+
+func TestRREPKeepsNodeInAMForFiveSeconds(t *testing.T) {
+	sched, psm := newPSM(t)
+	m := New(sched, psm, 0, 0)
+	m.OnRREP()
+	if !psm.InAM(4 * sim.Second) {
+		t.Fatal("not in AM 4s after RREP")
+	}
+	if psm.InAM(6 * sim.Second) {
+		t.Fatal("still in AM 6s after RREP")
+	}
+}
+
+func TestDataActivityKeepsNodeInAMForTwoSeconds(t *testing.T) {
+	sched, psm := newPSM(t)
+	m := New(sched, psm, 0, 0)
+	m.OnDataActivity()
+	if !psm.InAM(1900*sim.Millisecond) || psm.InAM(2100*sim.Millisecond) {
+		t.Fatal("data keep-alive window wrong")
+	}
+}
+
+func TestRepeatedActivityExtendsWindow(t *testing.T) {
+	sched, psm := newPSM(t)
+	m := New(sched, psm, 0, 0)
+	m.OnDataActivity()
+	sched.After(1500*sim.Millisecond, func() { m.OnDataActivity() })
+	sched.RunUntil(1500 * sim.Millisecond)
+	if !psm.InAM(3 * sim.Second) {
+		t.Fatal("refresh did not extend the AM window")
+	}
+	rrep, data := m.Events()
+	if rrep != 0 || data != 2 {
+		t.Fatalf("events = %d/%d", rrep, data)
+	}
+}
+
+func TestShorterEventDoesNotShrinkWindow(t *testing.T) {
+	sched, psm := newPSM(t)
+	m := New(sched, psm, 0, 0)
+	m.OnRREP()         // AM until 5s
+	m.OnDataActivity() // would be 2s; must not shrink
+	if !psm.InAM(4 * sim.Second) {
+		t.Fatal("data event shrank the RREP keep-alive")
+	}
+	_ = sched
+}

@@ -1,0 +1,310 @@
+// Package phy models the wireless physical layer: half-duplex radios, a
+// shared broadcast channel, deterministic disk propagation derived from the
+// two-ray ground model, per-receiver collision detection, and carrier sense.
+//
+// The paper's ns-2 setup uses the two-ray ground reflection model with a
+// 250 m nominal transmission range at 2 Mbps. Under two-ray ground the
+// received power falls off as d^-4 with no fading, so "decodable" is a
+// deterministic function of distance: a disk of radius Range. This package
+// therefore implements disk propagation with the radius as the configured
+// range — exactly the behaviour ns-2 exhibits for this model (see DESIGN.md
+// §2 for the substitution note).
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"rcast/internal/geom"
+	"rcast/internal/mobility"
+	"rcast/internal/sim"
+)
+
+// NodeID identifies a node (and its radio) within a scenario.
+type NodeID int
+
+// Broadcast is the link-layer broadcast address.
+const Broadcast NodeID = -1
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string {
+	if id == Broadcast {
+		return "bcast"
+	}
+	return fmt.Sprintf("n%d", int(id))
+}
+
+// PreambleTime is the PHY preamble + PLCP header duration (802.11 DSSS long
+// preamble, transmitted at 1 Mbps regardless of the data rate).
+const PreambleTime = 192 * sim.Microsecond
+
+// Airtime returns how long a frame of the given on-air size occupies the
+// channel at the given data rate.
+func Airtime(bytes int, rateMbps float64) sim.Time {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if rateMbps <= 0 {
+		rateMbps = 2
+	}
+	payload := sim.FromSeconds(float64(bytes) * 8 / (rateMbps * 1e6))
+	return PreambleTime + payload
+}
+
+// TwoRayGroundRange returns the crossover/decode radius in metres for the
+// two-ray ground model given transmit power pt (W), antenna gains, antenna
+// height ht=hr (m) and receive threshold rxThresh (W):
+//
+//	Pr(d) = Pt * Gt * Gr * ht^2 * hr^2 / d^4
+//
+// With the ns-2 defaults (Pt=0.2818 W, G=1, h=1.5 m, RXThresh=3.652e-10 W)
+// this yields the paper's 250 m range.
+func TwoRayGroundRange(pt, gt, gr, ht, hr, rxThresh float64) float64 {
+	if pt <= 0 || rxThresh <= 0 {
+		return 0
+	}
+	return math.Pow(pt*gt*gr*ht*ht*hr*hr/rxThresh, 0.25)
+}
+
+// Frame is the unit the PHY carries. Payload is an opaque MAC frame; Bytes
+// is the full on-air size used for airtime and energy accounting.
+type Frame struct {
+	From    NodeID
+	To      NodeID // Broadcast or a unicast link-layer destination
+	Bytes   int
+	Payload any
+}
+
+// Receiver is the upcall interface a MAC registers on its radio.
+type Receiver interface {
+	// OnFrame delivers a successfully decoded frame: the radio was awake and
+	// in range for the whole transmission and no overlapping transmission
+	// corrupted it. It is called for every decodable frame regardless of the
+	// To address — address filtering and overhearing policy are MAC
+	// concerns.
+	OnFrame(f Frame)
+}
+
+// Stats counts channel-level events.
+type Stats struct {
+	Transmissions uint64 // frames put on the air
+	Deliveries    uint64 // successful per-receiver decodes
+	Collisions    uint64 // per-receiver losses due to overlap
+	MissedAsleep  uint64 // per-receiver losses because the radio slept
+}
+
+// Channel is the shared medium connecting all radios in a scenario.
+type Channel struct {
+	sched  *sim.Scheduler
+	radios []*Radio
+	rangeM float64
+	stats  Stats
+}
+
+// NewChannel creates a channel; rangeM is the decode radius in metres.
+func NewChannel(sched *sim.Scheduler, rangeM float64) *Channel {
+	return &Channel{sched: sched, rangeM: rangeM}
+}
+
+// Stats returns a copy of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Range returns the decode radius in metres.
+func (c *Channel) Range() float64 { return c.rangeM }
+
+// AddRadio registers a radio for a node. Radios start awake.
+func (c *Channel) AddRadio(id NodeID, mob mobility.Model) *Radio {
+	r := &Radio{id: id, ch: c, mob: mob, awake: true}
+	c.radios = append(c.radios, r)
+	return r
+}
+
+// Radios returns the registered radios in registration order. The returned
+// slice must not be mutated.
+func (c *Channel) Radios() []*Radio { return c.radios }
+
+// RadioOf returns the radio for id, or nil.
+func (c *Channel) RadioOf(id NodeID) *Radio {
+	for _, r := range c.radios {
+		if r.id == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// InRange reports whether nodes a and b can hear each other at instant now.
+func (c *Channel) InRange(a, b *Radio, now sim.Time) bool {
+	return a.Position(now).DistanceTo(b.Position(now)) <= c.rangeM
+}
+
+// Neighbors returns the IDs of all radios within range of r at now,
+// excluding r itself, in registration order (deterministic).
+func (c *Channel) Neighbors(r *Radio, now sim.Time) []NodeID {
+	var out []NodeID
+	p := r.Position(now)
+	for _, o := range c.radios {
+		if o == r {
+			continue
+		}
+		if p.DistanceTo(o.Position(now)) <= c.rangeM {
+			out = append(out, o.id)
+		}
+	}
+	return out
+}
+
+// CountNeighbors returns the number of radios within range of r at now.
+func (c *Channel) CountNeighbors(r *Radio, now sim.Time) int {
+	n := 0
+	p := r.Position(now)
+	for _, o := range c.radios {
+		if o == r {
+			continue
+		}
+		if p.DistanceTo(o.Position(now)) <= c.rangeM {
+			n++
+		}
+	}
+	return n
+}
+
+// Transmit puts f on the air from tx for the frame's airtime at the given
+// data rate. Reception outcomes (delivery, collision, missed-asleep) resolve
+// per receiver when the transmission ends.
+func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
+	now := c.sched.Now()
+	end := now + Airtime(f.Bytes, rateMbps)
+	c.stats.Transmissions++
+
+	// Half duplex: transmitting corrupts any reception in progress at tx.
+	if tx.current != nil {
+		tx.current.collided = true
+	}
+	tx.txUntil = end
+	tx.extendCarrier(end)
+
+	pos := tx.Position(now)
+	for _, rx := range c.radios {
+		if rx == tx {
+			continue
+		}
+		if pos.DistanceTo(rx.Position(now)) > c.rangeM {
+			continue
+		}
+		rx.extendCarrier(end)
+		c.beginReception(rx, f, now, end)
+	}
+}
+
+func (c *Channel) beginReception(rx *Radio, f Frame, now, end sim.Time) {
+	if !rx.awake {
+		c.stats.MissedAsleep++
+		return
+	}
+	if rx.txUntil > now {
+		// Half duplex: a transmitting radio cannot decode.
+		c.stats.Collisions++
+		return
+	}
+	d := &delivery{frame: f, end: end}
+	if rx.current != nil && rx.current.end > now {
+		// Overlap: both frames are lost at this receiver.
+		rx.current.collided = true
+		d.collided = true
+		c.stats.Collisions++
+		// Track the longer of the two as the in-progress (corrupted)
+		// reception so a third overlapping frame also collides.
+		if end > rx.current.end {
+			rx.current = d
+		}
+	} else {
+		rx.current = d
+	}
+	c.sched.After(end-now, func() { c.finishReception(rx, d) })
+}
+
+func (c *Channel) finishReception(rx *Radio, d *delivery) {
+	if rx.current == d {
+		rx.current = nil
+	}
+	if d.collided {
+		// Already counted when the overlap was detected.
+		return
+	}
+	if !rx.awake {
+		// Receiver fell asleep mid-frame.
+		c.stats.MissedAsleep++
+		return
+	}
+	if d.aborted {
+		return
+	}
+	c.stats.Deliveries++
+	if rx.recv != nil {
+		rx.recv.OnFrame(d.frame)
+	}
+}
+
+type delivery struct {
+	frame    Frame
+	end      sim.Time
+	collided bool
+	aborted  bool
+}
+
+// Radio is one node's transceiver.
+type Radio struct {
+	id    NodeID
+	ch    *Channel
+	mob   mobility.Model
+	recv  Receiver
+	awake bool
+
+	carrierUntil sim.Time
+	txUntil      sim.Time
+	current      *delivery
+}
+
+// ID returns the owning node's ID.
+func (r *Radio) ID() NodeID { return r.id }
+
+// SetReceiver registers the MAC upcall.
+func (r *Radio) SetReceiver(rc Receiver) { r.recv = rc }
+
+// Position returns the radio position at now.
+func (r *Radio) Position(now sim.Time) geom.Point { return r.mob.PositionAt(now) }
+
+// Awake reports whether the radio can currently receive.
+func (r *Radio) Awake() bool { return r.awake }
+
+// SetAwake wakes or sleeps the radio. Going to sleep aborts any reception in
+// progress (the frame is lost, not delivered later).
+func (r *Radio) SetAwake(awake bool) {
+	if r.awake == awake {
+		return
+	}
+	r.awake = awake
+	if !awake && r.current != nil {
+		r.current.aborted = true
+		r.current = nil
+	}
+}
+
+// CarrierBusyUntil returns the instant the local medium becomes idle as
+// observed by this radio (including its own transmissions). Sleeping radios
+// still accumulate this state so that carrier sense is correct immediately
+// after waking.
+func (r *Radio) CarrierBusyUntil() sim.Time { return r.carrierUntil }
+
+// CarrierBusy reports whether the local medium is busy at now.
+func (r *Radio) CarrierBusy(now sim.Time) bool { return r.carrierUntil > now }
+
+// Transmitting reports whether the radio is transmitting at now.
+func (r *Radio) Transmitting(now sim.Time) bool { return r.txUntil > now }
+
+func (r *Radio) extendCarrier(until sim.Time) {
+	if until > r.carrierUntil {
+		r.carrierUntil = until
+	}
+}

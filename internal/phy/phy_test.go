@@ -1,0 +1,269 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"rcast/internal/geom"
+	"rcast/internal/mobility"
+	"rcast/internal/sim"
+)
+
+type capture struct {
+	frames []Frame
+}
+
+func (c *capture) OnFrame(f Frame) { c.frames = append(c.frames, f) }
+
+// lineup places n radios on a horizontal line spaced gap metres apart and
+// returns (scheduler, channel, radios, captures).
+func lineup(t *testing.T, n int, gap, rangeM float64) (*sim.Scheduler, *Channel, []*Radio, []*capture) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	ch := NewChannel(sched, rangeM)
+	radios := make([]*Radio, n)
+	caps := make([]*capture, n)
+	for i := 0; i < n; i++ {
+		radios[i] = ch.AddRadio(NodeID(i), mobility.Static{P: geom.Point{X: float64(i) * gap}})
+		caps[i] = &capture{}
+		radios[i].SetReceiver(caps[i])
+	}
+	return sched, ch, radios, caps
+}
+
+func TestAirtime(t *testing.T) {
+	// 512 B at 2 Mbps = 2048 µs payload + 192 µs preamble.
+	if got := Airtime(512, 2); got != 2240*sim.Microsecond {
+		t.Fatalf("Airtime(512, 2) = %v, want 2240µs", got)
+	}
+	if got := Airtime(0, 2); got != PreambleTime {
+		t.Fatalf("Airtime(0) = %v, want preamble only", got)
+	}
+	if got := Airtime(-5, 2); got != PreambleTime {
+		t.Fatalf("Airtime(negative) = %v, want preamble only", got)
+	}
+	if got := Airtime(100, 0); got != Airtime(100, 2) {
+		t.Fatal("zero rate should default to 2 Mbps")
+	}
+}
+
+func TestTwoRayGroundRangeMatchesNS2Default(t *testing.T) {
+	// ns-2 defaults: Pt=0.2818 W, G=1, h=1.5 m, RXThresh=3.652e-10 W → 250 m.
+	got := TwoRayGroundRange(0.2818, 1, 1, 1.5, 1.5, 3.652e-10)
+	if math.Abs(got-250) > 0.5 {
+		t.Fatalf("TwoRayGroundRange = %v m, want ~250 m", got)
+	}
+	if TwoRayGroundRange(0, 1, 1, 1.5, 1.5, 3.652e-10) != 0 {
+		t.Fatal("zero power should give zero range")
+	}
+}
+
+func TestUnicastDeliveredToAllInRange(t *testing.T) {
+	sched, ch, radios, caps := lineup(t, 3, 200, 250)
+	// n0 -> n1 unicast: n1 (200 m) hears it; n2 (400 m) does not.
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 512}, 2)
+	sched.Run()
+	if len(caps[1].frames) != 1 {
+		t.Fatalf("n1 got %d frames, want 1", len(caps[1].frames))
+	}
+	if len(caps[2].frames) != 0 {
+		t.Fatalf("n2 (out of range) got %d frames, want 0", len(caps[2].frames))
+	}
+	if len(caps[0].frames) != 0 {
+		t.Fatal("transmitter received its own frame")
+	}
+	st := ch.Stats()
+	if st.Transmissions != 1 || st.Deliveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOverhearingIsPhysical(t *testing.T) {
+	// A frame addressed to n1 is also decoded by awake n2 within range:
+	// the PHY does not filter addresses.
+	sched, ch, radios, caps := lineup(t, 3, 100, 250)
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 64}, 2)
+	sched.Run()
+	if len(caps[2].frames) != 1 {
+		t.Fatalf("n2 should overhear the frame, got %d", len(caps[2].frames))
+	}
+}
+
+func TestAsleepRadioMissesFrame(t *testing.T) {
+	sched, ch, radios, caps := lineup(t, 2, 100, 250)
+	radios[1].SetAwake(false)
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 64}, 2)
+	sched.Run()
+	if len(caps[1].frames) != 0 {
+		t.Fatal("sleeping radio decoded a frame")
+	}
+	if ch.Stats().MissedAsleep != 1 {
+		t.Fatalf("MissedAsleep = %d, want 1", ch.Stats().MissedAsleep)
+	}
+}
+
+func TestFallingAsleepMidFrameLosesIt(t *testing.T) {
+	sched, ch, radios, caps := lineup(t, 2, 100, 250)
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 512}, 2)
+	sched.After(sim.Millisecond, func() { radios[1].SetAwake(false) })
+	sched.Run()
+	if len(caps[1].frames) != 0 {
+		t.Fatal("radio that slept mid-frame still decoded it")
+	}
+}
+
+func TestCollisionAtCommonReceiver(t *testing.T) {
+	// n0 and n2 are hidden from each other (500 m apart) but both in range
+	// of n1; simultaneous transmissions collide at n1.
+	sched, ch, radios, caps := lineup(t, 3, 250, 250)
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 512}, 2)
+	ch.Transmit(radios[2], Frame{From: 2, To: 1, Bytes: 512}, 2)
+	sched.Run()
+	if len(caps[1].frames) != 0 {
+		t.Fatalf("n1 decoded %d frames during a collision", len(caps[1].frames))
+	}
+	if ch.Stats().Collisions == 0 {
+		t.Fatal("collision not counted")
+	}
+}
+
+func TestPartialOverlapCollides(t *testing.T) {
+	sched, ch, radios, caps := lineup(t, 3, 250, 250)
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 512}, 2)
+	sched.After(sim.Millisecond, func() {
+		ch.Transmit(radios[2], Frame{From: 2, To: 1, Bytes: 512}, 2)
+	})
+	sched.Run()
+	if len(caps[1].frames) != 0 {
+		t.Fatal("partially overlapping frames decoded")
+	}
+}
+
+func TestBackToBackFramesBothDecode(t *testing.T) {
+	sched, ch, radios, caps := lineup(t, 2, 100, 250)
+	at := Airtime(512, 2)
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 512}, 2)
+	sched.After(at, func() {
+		ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 512}, 2)
+	})
+	sched.Run()
+	if len(caps[1].frames) != 2 {
+		t.Fatalf("got %d frames, want 2 (no false collision back-to-back)", len(caps[1].frames))
+	}
+}
+
+func TestThirdOverlappingFrameAlsoCollides(t *testing.T) {
+	sched, ch, radios, caps := lineup(t, 4, 240, 250)
+	// n0, n2 in range of n1; n3 too far from n1? n3 at 720m from n1 at 240m:
+	// distance n3..n1 = 480 > 250: use n0 and n2 only plus a later frame
+	// from n2 overlapping the tail of the collision window.
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 1024}, 2)
+	sched.After(sim.Millisecond, func() {
+		ch.Transmit(radios[2], Frame{From: 2, To: 1, Bytes: 1024}, 2)
+	})
+	sched.After(2*sim.Millisecond, func() {
+		ch.Transmit(radios[2], Frame{From: 2, To: 1, Bytes: 64}, 2)
+	})
+	sched.Run()
+	if len(caps[1].frames) != 0 {
+		t.Fatalf("n1 decoded %d frames, want 0", len(caps[1].frames))
+	}
+}
+
+func TestHalfDuplexTransmitterCannotReceive(t *testing.T) {
+	sched, ch, radios, caps := lineup(t, 2, 100, 250)
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 512}, 2)
+	sched.After(sim.Millisecond, func() {
+		ch.Transmit(radios[1], Frame{From: 1, To: 0, Bytes: 512}, 2)
+	})
+	sched.Run()
+	// n1 started transmitting mid-reception: its reception is corrupted,
+	// and n0 (still transmitting) cannot decode n1's frame either.
+	if len(caps[1].frames) != 0 {
+		t.Fatal("n1 decoded while transmitting")
+	}
+	if len(caps[0].frames) != 0 {
+		t.Fatal("n0 decoded while transmitting")
+	}
+}
+
+func TestCarrierSense(t *testing.T) {
+	sched, ch, radios, _ := lineup(t, 3, 200, 250)
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 512}, 2)
+	now := sched.Now()
+	if !radios[1].CarrierBusy(now) {
+		t.Fatal("in-range radio does not sense carrier")
+	}
+	if radios[2].CarrierBusy(now) {
+		t.Fatal("out-of-range radio senses carrier")
+	}
+	if !radios[0].Transmitting(now) {
+		t.Fatal("transmitter not marked transmitting")
+	}
+	sched.Run()
+	end := sched.Now()
+	if radios[1].CarrierBusy(end) {
+		t.Fatal("carrier still busy after transmission end")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	_, ch, radios, _ := lineup(t, 4, 200, 250)
+	got := ch.Neighbors(radios[1], 0)
+	want := []NodeID{0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", got, want)
+		}
+	}
+	if n := ch.CountNeighbors(radios[0], 0); n != 1 {
+		t.Fatalf("CountNeighbors(n0) = %d, want 1", n)
+	}
+	if !ch.InRange(radios[0], radios[1], 0) || ch.InRange(radios[0], radios[2], 0) {
+		t.Fatal("InRange broken")
+	}
+}
+
+func TestRadioLookupAndStrings(t *testing.T) {
+	_, ch, radios, _ := lineup(t, 2, 100, 250)
+	if ch.RadioOf(1) != radios[1] {
+		t.Fatal("RadioOf(1) wrong")
+	}
+	if ch.RadioOf(99) != nil {
+		t.Fatal("RadioOf(unknown) should be nil")
+	}
+	if NodeID(3).String() != "n3" || Broadcast.String() != "bcast" {
+		t.Fatal("NodeID.String broken")
+	}
+	if ch.Range() != 250 {
+		t.Fatal("Range broken")
+	}
+	if radios[0].ID() != 0 {
+		t.Fatal("ID broken")
+	}
+}
+
+func TestMovingReceiverRangeCheckedAtStart(t *testing.T) {
+	// A node that is in range at transmission start decodes the frame even
+	// though mobility is in play (frame airtimes are ~ms; movement within a
+	// frame is centimetres).
+	sched := sim.NewScheduler()
+	ch := NewChannel(sched, 250)
+	tx := ch.AddRadio(0, mobility.Static{P: geom.Point{}})
+	mob := mobility.NewWaypoint(mobility.WaypointConfig{
+		Field:    geom.Rect{W: 200, H: 200},
+		MaxSpeed: 20,
+		Start:    geom.Point{X: 100, Y: 0},
+	}, sim.Stream(1, "m"))
+	rx := ch.AddRadio(1, mob)
+	cap1 := &capture{}
+	rx.SetReceiver(cap1)
+	ch.Transmit(tx, Frame{From: 0, To: 1, Bytes: 512}, 2)
+	sched.Run()
+	if len(cap1.frames) != 1 {
+		t.Fatalf("moving receiver got %d frames, want 1", len(cap1.frames))
+	}
+}

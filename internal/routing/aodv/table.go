@@ -1,0 +1,153 @@
+package aodv
+
+import (
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// Route is one routing-table entry.
+type Route struct {
+	Dst        phy.NodeID
+	NextHop    phy.NodeID
+	HopCount   int
+	DstSeq     uint64
+	ValidUntil sim.Time
+	// Precursors are the upstream neighbors known to route through this
+	// entry; they receive RERRs when the entry breaks.
+	Precursors map[phy.NodeID]struct{}
+}
+
+// Table is an AODV routing table: per-destination next hops with
+// sequence-numbered freshness and expiry — the timeout-driven design the
+// paper contrasts with DSR's caches.
+type Table struct {
+	owner  phy.NodeID
+	routes map[phy.NodeID]*Route
+
+	expired uint64
+}
+
+// NewTable creates a table for owner.
+func NewTable(owner phy.NodeID) *Table {
+	return &Table{owner: owner, routes: make(map[phy.NodeID]*Route)}
+}
+
+// Lookup returns the valid route to dst, or nil if absent/expired.
+// Expired entries are kept (not deleted): RFC 3561 retains them so the
+// last-known destination sequence number survives for future RREQs.
+func (t *Table) Lookup(now sim.Time, dst phy.NodeID) *Route {
+	r, ok := t.routes[dst]
+	if !ok {
+		return nil
+	}
+	if r.ValidUntil <= now {
+		t.expired++
+		return nil
+	}
+	return r
+}
+
+// LastKnownSeq returns the newest sequence number ever seen for dst, even
+// from an expired entry (RFC 3561 keeps it for RREQ freshness fields).
+// It returns 0 when the destination was never heard of.
+func (t *Table) LastKnownSeq(dst phy.NodeID) uint64 {
+	if r, ok := t.routes[dst]; ok {
+		return r.DstSeq
+	}
+	return 0
+}
+
+// Update installs or refreshes the route to dst if the new information is
+// fresher (higher sequence number) or equally fresh but shorter. It
+// returns the entry (new or existing) and whether it changed.
+func (t *Table) Update(now sim.Time, dst, nextHop phy.NodeID, hops int, seq uint64, lifetime sim.Time) (*Route, bool) {
+	cur, ok := t.routes[dst]
+	fresher := !ok || cur.ValidUntil <= now || seq > cur.DstSeq ||
+		(seq == cur.DstSeq && hops < cur.HopCount)
+	if !fresher {
+		// Refresh the lifetime of an equally good route via the same hop.
+		if cur.NextHop == nextHop && cur.ValidUntil < now+lifetime {
+			cur.ValidUntil = now + lifetime
+		}
+		return cur, false
+	}
+	var precursors map[phy.NodeID]struct{}
+	if ok {
+		precursors = cur.Precursors
+	} else {
+		precursors = make(map[phy.NodeID]struct{})
+	}
+	r := &Route{
+		Dst:        dst,
+		NextHop:    nextHop,
+		HopCount:   hops,
+		DstSeq:     seq,
+		ValidUntil: now + lifetime,
+		Precursors: precursors,
+	}
+	t.routes[dst] = r
+	return r, true
+}
+
+// Refresh extends the lifetime of an active route (called on every use,
+// per RFC 3561 §6.2).
+func (t *Table) Refresh(now sim.Time, dst phy.NodeID, lifetime sim.Time) {
+	if r, ok := t.routes[dst]; ok && r.ValidUntil > now && r.ValidUntil < now+lifetime {
+		r.ValidUntil = now + lifetime
+	}
+}
+
+// InvalidateVia expires every valid route whose next hop is nh, returning
+// the affected (destination, seq) pairs for the RERR. Sequence numbers are
+// incremented on invalidation as the RFC requires.
+func (t *Table) InvalidateVia(now sim.Time, nh phy.NodeID) []Unreachable {
+	var out []Unreachable
+	for dst, r := range t.routes {
+		if r.NextHop != nh || r.ValidUntil <= now {
+			continue
+		}
+		r.ValidUntil = now
+		r.DstSeq++
+		out = append(out, Unreachable{Dst: dst, Seq: r.DstSeq})
+	}
+	return out
+}
+
+// Invalidate expires the route to dst if its next hop is via and the
+// reported sequence is at least as fresh. It reports whether a valid route
+// was dropped and returns its precursors for RERR forwarding.
+func (t *Table) Invalidate(now sim.Time, dst, via phy.NodeID, seq uint64) (bool, map[phy.NodeID]struct{}) {
+	r, ok := t.routes[dst]
+	if !ok || r.ValidUntil <= now || r.NextHop != via {
+		return false, nil
+	}
+	if seq < r.DstSeq {
+		return false, nil
+	}
+	r.ValidUntil = now
+	if seq > r.DstSeq {
+		r.DstSeq = seq
+	}
+	return true, r.Precursors
+}
+
+// AddPrecursor records that upstream routes through the entry for dst.
+func (t *Table) AddPrecursor(dst, upstream phy.NodeID) {
+	if r, ok := t.routes[dst]; ok {
+		r.Precursors[upstream] = struct{}{}
+	}
+}
+
+// ActiveRoutes returns the number of unexpired entries.
+func (t *Table) ActiveRoutes(now sim.Time) int {
+	n := 0
+	for _, r := range t.routes {
+		if r.ValidUntil > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Expired returns how many lookups found only an expired entry.
+func (t *Table) Expired() uint64 { return t.expired }

@@ -1,0 +1,128 @@
+package aodv
+
+import (
+	"testing"
+
+	"rcast/internal/sim"
+)
+
+func TestTableUpdateAndLookup(t *testing.T) {
+	tb := NewTable(0)
+	if tb.Lookup(0, 5) != nil {
+		t.Fatal("empty table returned a route")
+	}
+	r, changed := tb.Update(0, 5, 2, 3, 7, 10*sim.Second)
+	if !changed || r.NextHop != 2 || r.HopCount != 3 || r.DstSeq != 7 {
+		t.Fatalf("Update = %+v changed=%v", r, changed)
+	}
+	if got := tb.Lookup(5*sim.Second, 5); got == nil || got.NextHop != 2 {
+		t.Fatal("Lookup lost the route")
+	}
+	if tb.ActiveRoutes(5*sim.Second) != 1 {
+		t.Fatal("ActiveRoutes wrong")
+	}
+}
+
+func TestTableExpiry(t *testing.T) {
+	tb := NewTable(0)
+	tb.Update(0, 5, 2, 3, 7, 10*sim.Second)
+	if tb.Lookup(11*sim.Second, 5) != nil {
+		t.Fatal("expired route returned")
+	}
+	if tb.Expired() != 1 {
+		t.Fatalf("Expired = %d", tb.Expired())
+	}
+	// Expired entries may be resurrected by any fresh update.
+	if _, changed := tb.Update(12*sim.Second, 5, 3, 4, 7, 10*sim.Second); !changed {
+		t.Fatal("update after expiry rejected")
+	}
+}
+
+func TestTableFreshnessRules(t *testing.T) {
+	tb := NewTable(0)
+	now := sim.Time(0)
+	tb.Update(now, 5, 2, 3, 7, 10*sim.Second)
+	// Stale sequence: rejected.
+	if _, changed := tb.Update(now, 5, 9, 1, 6, 10*sim.Second); changed {
+		t.Fatal("stale sequence accepted")
+	}
+	// Same sequence, longer path: rejected.
+	if _, changed := tb.Update(now, 5, 9, 5, 7, 10*sim.Second); changed {
+		t.Fatal("longer same-seq route accepted")
+	}
+	// Same sequence, shorter path: accepted.
+	if r, changed := tb.Update(now, 5, 9, 2, 7, 10*sim.Second); !changed || r.NextHop != 9 {
+		t.Fatal("shorter same-seq route rejected")
+	}
+	// Newer sequence, longer path: accepted.
+	if r, changed := tb.Update(now, 5, 4, 9, 8, 10*sim.Second); !changed || r.NextHop != 4 {
+		t.Fatal("fresher route rejected")
+	}
+	if tb.LastKnownSeq(5) != 8 {
+		t.Fatalf("LastKnownSeq = %d", tb.LastKnownSeq(5))
+	}
+	if tb.LastKnownSeq(99) != 0 {
+		t.Fatal("unknown destination should have seq 0")
+	}
+}
+
+func TestTableRefresh(t *testing.T) {
+	tb := NewTable(0)
+	tb.Update(0, 5, 2, 3, 7, 10*sim.Second)
+	tb.Refresh(8*sim.Second, 5, 10*sim.Second)
+	if tb.Lookup(15*sim.Second, 5) == nil {
+		t.Fatal("refresh did not extend the lifetime")
+	}
+	// Refreshing an expired route is a no-op.
+	tb.Refresh(30*sim.Second, 5, 10*sim.Second)
+	if tb.Lookup(31*sim.Second, 5) != nil {
+		t.Fatal("refresh resurrected an expired route")
+	}
+}
+
+func TestInvalidateVia(t *testing.T) {
+	tb := NewTable(0)
+	tb.Update(0, 5, 2, 3, 7, 100*sim.Second)
+	tb.Update(0, 6, 2, 2, 4, 100*sim.Second)
+	tb.Update(0, 7, 3, 1, 9, 100*sim.Second)
+	un := tb.InvalidateVia(sim.Second, 2)
+	if len(un) != 2 {
+		t.Fatalf("invalidated %d routes, want 2", len(un))
+	}
+	for _, u := range un {
+		if u.Dst != 5 && u.Dst != 6 {
+			t.Fatalf("wrong destination %v", u.Dst)
+		}
+	}
+	if tb.Lookup(2*sim.Second, 5) != nil || tb.Lookup(2*sim.Second, 6) != nil {
+		t.Fatal("invalidated routes still valid")
+	}
+	if tb.Lookup(2*sim.Second, 7) == nil {
+		t.Fatal("unrelated route invalidated")
+	}
+	// Sequence numbers bumped on invalidation.
+	if tb.LastKnownSeq(5) != 8 {
+		t.Fatalf("seq after invalidation = %d, want 8", tb.LastKnownSeq(5))
+	}
+}
+
+func TestInvalidateMatchesHopAndSeq(t *testing.T) {
+	tb := NewTable(0)
+	tb.Update(0, 5, 2, 3, 7, 100*sim.Second)
+	tb.AddPrecursor(5, 9)
+	// Wrong next hop: ignored.
+	if dropped, _ := tb.Invalidate(sim.Second, 5, 3, 8); dropped {
+		t.Fatal("invalidated via wrong hop")
+	}
+	// Stale seq: ignored.
+	if dropped, _ := tb.Invalidate(sim.Second, 5, 2, 6); dropped {
+		t.Fatal("invalidated with stale seq")
+	}
+	dropped, precursors := tb.Invalidate(sim.Second, 5, 2, 8)
+	if !dropped {
+		t.Fatal("valid invalidation rejected")
+	}
+	if _, ok := precursors[9]; !ok {
+		t.Fatal("precursors lost")
+	}
+}

@@ -1,0 +1,213 @@
+// Package scenario assembles complete simulations: it wires mobility,
+// radios, MAC, energy metering, DSR routing, overhearing policies, power
+// management and CBR traffic into a network, runs it, and collects the
+// paper's metrics.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"rcast/internal/core"
+	"rcast/internal/mac"
+	"rcast/internal/routing/aodv"
+	"rcast/internal/routing/dsr"
+	"rcast/internal/sim"
+	"rcast/internal/trace"
+)
+
+// Routing selects the network-layer protocol.
+type Routing int
+
+// Routing protocols. DSR is the paper's protocol; AODV is the timeout-based
+// alternative its §1 footnote contrasts (experiment A6). The zero value
+// means DSR so existing configs keep working.
+const (
+	RoutingDSR Routing = iota
+	RoutingAODV
+)
+
+// String implements fmt.Stringer.
+func (r Routing) String() string {
+	switch r {
+	case RoutingDSR:
+		return "DSR"
+	case RoutingAODV:
+		return "AODV"
+	default:
+		return fmt.Sprintf("Routing(%d)", int(r))
+	}
+}
+
+// Scheme selects one of the evaluated protocol stacks.
+type Scheme int
+
+// Schemes. SchemeAlwaysOn / SchemeODPM / SchemeRcast are the three schemes
+// of the paper's §4 (there named "802.11", "ODPM", "Rcast"); SchemePSM is
+// unmodified IEEE 802.11 PSM with the unconditional overhearing DSR needs;
+// SchemePSMNoOverhear is the naive no-overhearing integration from §1.
+const (
+	SchemeAlwaysOn Scheme = iota + 1
+	SchemePSM
+	SchemePSMNoOverhear
+	SchemeODPM
+	SchemeRcast
+)
+
+// Schemes lists all schemes in presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeAlwaysOn, SchemePSM, SchemePSMNoOverhear, SchemeODPM, SchemeRcast}
+}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAlwaysOn:
+		return "802.11"
+	case SchemePSM:
+		return "PSM"
+	case SchemePSMNoOverhear:
+		return "PSM-no-overhear"
+	case SchemeODPM:
+		return "ODPM"
+	case SchemeRcast:
+		return "Rcast"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme resolves a scheme name as printed by String.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown scheme %q", name)
+}
+
+// defaultPolicy returns the overhearing policy a scheme implies.
+func (s Scheme) defaultPolicy() core.Policy {
+	switch s {
+	case SchemePSM:
+		return core.Unconditional{}
+	case SchemeRcast:
+		return core.Rcast{}
+	default:
+		// AlwaysOn ignores the policy; ODPM and the naive integration use
+		// standard ATIMs (destination-only wake).
+		return core.None{}
+	}
+}
+
+// Config fully describes one simulation run. The zero value is not
+// runnable; start from PaperDefaults.
+type Config struct {
+	Scheme Scheme
+	// Policy overrides the scheme's overhearing policy (PSM family only);
+	// nil selects the scheme default. Used by the ablation benches.
+	Policy core.Policy
+
+	Nodes          int
+	FieldW, FieldH float64 // metres
+	RangeM         float64 // radio range
+
+	Connections  int
+	PacketRate   float64 // packets/second per connection
+	PacketBytes  int
+	TrafficStart sim.Time
+
+	MinSpeed, MaxSpeed float64  // m/s
+	Pause              sim.Time // random-waypoint pause time
+
+	Duration sim.Time
+	Seed     int64
+
+	// Routing selects DSR (default) or AODV; DSR/AODV carry the
+	// protocol-specific knobs.
+	Routing Routing
+	MAC     mac.Params
+	DSR     dsr.Config
+	AODV    aodv.Config
+
+	// ODPM keep-alive overrides; zero selects the ODPM paper defaults.
+	ODPMRREPKeepAlive sim.Time
+	ODPMDataKeepAlive sim.Time
+	// ODPMPromiscuousRefresh selects the looser ODPM reading in which a
+	// node in active mode refreshes its data keep-alive on overheard data
+	// packets (promiscuous 802.11). The default (false) is the stricter
+	// literal reading — only packets the node sends, forwards or receives
+	// refresh — which preserves the paper's bimodal per-node energy
+	// structure (Figs. 5/6); see EXPERIMENTS.md for the sensitivity study.
+	ODPMPromiscuousRefresh bool
+
+	// AwakeWatts/SleepWatts override the energy model (zero = paper
+	// values). BatteryJoules > 0 gives nodes finite batteries.
+	AwakeWatts, SleepWatts float64
+	BatteryJoules          float64
+
+	// GossipFanout > 0 enables the broadcast-Rcast extension: RREQ
+	// rebroadcast damping with the given expected fanout.
+	GossipFanout float64
+
+	// Trace, when non-nil, receives structured routing-level events
+	// (origination, delivery, forwarding, drops, control traffic, cache
+	// insertions, battery deaths).
+	Trace trace.Sink
+}
+
+// PaperDefaults returns the evaluation setup of §4.1: 100 nodes on a
+// 1500 m × 300 m field, 250 m range, 2 Mbps, 20 CBR connections of
+// 512-byte packets, random waypoint at up to 20 m/s, 1125 s of simulated
+// time, 250 ms beacon intervals with 50 ms ATIM windows.
+func PaperDefaults() Config {
+	return Config{
+		Scheme:       SchemeRcast,
+		Nodes:        100,
+		FieldW:       1500,
+		FieldH:       300,
+		RangeM:       250,
+		Connections:  20,
+		PacketRate:   0.4,
+		PacketBytes:  512,
+		TrafficStart: 5 * sim.Second,
+		MinSpeed:     1,
+		MaxSpeed:     20,
+		Pause:        600 * sim.Second,
+		Duration:     1125 * sim.Second,
+		Seed:         1,
+		MAC:          mac.DefaultParams(),
+		DSR:          dsr.DefaultConfig(),
+		AODV:         aodv.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Scheme < SchemeAlwaysOn || c.Scheme > SchemeRcast:
+		return fmt.Errorf("scenario: invalid scheme %d", int(c.Scheme))
+	case c.Routing != RoutingDSR && c.Routing != RoutingAODV:
+		return fmt.Errorf("scenario: invalid routing %d", int(c.Routing))
+	case c.Nodes < 2:
+		return fmt.Errorf("scenario: need >= 2 nodes, have %d", c.Nodes)
+	case c.FieldW <= 0 || c.FieldH <= 0:
+		return errors.New("scenario: field dimensions must be positive")
+	case c.RangeM <= 0:
+		return errors.New("scenario: radio range must be positive")
+	case c.Connections < 1:
+		return errors.New("scenario: need at least one connection")
+	case c.PacketRate <= 0:
+		return errors.New("scenario: packet rate must be positive")
+	case c.PacketBytes <= 0:
+		return errors.New("scenario: packet size must be positive")
+	case c.Duration <= 0:
+		return errors.New("scenario: duration must be positive")
+	case c.MaxSpeed < c.MinSpeed || c.MinSpeed < 0:
+		return errors.New("scenario: speed bounds invalid")
+	case c.TrafficStart < 0 || c.TrafficStart >= c.Duration:
+		return errors.New("scenario: traffic start outside the run")
+	}
+	return nil
+}

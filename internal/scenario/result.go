@@ -1,0 +1,223 @@
+package scenario
+
+import (
+	"rcast/internal/core"
+	"rcast/internal/mac"
+	"rcast/internal/phy"
+	"rcast/internal/routing/aodv"
+	"rcast/internal/routing/dsr"
+	"rcast/internal/sim"
+	"rcast/internal/stats"
+)
+
+// Result is everything one run measured.
+type Result struct {
+	Scheme   Scheme
+	Nodes    int
+	Duration sim.Time
+	Seed     int64
+
+	// Energy (paper Figs. 5–7).
+	PerNodeJoules  []float64
+	TotalJoules    float64
+	MeanJoules     float64
+	EnergyVariance float64
+
+	// Delivery (Fig. 7).
+	Originated   uint64
+	Delivered    uint64
+	PDR          float64
+	AvgDelaySec  float64 // Fig. 8
+	DelayP50Sec  float64
+	DelayP95Sec  float64
+	MeanHops     float64
+	EnergyPerBit float64 // J per delivered payload bit
+
+	// Routing overhead (Fig. 8).
+	ControlTx          uint64
+	ControlByClass     map[core.Class]uint64
+	NormalizedOverhead float64
+
+	// Load balance (Fig. 9).
+	RoleNumbers []float64
+	Forwards    []uint64
+
+	// Network lifetime (finite batteries only; see Config.BatteryJoules).
+	// DeathTimes[i] is when node i's battery depleted (0 = survived);
+	// FirstDeath is the earliest (0 = none); DeadNodes counts casualties.
+	DeathTimes []sim.Time
+	FirstDeath sim.Time
+	DeadNodes  int
+
+	// Diagnostics.
+	Drops    map[string]uint64
+	Channel  phy.Stats
+	MACTotal mac.Stats
+	// DSRTotal / AODVTotal aggregate the per-node routing counters for
+	// whichever protocol ran (the other is zero).
+	DSRTotal  dsr.Stats
+	AODVTotal aodv.Stats
+}
+
+// Run executes one simulation described by cfg and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.run()
+	return w.result(), nil
+}
+
+// result assembles the Result after the run completes.
+func (w *world) result() *Result {
+	perNode := make([]float64, len(w.nodes))
+	var (
+		macTotal  mac.Stats
+		dsrTotal  dsr.Stats
+		aodvTotal aodv.Stats
+	)
+	for i, n := range w.nodes {
+		perNode[i] = n.meter.Joules()
+		if n.router != nil {
+			rs := n.router.Stats()
+			dsrTotal.RREQSent += rs.RREQSent
+			dsrTotal.RREPSent += rs.RREPSent
+			dsrTotal.RERRSent += rs.RERRSent
+			dsrTotal.DataSent += rs.DataSent
+			dsrTotal.Delivered += rs.Delivered
+			dsrTotal.Dropped += rs.Dropped
+			dsrTotal.Salvages += rs.Salvages
+			dsrTotal.CacheReplies += rs.CacheReplies
+			dsrTotal.LinkFailures += rs.LinkFailures
+			dsrTotal.GossipDropped += rs.GossipDropped
+		}
+		if n.aodvRouter != nil {
+			rs := n.aodvRouter.Stats()
+			aodvTotal.RREQSent += rs.RREQSent
+			aodvTotal.RREPSent += rs.RREPSent
+			aodvTotal.RERRSent += rs.RERRSent
+			aodvTotal.HelloSent += rs.HelloSent
+			aodvTotal.DataSent += rs.DataSent
+			aodvTotal.Delivered += rs.Delivered
+			aodvTotal.Dropped += rs.Dropped
+			aodvTotal.LinkFailures += rs.LinkFailures
+			aodvTotal.Expirations += rs.Expirations
+		}
+		s := n.link.Stats()
+		macTotal.DataTx += s.DataTx
+		macTotal.RtsTx += s.RtsTx
+		macTotal.CtsTx += s.CtsTx
+		macTotal.AckTx += s.AckTx
+		macTotal.LinkSuccess += s.LinkSuccess
+		macTotal.LinkFailures += s.LinkFailures
+		macTotal.BroadcastTx += s.BroadcastTx
+		macTotal.Delivered += s.Delivered
+		macTotal.Overheard += s.Overheard
+		macTotal.Announced += s.Announced
+		macTotal.SleptPhases += s.SleptPhases
+		macTotal.AwakePhases += s.AwakePhases
+	}
+	total := stats.Sum(perNode)
+	ctl, byClass := w.col.ControlTransmissions()
+	deaths := make([]sim.Time, len(w.deaths))
+	copy(deaths, w.deaths)
+	var firstDeath sim.Time
+	dead := 0
+	for _, d := range deaths {
+		if d == 0 {
+			continue
+		}
+		dead++
+		if firstDeath == 0 || d < firstDeath {
+			firstDeath = d
+		}
+	}
+	return &Result{
+		Scheme:             w.cfg.Scheme,
+		Nodes:              w.cfg.Nodes,
+		Duration:           w.cfg.Duration,
+		Seed:               w.cfg.Seed,
+		PerNodeJoules:      perNode,
+		TotalJoules:        total,
+		MeanJoules:         stats.Mean(perNode),
+		EnergyVariance:     stats.Variance(perNode),
+		Originated:         w.col.Originated(),
+		Delivered:          w.col.Delivered(),
+		PDR:                w.col.PDR(),
+		AvgDelaySec:        w.col.AvgDelaySeconds(),
+		DelayP50Sec:        w.col.DelayPercentile(50),
+		DelayP95Sec:        w.col.DelayPercentile(95),
+		MeanHops:           w.col.MeanHops(),
+		EnergyPerBit:       w.col.EnergyPerBit(total),
+		ControlTx:          ctl,
+		ControlByClass:     byClass,
+		NormalizedOverhead: w.col.NormalizedOverhead(),
+		RoleNumbers:        w.col.RoleNumbers(),
+		Forwards:           w.col.Forwards(),
+		DeathTimes:         deaths,
+		FirstDeath:         firstDeath,
+		DeadNodes:          dead,
+		Drops:              w.col.Drops(),
+		Channel:            w.ch.Stats(),
+		MACTotal:           macTotal,
+		DSRTotal:           dsrTotal,
+		AODVTotal:          aodvTotal,
+	}
+}
+
+// Aggregate summarizes replications of the same configuration under
+// different seeds.
+type Aggregate struct {
+	Results []*Result
+
+	PDR                stats.Replications
+	TotalJoules        stats.Replications
+	EnergyVariance     stats.Replications
+	AvgDelaySec        stats.Replications
+	EnergyPerBit       stats.Replications
+	NormalizedOverhead stats.Replications
+
+	// MeanSortedJoules is the element-wise mean of the ascending-sorted
+	// per-node energy curves — the Fig. 5 presentation averaged over
+	// replications.
+	MeanSortedJoules []float64
+}
+
+// RunReplications runs cfg reps times with seeds cfg.Seed, cfg.Seed+1, …
+// and aggregates the headline metrics.
+func RunReplications(cfg Config, reps int) (*Aggregate, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	agg := &Aggregate{}
+	var sortedSum []float64
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		agg.Results = append(agg.Results, res)
+		agg.PDR.Add(res.PDR)
+		agg.TotalJoules.Add(res.TotalJoules)
+		agg.EnergyVariance.Add(res.EnergyVariance)
+		agg.AvgDelaySec.Add(res.AvgDelaySec)
+		agg.EnergyPerBit.Add(res.EnergyPerBit)
+		agg.NormalizedOverhead.Add(res.NormalizedOverhead)
+
+		sorted := stats.SortedAscending(res.PerNodeJoules)
+		if sortedSum == nil {
+			sortedSum = make([]float64, len(sorted))
+		}
+		for j, v := range sorted {
+			sortedSum[j] += v
+		}
+	}
+	agg.MeanSortedJoules = make([]float64, len(sortedSum))
+	for j, v := range sortedSum {
+		agg.MeanSortedJoules[j] = v / float64(reps)
+	}
+	return agg, nil
+}

@@ -1,0 +1,386 @@
+package scenario
+
+import (
+	"fmt"
+
+	"rcast/internal/core"
+	"rcast/internal/energy"
+	"rcast/internal/geom"
+	"rcast/internal/mac"
+	"rcast/internal/metrics"
+	"rcast/internal/mobility"
+	"rcast/internal/odpm"
+	"rcast/internal/phy"
+	"rcast/internal/routing/aodv"
+	"rcast/internal/routing/dsr"
+	"rcast/internal/sim"
+	"rcast/internal/trace"
+	"rcast/internal/traffic"
+)
+
+// node is one assembled protocol stack. Exactly one of router/aodvRouter
+// is non-nil, per Config.Routing.
+type node struct {
+	id                 phy.NodeID
+	radio              *phy.Radio
+	meter              *energy.Meter
+	router             *dsr.Router
+	aodvRouter         *aodv.Router
+	link               mac.Mac
+	psm                *mac.PSM      // nil for AlwaysOn
+	pm                 *odpm.Manager // nil unless ODPM
+	promiscuousRefresh bool
+}
+
+// sendData originates an application packet via whichever routing protocol
+// the node runs.
+func (n *node) sendData(dst phy.NodeID, flowID uint64, payloadBytes int) {
+	if n.router != nil {
+		n.router.SendData(dst, flowID, payloadBytes)
+		return
+	}
+	n.aodvRouter.SendData(dst, flowID, payloadBytes)
+}
+
+// world is a fully wired simulation.
+type world struct {
+	cfg    Config
+	sched  *sim.Scheduler
+	ch     *phy.Channel
+	coord  *mac.Coordinator // nil for AlwaysOn
+	nodes  []*node
+	col    *metrics.Collector
+	conns  []traffic.Connection
+	deaths []sim.Time // per node; 0 = survived the run
+}
+
+// killer is implemented by every MAC flavour (battery depletion).
+type killer interface {
+	Kill()
+}
+
+// macUpcalls adapts MAC deliveries to the routing layer.
+type macUpcalls struct {
+	n *node
+}
+
+var _ mac.Upcalls = macUpcalls{}
+
+func (u macUpcalls) OnReceive(from phy.NodeID, p mac.Packet) {
+	if u.n.router != nil {
+		if msg, ok := p.Payload.(dsr.Message); ok {
+			u.n.router.Receive(from, msg)
+		}
+		return
+	}
+	if msg, ok := p.Payload.(aodv.Message); ok {
+		u.n.aodvRouter.Receive(from, msg)
+	}
+}
+
+func (u macUpcalls) OnOverhear(from phy.NodeID, p mac.Packet) {
+	// ODPM: a node in active mode runs promiscuous 802.11, so an overheard
+	// data packet counts as "receiving a data packet" and refreshes the 2 s
+	// keep-alive — this is what keeps whole route neighbourhoods awake
+	// under ODPM at high traffic rates (paper §2.2, Fig. 5d).
+	if u.n.pm != nil && u.n.promiscuousRefresh && p.Class == core.ClassData {
+		u.n.pm.OnDataActivity()
+	}
+	if u.n.router != nil {
+		if msg, ok := p.Payload.(dsr.Message); ok {
+			u.n.router.Overhear(from, msg)
+		}
+	}
+	// AODV gathers nothing from overheard packets (paper §1 footnote).
+}
+
+// macTransport adapts the DSR routing layer's sends to the MAC.
+type macTransport struct {
+	n *node
+}
+
+var _ dsr.Transport = macTransport{}
+
+func (t macTransport) Send(nh phy.NodeID, msg dsr.Message, onResult func(bool)) {
+	t.n.link.Send(mac.Packet{
+		Dst:      nh,
+		Class:    msg.Class(),
+		Bytes:    msg.WireBytes(),
+		Payload:  msg,
+		OnResult: onResult,
+	})
+}
+
+// aodvTransport adapts the AODV routing layer's sends to the MAC.
+type aodvTransport struct {
+	n *node
+}
+
+var _ aodv.Transport = aodvTransport{}
+
+func (t aodvTransport) Send(nh phy.NodeID, msg aodv.Message, onResult func(bool)) {
+	t.n.link.Send(mac.Packet{
+		Dst:      nh,
+		Class:    msg.Class(),
+		Bytes:    msg.WireBytes(),
+		Payload:  msg,
+		OnResult: onResult,
+	})
+}
+
+// newWorld wires a complete network for cfg.
+func newWorld(cfg Config) (*world, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &world{
+		cfg:   cfg,
+		sched: sim.NewScheduler(),
+		col:   metrics.NewCollector(cfg.Nodes),
+	}
+	w.ch = phy.NewChannel(w.sched, cfg.RangeM)
+
+	if cfg.Scheme != SchemeAlwaysOn {
+		w.coord = mac.NewCoordinator(w.sched, w.ch, cfg.MAC, sim.Stream(cfg.Seed, "atim"), cfg.Duration)
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = cfg.Scheme.defaultPolicy()
+	}
+	field := geom.Rect{W: cfg.FieldW, H: cfg.FieldH}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		id := phy.NodeID(i)
+		mobRNG := sim.Stream(cfg.Seed, fmt.Sprintf("mob/%d", i))
+		start := field.RandomPoint(mobRNG)
+		var mob mobility.Model
+		if cfg.Pause >= cfg.Duration {
+			// The paper's "static scenario": pause time = simulation time.
+			mob = mobility.Static{P: start}
+		} else {
+			mob = mobility.NewWaypoint(mobility.WaypointConfig{
+				Field:    field,
+				MinSpeed: cfg.MinSpeed,
+				MaxSpeed: cfg.MaxSpeed,
+				Pause:    cfg.Pause,
+				Start:    start,
+			}, mobRNG)
+		}
+
+		n := &node{id: id}
+		n.radio = w.ch.AddRadio(id, mob)
+		n.meter = energy.NewMeter(cfg.AwakeWatts, cfg.SleepWatts, cfg.BatteryJoules)
+
+		macRNG := sim.Stream(cfg.Seed, fmt.Sprintf("mac/%d", i))
+		up := macUpcalls{n: n}
+		switch cfg.Scheme {
+		case SchemeAlwaysOn:
+			n.link = mac.NewAlwaysOn(w.sched, w.ch, n.radio, macRNG, cfg.MAC, up)
+		default:
+			psm := mac.NewPSM(w.sched, w.ch, n.radio, n.meter, policy, macRNG, cfg.MAC, up)
+			n.psm = psm
+			n.link = psm
+			w.coord.AddStation(psm)
+			if cfg.Scheme == SchemeODPM {
+				n.pm = odpm.New(w.sched, psm, cfg.ODPMRREPKeepAlive, cfg.ODPMDataKeepAlive)
+				n.promiscuousRefresh = cfg.ODPMPromiscuousRefresh
+			}
+		}
+
+		switch cfg.Routing {
+		case RoutingAODV:
+			n.aodvRouter = aodv.New(id, w.sched, sim.Stream(cfg.Seed, fmt.Sprintf("aodv/%d", i)),
+				aodvTransport{n: n}, cfg.AODV, w.aodvHooksFor(n))
+		default:
+			dsrCfg := cfg.DSR
+			if cfg.GossipFanout > 0 {
+				radio := n.radio
+				dsrCfg.Gossip = &core.BroadcastGossip{Fanout: cfg.GossipFanout}
+				dsrCfg.NeighborCount = func() int {
+					return w.ch.CountNeighbors(radio, w.sched.Now())
+				}
+			}
+			n.router = dsr.New(id, w.sched, sim.Stream(cfg.Seed, fmt.Sprintf("dsr/%d", i)),
+				macTransport{n: n}, dsrCfg, w.hooksFor(n))
+		}
+		w.nodes = append(w.nodes, n)
+	}
+
+	// ODPM fast path: senders know their next hop's power-management mode
+	// (the paper notes ODPM requires this knowledge; it is granted at no
+	// cost, as in the original evaluation).
+	if cfg.Scheme == SchemeODPM {
+		for _, n := range w.nodes {
+			n.psm.SetFastPath(func(dst phy.NodeID) bool {
+				if int(dst) < 0 || int(dst) >= len(w.nodes) {
+					return false
+				}
+				peer := w.nodes[dst]
+				return peer.psm != nil && peer.psm.InAM(w.sched.Now())
+			})
+		}
+	}
+
+	if err := w.startTraffic(); err != nil {
+		return nil, err
+	}
+	w.deaths = make([]sim.Time, cfg.Nodes)
+	if cfg.BatteryJoules > 0 {
+		w.scheduleBatterySweep()
+	}
+	return w, nil
+}
+
+// scheduleBatterySweep polls batteries twice per beacon interval and kills
+// depleted nodes: the radio goes silent and stays down, modelling the
+// device-lifetime consequences the paper's introduction motivates Rcast
+// with.
+func (w *world) scheduleBatterySweep() {
+	interval := w.cfg.MAC.BeaconInterval / 2
+	if interval <= 0 {
+		interval = 125 * sim.Millisecond
+	}
+	var sweep func()
+	sweep = func() {
+		now := w.sched.Now()
+		if now >= w.cfg.Duration {
+			return
+		}
+		for _, n := range w.nodes {
+			if w.deaths[n.id] != 0 {
+				continue
+			}
+			_ = n.meter.ObserveAt(now)
+			if !n.meter.Depleted() {
+				continue
+			}
+			w.deaths[n.id] = now
+			w.trace(n.id, trace.KindDeath, "")
+			if k, ok := n.link.(killer); ok {
+				k.Kill()
+			}
+			if n.aodvRouter != nil {
+				n.aodvRouter.Stop()
+			}
+		}
+		w.sched.After(interval, sweep)
+	}
+	w.sched.After(interval, sweep)
+}
+
+// trace emits a structured event when tracing is configured.
+func (w *world) trace(node phy.NodeID, kind trace.Kind, detail string) {
+	if w.cfg.Trace == nil {
+		return
+	}
+	w.cfg.Trace.Emit(trace.Event{At: w.sched.Now(), Node: node, Kind: kind, Detail: detail})
+}
+
+// hooksFor wires one node's routing events into metrics, tracing and ODPM.
+func (w *world) hooksFor(n *node) dsr.Hooks {
+	h := dsr.Hooks{
+		DataOriginated: func(p *dsr.DataPacket) {
+			w.col.DataOriginated()
+			w.trace(n.id, trace.KindOriginate, fmt.Sprintf("dst=%v", p.Dst))
+		},
+		DataDelivered: func(p *dsr.DataPacket, _ phy.NodeID) {
+			hops := len(p.Route) - 1
+			w.col.DataDelivered(w.sched.Now()-p.OriginatedAt, p.PayloadBytes, hops)
+			w.trace(n.id, trace.KindDeliver, fmt.Sprintf("src=%v hops=%d", p.Src, hops))
+		},
+		DataDropped: func(_ *dsr.DataPacket, reason string) {
+			w.col.DataDropped(reason)
+			w.trace(n.id, trace.KindDrop, reason)
+		},
+		DataForwarded: func(*dsr.DataPacket) {
+			w.col.DataForwarded(n.id)
+			w.trace(n.id, trace.KindForward, "")
+		},
+		ControlSent: func(c core.Class) {
+			w.col.ControlSent(c)
+			w.trace(n.id, trace.KindControl, c.String())
+		},
+		CacheInserted: func(path []phy.NodeID) {
+			w.col.RouteCached(path)
+			w.trace(n.id, trace.KindCache, fmt.Sprintf("%v", path))
+		},
+	}
+	if w.cfg.Scheme == SchemeODPM {
+		pm := n.pm
+		h.RREPReceived = pm.OnRREP
+		h.DataActivity = pm.OnDataActivity
+	}
+	return h
+}
+
+// aodvHooksFor mirrors hooksFor for the AODV routing layer.
+func (w *world) aodvHooksFor(n *node) aodv.Hooks {
+	h := aodv.Hooks{
+		DataOriginated: func(p *aodv.DataPacket) {
+			w.col.DataOriginated()
+			w.trace(n.id, trace.KindOriginate, fmt.Sprintf("dst=%v", p.Dst))
+		},
+		DataDelivered: func(p *aodv.DataPacket, _ phy.NodeID) {
+			w.col.DataDelivered(w.sched.Now()-p.OriginatedAt, p.PayloadBytes, p.HopsTaken+1)
+			w.trace(n.id, trace.KindDeliver, fmt.Sprintf("src=%v hops=%d", p.Src, p.HopsTaken+1))
+		},
+		DataDropped: func(_ *aodv.DataPacket, reason string) {
+			w.col.DataDropped(reason)
+			w.trace(n.id, trace.KindDrop, reason)
+		},
+		DataForwarded: func(*aodv.DataPacket) {
+			w.col.DataForwarded(n.id)
+			w.trace(n.id, trace.KindForward, "")
+		},
+		ControlSent: func(c core.Class) {
+			w.col.ControlSent(c)
+			w.trace(n.id, trace.KindControl, c.String())
+		},
+	}
+	if w.cfg.Scheme == SchemeODPM {
+		pm := n.pm
+		h.RREPReceived = pm.OnRREP
+		h.DataActivity = pm.OnDataActivity
+	}
+	return h
+}
+
+// startTraffic picks connections and schedules the CBR sources. Source
+// start times are staggered across one packet interval to avoid a
+// synchronized burst at TrafficStart.
+func (w *world) startTraffic() error {
+	rng := sim.Stream(w.cfg.Seed, "traffic")
+	conns, err := traffic.PickConnections(rng, w.cfg.Nodes, w.cfg.Connections)
+	if err != nil {
+		return err
+	}
+	w.conns = conns
+	for _, c := range conns {
+		c := c
+		src := w.nodes[c.Src]
+		stagger := sim.FromSeconds(rng.Float64() / w.cfg.PacketRate)
+		_, err := traffic.StartCBR(w.sched, traffic.CBRConfig{
+			Rate:        w.cfg.PacketRate,
+			PacketBytes: w.cfg.PacketBytes,
+			Start:       w.cfg.TrafficStart + stagger,
+			Stop:        w.cfg.Duration,
+		}, c, func(dst phy.NodeID, flowID uint64, bytes int) {
+			src.sendData(dst, flowID, bytes)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run executes the simulation to completion and finalizes energy metering.
+func (w *world) run() {
+	if w.coord != nil {
+		w.coord.Start()
+	}
+	w.sched.RunUntil(w.cfg.Duration)
+	for _, n := range w.nodes {
+		_ = n.meter.ObserveAt(w.cfg.Duration)
+	}
+}

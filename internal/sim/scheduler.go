@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// ErrTimeReversal is returned by Scheduler.At when an event is scheduled in
+// the past.
+var ErrTimeReversal = errors.New("sim: event scheduled before current time")
+
+// Timer is a handle to a scheduled event. It can be cancelled before it
+// fires; cancelling an already-fired or already-cancelled timer is a no-op.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when popped or cancelled
+	cancelled bool
+}
+
+// Cancel prevents the timer from firing. Safe to call multiple times.
+func (t *Timer) Cancel() {
+	t.cancelled = true
+	t.fn = nil
+}
+
+// Cancelled reports whether Cancel was called.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// When returns the instant the timer is (or was) scheduled to fire.
+func (t *Timer) When() Time { return t.at }
+
+// Scheduler is a deterministic discrete-event scheduler. Events scheduled
+// for the same instant fire in the order they were scheduled (FIFO), which
+// keeps runs reproducible.
+type Scheduler struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+
+	executed uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of events not yet fired or cancelled.
+// Cancelled events still in the heap are not counted.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, t := range s.heap {
+		if !t.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns the number of events that have fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// At schedules fn to run at instant t. It returns an error if t is in the
+// past relative to the scheduler clock.
+func (s *Scheduler) At(t Time, fn func()) (*Timer, error) {
+	if t < s.now {
+		return nil, ErrTimeReversal
+	}
+	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, tm)
+	return tm, nil
+}
+
+// After schedules fn to run d after the current instant. A non-positive d
+// schedules the event for "now" (it still runs through the event loop, after
+// any events already queued for the current instant).
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	tm, _ := s.At(s.now+d, fn) // cannot fail: now+d >= now
+	return tm
+}
+
+// Step fires the earliest pending event, advancing the clock to its instant.
+// It returns false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.heap) > 0 {
+		tm, ok := heap.Pop(&s.heap).(*Timer)
+		if !ok {
+			return false
+		}
+		if tm.cancelled {
+			continue
+		}
+		s.now = tm.at
+		fn := tm.fn
+		tm.fn = nil
+		s.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the clock would pass the deadline,
+// then sets the clock to exactly the deadline. Events scheduled at the
+// deadline itself are fired.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.heap) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run fires all events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+func (s *Scheduler) peek() *Timer {
+	for len(s.heap) > 0 {
+		if s.heap[0].cancelled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		return s.heap[0]
+	}
+	return nil
+}
+
+// eventHeap orders timers by (at, seq) so same-instant events fire FIFO.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	tm, ok := x.(*Timer)
+	if !ok {
+		return
+	}
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}

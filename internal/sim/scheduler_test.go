@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerFiresInOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.After(30*Millisecond, func() { got = append(got, 3) })
+	s.After(10*Millisecond, func() { got = append(got, 1) })
+	s.After(20*Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*Millisecond {
+		t.Errorf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerAtRejectsPast(t *testing.T) {
+	s := NewScheduler()
+	s.After(Second, func() {})
+	s.Run()
+	if _, err := s.At(Millisecond, func() {}); err != ErrTimeReversal {
+		t.Fatalf("At(past) error = %v, want ErrTimeReversal", err)
+	}
+}
+
+func TestSchedulerNegativeAfterFiresNow(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(-5*Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.After(Second, func() { fired = true })
+	tm.Cancel()
+	tm.Cancel() // idempotent
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if !tm.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestSchedulerPendingSkipsCancelled(t *testing.T) {
+	s := NewScheduler()
+	a := s.After(Second, func() {})
+	s.After(2*Second, func() {})
+	a.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1", got)
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, d := range []Time{Second, 2 * Second, 3 * Second} {
+		d := d
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by 2s, want 2", len(fired))
+	}
+	if s.Now() != 2*Second {
+		t.Fatalf("Now() = %v, want 2s", s.Now())
+	}
+	s.RunUntil(10 * Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by 10s, want 3", len(fired))
+	}
+	if s.Now() != 10*Second {
+		t.Fatalf("Now() = %v, want clock pinned to deadline 10s", s.Now())
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 5 {
+			s.After(Millisecond, rec)
+		}
+	}
+	s.After(0, rec)
+	s.Run()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if s.Now() != 4*Millisecond {
+		t.Fatalf("Now() = %v, want 4ms", s.Now())
+	}
+}
+
+func TestSchedulerExecutedCount(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.After(Time(i)*Millisecond, func() {})
+	}
+	s.Run()
+	if s.Executed() != 7 {
+		t.Fatalf("Executed() = %d, want 7", s.Executed())
+	}
+}
+
+func TestSchedulerCancelDuringCallback(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	var victim *Timer
+	victim = s.After(2*Second, func() { fired = true })
+	s.After(Second, func() { victim.Cancel() })
+	s.Run()
+	if fired {
+		t.Fatal("timer cancelled from another event still fired")
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the clock ends at the max delay.
+func TestSchedulerOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		s := NewScheduler()
+		var fireTimes []Time
+		var maxT Time
+		for _, d := range delays {
+			d := Time(d) * Microsecond
+			if d > maxT {
+				maxT = d
+			}
+			s.After(d, func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || s.Now() == maxT
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tests := []struct {
+		give    float64
+		want    Time
+		wantSec float64
+	}{
+		{give: 1.0, want: Second, wantSec: 1.0},
+		{give: 0.001, want: Millisecond, wantSec: 0.001},
+		{give: 0.0000005, want: Microsecond, wantSec: 1e-6}, // rounds up
+		{give: 1125, want: 1125 * Second, wantSec: 1125},
+	}
+	for _, tt := range tests {
+		if got := FromSeconds(tt.give); got != tt.want {
+			t.Errorf("FromSeconds(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+		if got := tt.want.Seconds(); got != tt.wantSec {
+			t.Errorf("(%v).Seconds() = %v, want %v", tt.want, got, tt.wantSec)
+		}
+	}
+	if got := (250 * Millisecond).Milliseconds(); got != 250 {
+		t.Errorf("Milliseconds() = %v, want 250", got)
+	}
+	if MinTime(1, 2) != 1 || MaxOf(1, 2) != 2 {
+		t.Error("MinTime/MaxOf broken")
+	}
+	if (2 * Second).String() != "2.000000s" {
+		t.Errorf("String() = %q", (2 * Second).String())
+	}
+}
+
+func TestDeriveSeedStability(t *testing.T) {
+	a := DeriveSeed(42, "mobility")
+	b := DeriveSeed(42, "mobility")
+	c := DeriveSeed(42, "traffic")
+	d := DeriveSeed(43, "mobility")
+	if a != b {
+		t.Error("DeriveSeed not deterministic")
+	}
+	if a == c {
+		t.Error("DeriveSeed ignores name")
+	}
+	if a == d {
+		t.Error("DeriveSeed ignores base seed")
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	r1 := Stream(7, "a")
+	r2 := Stream(7, "a")
+	r3 := Stream(7, "b")
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		v1, v2, v3 := r1.Int63(), r2.Int63(), r3.Int63()
+		if v1 != v2 {
+			same = false
+		}
+		if v1 != v3 {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("identical streams diverged")
+	}
+	if !diff {
+		t.Error("distinct streams produced identical output")
+	}
+}

@@ -1,0 +1,66 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used by every other subsystem: a microsecond-resolution virtual clock, a
+// binary-heap event scheduler with cancellable timers, and named,
+// reproducible pseudo-random streams derived from a single run seed.
+//
+// The kernel is single-threaded by design: all model code runs inside event
+// callbacks, so no locking is required and runs are bit-for-bit reproducible
+// for a given seed.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a simulated instant or duration, measured in microseconds since
+// the start of the run. A single type is used for both instants and
+// durations, mirroring how ns-2 treats its scalar clock.
+type Time int64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 {
+	return float64(t) / float64(Second)
+}
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 {
+	return float64(t) / float64(Millisecond)
+}
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// FromSeconds converts floating-point seconds to a Time, rounding to the
+// nearest microsecond.
+func FromSeconds(s float64) Time {
+	return Time(math.Round(s * float64(Second)))
+}
+
+// MinTime returns the smaller of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxOf returns the larger of a and b.
+func MaxOf(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

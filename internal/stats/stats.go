@@ -1,0 +1,163 @@
+// Package stats provides the small statistical toolkit used by the
+// metrics collector and the benchmark harness: moments, percentiles, and a
+// replication aggregator for multi-seed experiment runs.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than two
+// samples). The paper's Fig. 6 "variance of energy consumption" is the
+// population variance over the 100 nodes.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest value (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It does not mutate xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Correlation returns the Pearson correlation coefficient of (xs, ys), or
+// 0 when undefined (mismatched/short inputs or zero variance).
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// SortedAscending returns a sorted copy of xs — the presentation used by
+// the paper's Fig. 5 (per-node energy drawn in increasing order).
+func SortedAscending(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}
+
+// Replications aggregates one scalar metric across repeated runs with
+// different seeds.
+type Replications struct {
+	samples []float64
+}
+
+// Add records one replication's value.
+func (r *Replications) Add(v float64) { r.samples = append(r.samples, v) }
+
+// N returns the number of replications recorded.
+func (r *Replications) N() int { return len(r.samples) }
+
+// Mean returns the across-replication mean.
+func (r *Replications) Mean() float64 { return Mean(r.samples) }
+
+// StdDev returns the across-replication standard deviation.
+func (r *Replications) StdDev() float64 { return StdDev(r.samples) }
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean (0 for fewer than two samples).
+func (r *Replications) CI95() float64 {
+	n := len(r.samples)
+	if n < 2 {
+		return 0
+	}
+	// Sample standard deviation (n-1) for the CI.
+	m := Mean(r.samples)
+	s := 0.0
+	for _, x := range r.samples {
+		d := x - m
+		s += d * d
+	}
+	sd := math.Sqrt(s / float64(n-1))
+	return 1.96 * sd / math.Sqrt(float64(n))
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close2(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMoments(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Sum(xs); got != 40 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Sum(nil) != 0 || Variance(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty-input moments should be 0")
+	}
+	if Variance([]float64{7}) != 0 {
+		t.Error("singleton variance should be 0")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 4}, {-5, 1}, {200, 4},
+		{50, 2.5},
+		{25, 1.75},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !close2(got, tt.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Input not mutated.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSortedAscending(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := SortedAscending(xs)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("SortedAscending = %v", got)
+	}
+	if xs[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Correlation(xs, []float64{2, 4, 6, 8}); !close2(got, 1) {
+		t.Errorf("perfect positive correlation = %v", got)
+	}
+	if got := Correlation(xs, []float64{8, 6, 4, 2}); !close2(got, -1) {
+		t.Errorf("perfect negative correlation = %v", got)
+	}
+	if got := Correlation(xs, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("zero-variance correlation = %v, want 0", got)
+	}
+	if got := Correlation(xs, []float64{1, 2}); got != 0 {
+		t.Errorf("mismatched-length correlation = %v, want 0", got)
+	}
+	if got := Correlation(nil, nil); got != 0 {
+		t.Errorf("empty correlation = %v, want 0", got)
+	}
+}
+
+func TestReplications(t *testing.T) {
+	var r Replications
+	if r.N() != 0 || r.CI95() != 0 {
+		t.Error("zero-value Replications broken")
+	}
+	for _, v := range []float64{10, 12, 8, 10} {
+		r.Add(v)
+	}
+	if r.N() != 4 || r.Mean() != 10 {
+		t.Errorf("N=%d Mean=%v", r.N(), r.Mean())
+	}
+	if r.CI95() <= 0 {
+		t.Error("CI95 should be positive with spread")
+	}
+	// CI shrinks with more identical-spread data.
+	var big Replications
+	for i := 0; i < 16; i++ {
+		big.Add([]float64{10, 12, 8, 10}[i%4])
+	}
+	if big.CI95() >= r.CI95() {
+		t.Errorf("CI95 did not shrink: %v vs %v", big.CI95(), r.CI95())
+	}
+}
+
+// Property: variance is invariant under translation and scales
+// quadratically.
+func TestVarianceProperties(t *testing.T) {
+	prop := func(raw []int8, shift int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		shifted := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			shifted[i] = float64(v) + float64(shift)
+			scaled[i] = 3 * float64(v)
+		}
+		v := Variance(xs)
+		return close2(Variance(shifted), v) && math.Abs(Variance(scaled)-9*v) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Min <= Mean <= Max and Percentile(0/100) hit Min/Max.
+func TestOrderingProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		lo, hi, m := Min(xs), Max(xs), Mean(xs)
+		return lo <= m+1e-9 && m <= hi+1e-9 &&
+			Percentile(xs, 0) == lo && Percentile(xs, 100) == hi
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

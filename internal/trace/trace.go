@@ -1,0 +1,163 @@
+// Package trace provides structured event tracing for simulations: a
+// compact event type, composable sinks (ring buffer, NDJSON writer,
+// filters, fan-out), and counters. The scenario package emits
+// routing-level events into a configured sink; tooling (cmd/rcast-sim
+// -trace) renders them for debugging protocol behaviour.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the scenario wiring.
+const (
+	KindOriginate Kind = "originate" // application packet enters the network
+	KindDeliver   Kind = "deliver"   // end-to-end delivery
+	KindForward   Kind = "forward"   // data packet relayed
+	KindDrop      Kind = "drop"      // data packet lost (Detail = reason)
+	KindControl   Kind = "control"   // routing control transmission (Detail = class)
+	KindCache     Kind = "cache"     // route cache insertion (Detail = route)
+	KindDeath     Kind = "death"     // battery depletion
+)
+
+// Event is one traced occurrence.
+type Event struct {
+	At     sim.Time   `json:"atMicros"`
+	Node   phy.NodeID `json:"node"`
+	Kind   Kind       `json:"kind"`
+	Detail string     `json:"detail,omitempty"`
+}
+
+// String renders the event for humans.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%12.6fs %-5v %s", e.At.Seconds(), e.Node, e.Kind)
+	}
+	return fmt.Sprintf("%12.6fs %-5v %-9s %s", e.At.Seconds(), e.Node, e.Kind, e.Detail)
+}
+
+// Sink consumes events.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+var _ Sink = Nop{}
+
+// Emit implements Sink.
+func (Nop) Emit(Event) {}
+
+// Ring keeps the most recent Cap events in memory.
+type Ring struct {
+	cap    int
+	events []Event
+	start  int
+	total  uint64
+}
+
+var _ Sink = (*Ring)(nil)
+
+// NewRing creates a ring buffer holding up to cap events (min 1).
+func NewRing(cap int) *Ring {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Ring{cap: cap}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.total++
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.start] = e
+	r.start = (r.start + 1) % r.cap
+}
+
+// Total returns how many events were emitted (including evicted ones).
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Writer streams events as newline-delimited JSON.
+type Writer struct {
+	w   io.Writer
+	enc *json.Encoder
+}
+
+var _ Sink = (*Writer)(nil)
+
+// NewWriter creates an NDJSON sink.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink. Encoding errors are deliberately swallowed: a
+// tracing sink must never perturb the simulation.
+func (t *Writer) Emit(e Event) { _ = t.enc.Encode(e) }
+
+// Filter passes only events the predicate accepts.
+type Filter struct {
+	Next Sink
+	Keep func(Event) bool
+}
+
+var _ Sink = Filter{}
+
+// Emit implements Sink.
+func (f Filter) Emit(e Event) {
+	if f.Next == nil || (f.Keep != nil && !f.Keep(e)) {
+		return
+	}
+	f.Next.Emit(e)
+}
+
+// Multi fans events out to several sinks.
+type Multi []Sink
+
+var _ Sink = Multi{}
+
+// Emit implements Sink.
+func (m Multi) Emit(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}
+
+// Counter tallies events by kind.
+type Counter struct {
+	counts map[Kind]uint64
+}
+
+var _ Sink = (*Counter)(nil)
+
+// NewCounter creates a counting sink.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[Kind]uint64)}
+}
+
+// Emit implements Sink.
+func (c *Counter) Emit(e Event) { c.counts[e.Kind]++ }
+
+// Count returns the tally for one kind.
+func (c *Counter) Count(k Kind) uint64 { return c.counts[k] }

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rcast/internal/sim"
+)
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Emit(Event{At: sim.Time(i), Kind: KindDeliver})
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, want := range []sim.Time{3, 4, 5} {
+		if got[i].At != want {
+			t.Fatalf("events = %v", got)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Emit(Event{At: 1})
+	r.Emit(Event{At: 2})
+	got := r.Events()
+	if len(got) != 1 || got[0].At != 2 {
+		t.Fatalf("events = %v", got)
+	}
+}
+
+func TestWriterEmitsNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{At: 1500000, Node: 3, Kind: KindDrop, Detail: "no-route"})
+	w.Emit(Event{At: 2000000, Node: 4, Kind: KindDeliver})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var decoded Event
+	if err := json.Unmarshal([]byte(lines[0]), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Kind != KindDrop || decoded.Detail != "no-route" || decoded.At != 1500000 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	c := NewCounter()
+	f := Filter{Next: c, Keep: func(e Event) bool { return e.Kind == KindDrop }}
+	f.Emit(Event{Kind: KindDrop})
+	f.Emit(Event{Kind: KindDeliver})
+	f.Emit(Event{Kind: KindDrop})
+	if c.Count(KindDrop) != 2 || c.Count(KindDeliver) != 0 {
+		t.Fatalf("counts: drop=%d deliver=%d", c.Count(KindDrop), c.Count(KindDeliver))
+	}
+	// Nil next must not panic; nil Keep is the identity filter.
+	Filter{}.Emit(Event{Kind: KindDrop})
+	Filter{Next: c}.Emit(Event{Kind: KindCache})
+	if c.Count(KindCache) != 1 {
+		t.Fatal("nil Keep should pass everything through")
+	}
+}
+
+func TestMultiAndNop(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	m := Multi{a, nil, b, Nop{}}
+	m.Emit(Event{Kind: KindForward})
+	if a.Count(KindForward) != 1 || b.Count(KindForward) != 1 {
+		t.Fatal("fan-out failed")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1500000, Node: 3, Kind: KindDrop, Detail: "no-route"}
+	s := e.String()
+	if !strings.Contains(s, "1.500000s") || !strings.Contains(s, "drop") || !strings.Contains(s, "no-route") {
+		t.Fatalf("String = %q", s)
+	}
+	bare := Event{At: 0, Node: 1, Kind: KindForward}
+	if !strings.Contains(bare.String(), "forward") {
+		t.Fatalf("String = %q", bare.String())
+	}
+}

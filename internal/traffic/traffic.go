@@ -1,0 +1,106 @@
+// Package traffic generates the paper's workload: constant-bit-rate (CBR)
+// flows between randomly chosen node pairs. The evaluation uses 20 CBR
+// connections sending 512-byte packets at 0.2–2.0 packets per second.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// Connection is one CBR flow.
+type Connection struct {
+	FlowID uint64
+	Src    phy.NodeID
+	Dst    phy.NodeID
+}
+
+// PickConnections selects n flows uniformly with Src != Dst over nodes
+// [0, nodes). Distinct flows may share endpoints, as in the ns-2 cbrgen
+// tool. It returns an error for impossible inputs.
+func PickConnections(rng *rand.Rand, nodes, n int) ([]Connection, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("traffic: need at least 2 nodes, have %d", nodes)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("traffic: need a positive connection count, have %d", n)
+	}
+	out := make([]Connection, 0, n)
+	for i := 0; i < n; i++ {
+		src := phy.NodeID(rng.Intn(nodes))
+		dst := phy.NodeID(rng.Intn(nodes - 1))
+		if dst >= src {
+			dst++
+		}
+		out = append(out, Connection{FlowID: uint64(i + 1), Src: src, Dst: dst})
+	}
+	return out, nil
+}
+
+// CBRConfig parameterizes one CBR source.
+type CBRConfig struct {
+	// Rate is packets per second (> 0).
+	Rate float64
+	// PacketBytes is the application payload size.
+	PacketBytes int
+	// Start and Stop bound packet origination: packets are originated at
+	// Start, Start+1/Rate, … strictly before Stop.
+	Start, Stop sim.Time
+}
+
+// SendFunc originates one application packet.
+type SendFunc func(dst phy.NodeID, flowID uint64, payloadBytes int)
+
+// Source is a running CBR generator.
+type Source struct {
+	sched *sim.Scheduler
+	cfg   CBRConfig
+	conn  Connection
+	send  SendFunc
+
+	interval sim.Time
+	sent     uint64
+	stopped  bool
+}
+
+// StartCBR schedules a CBR source. It returns an error for a non-positive
+// rate or packet size.
+func StartCBR(sched *sim.Scheduler, cfg CBRConfig, conn Connection, send SendFunc) (*Source, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("traffic: rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.PacketBytes <= 0 {
+		return nil, fmt.Errorf("traffic: packet size must be positive, got %d", cfg.PacketBytes)
+	}
+	s := &Source{
+		sched:    sched,
+		cfg:      cfg,
+		conn:     conn,
+		send:     send,
+		interval: sim.FromSeconds(1 / cfg.Rate),
+	}
+	if s.interval < sim.Microsecond {
+		s.interval = sim.Microsecond
+	}
+	delay := cfg.Start - sched.Now()
+	sched.After(delay, s.tick)
+	return s, nil
+}
+
+// Sent returns how many packets this source originated.
+func (s *Source) Sent() uint64 { return s.sent }
+
+// Stop halts the source before its natural Stop time.
+func (s *Source) Stop() { s.stopped = true }
+
+func (s *Source) tick() {
+	if s.stopped || s.sched.Now() >= s.cfg.Stop {
+		return
+	}
+	s.sent++
+	s.send(s.conn.Dst, s.conn.FlowID, s.cfg.PacketBytes)
+	s.sched.After(s.interval, s.tick)
+}

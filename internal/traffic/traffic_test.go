@@ -1,0 +1,126 @@
+package traffic
+
+import (
+	"testing"
+
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+func TestPickConnections(t *testing.T) {
+	rng := sim.Stream(1, "traffic")
+	conns, err := PickConnections(rng, 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conns) != 20 {
+		t.Fatalf("got %d connections", len(conns))
+	}
+	seenFlow := make(map[uint64]bool)
+	for _, c := range conns {
+		if c.Src == c.Dst {
+			t.Fatalf("self-connection %+v", c)
+		}
+		if c.Src < 0 || int(c.Src) >= 100 || c.Dst < 0 || int(c.Dst) >= 100 {
+			t.Fatalf("out-of-range endpoint %+v", c)
+		}
+		if seenFlow[c.FlowID] {
+			t.Fatalf("duplicate flow id %d", c.FlowID)
+		}
+		seenFlow[c.FlowID] = true
+	}
+}
+
+func TestPickConnectionsErrors(t *testing.T) {
+	rng := sim.Stream(1, "traffic")
+	if _, err := PickConnections(rng, 1, 5); err == nil {
+		t.Error("accepted 1-node network")
+	}
+	if _, err := PickConnections(rng, 10, 0); err == nil {
+		t.Error("accepted zero connections")
+	}
+}
+
+func TestPickConnectionsDeterministic(t *testing.T) {
+	a, _ := PickConnections(sim.Stream(7, "t"), 50, 10)
+	b, _ := PickConnections(sim.Stream(7, "t"), 50, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different connections")
+		}
+	}
+}
+
+func TestCBRRateAndBounds(t *testing.T) {
+	sched := sim.NewScheduler()
+	var times []sim.Time
+	var dsts []phy.NodeID
+	send := func(dst phy.NodeID, flowID uint64, bytes int) {
+		times = append(times, sched.Now())
+		dsts = append(dsts, dst)
+		if bytes != 512 || flowID != 3 {
+			t.Fatalf("send args: bytes=%d flow=%d", bytes, flowID)
+		}
+	}
+	src, err := StartCBR(sched, CBRConfig{
+		Rate:        2.0,
+		PacketBytes: 512,
+		Start:       5 * sim.Second,
+		Stop:        10 * sim.Second,
+	}, Connection{FlowID: 3, Src: 1, Dst: 2}, send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(60 * sim.Second)
+	// Packets at 5.0, 5.5, …, 9.5s → 10 packets.
+	if len(times) != 10 {
+		t.Fatalf("sent %d packets, want 10", len(times))
+	}
+	if times[0] != 5*sim.Second {
+		t.Fatalf("first packet at %v, want 5s", times[0])
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] != 500*sim.Millisecond {
+			t.Fatalf("interval %v at packet %d", times[i]-times[i-1], i)
+		}
+	}
+	if times[len(times)-1] >= 10*sim.Second {
+		t.Fatal("packet at or after Stop")
+	}
+	if src.Sent() != 10 {
+		t.Fatalf("Sent() = %d", src.Sent())
+	}
+	for _, d := range dsts {
+		if d != 2 {
+			t.Fatal("wrong destination")
+		}
+	}
+}
+
+func TestCBRStop(t *testing.T) {
+	sched := sim.NewScheduler()
+	count := 0
+	src, err := StartCBR(sched, CBRConfig{Rate: 1, PacketBytes: 64, Start: 0, Stop: 100 * sim.Second},
+		Connection{FlowID: 1, Src: 0, Dst: 1},
+		func(phy.NodeID, uint64, int) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(4500 * sim.Millisecond)
+	src.Stop()
+	sched.RunUntil(100 * sim.Second)
+	if count != 5 {
+		t.Fatalf("sent %d after Stop, want 5 (t=0..4s)", count)
+	}
+}
+
+func TestCBRValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	noop := func(phy.NodeID, uint64, int) {}
+	if _, err := StartCBR(sched, CBRConfig{Rate: 0, PacketBytes: 64}, Connection{}, noop); err == nil {
+		t.Error("accepted zero rate")
+	}
+	if _, err := StartCBR(sched, CBRConfig{Rate: 1, PacketBytes: 0}, Connection{}, noop); err == nil {
+		t.Error("accepted zero packet size")
+	}
+}

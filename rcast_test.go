@@ -1,0 +1,112 @@
+package rcast_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rcast"
+)
+
+// smallConfig is a fast public-API scenario.
+func smallConfig(scheme rcast.Scheme) rcast.Config {
+	cfg := rcast.PaperDefaults()
+	cfg.Scheme = scheme
+	cfg.Nodes = 25
+	cfg.FieldW = 750
+	cfg.Connections = 5
+	cfg.Duration = 40 * rcast.Second
+	cfg.Pause = 20 * rcast.Second
+	return cfg
+}
+
+func TestPublicRunRoundTrip(t *testing.T) {
+	res, err := rcast.Run(smallConfig(rcast.SchemeRcast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Originated == 0 || res.Delivered == 0 {
+		t.Fatalf("no traffic flowed: %+v", res)
+	}
+	if res.PDR <= 0 || res.PDR > 1 {
+		t.Fatalf("PDR = %v", res.PDR)
+	}
+	if len(res.PerNodeJoules) != 25 {
+		t.Fatalf("PerNodeJoules len = %d", len(res.PerNodeJoules))
+	}
+}
+
+func TestPublicReplications(t *testing.T) {
+	agg, err := rcast.RunReplications(smallConfig(rcast.SchemeODPM), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Results) != 2 || agg.PDR.N() != 2 {
+		t.Fatalf("aggregate incomplete: %d results", len(agg.Results))
+	}
+}
+
+func TestPublicSchemesAndParsing(t *testing.T) {
+	if len(rcast.Schemes()) != 5 {
+		t.Fatalf("Schemes() = %v", rcast.Schemes())
+	}
+	s, err := rcast.ParseScheme("Rcast")
+	if err != nil || s != rcast.SchemeRcast {
+		t.Fatalf("ParseScheme = %v, %v", s, err)
+	}
+	if _, err := rcast.ParseScheme("bogus"); err == nil {
+		t.Fatal("ParseScheme accepted junk")
+	}
+}
+
+func TestPublicTimeHelpers(t *testing.T) {
+	if rcast.Seconds(1.5) != 1500*rcast.Millisecond {
+		t.Fatal("Seconds conversion broken")
+	}
+	if rcast.Second != 1000*rcast.Millisecond || rcast.Millisecond != 1000*rcast.Microsecond {
+		t.Fatal("duration constants broken")
+	}
+}
+
+// alwaysPolicy is a user-defined policy exercising the public Policy
+// surface: it always overhears (equivalent to unconditional).
+type alwaysPolicy struct{}
+
+func (alwaysPolicy) AdvertiseLevel(rcast.Class) rcast.Level { return rcast.LevelUnconditional }
+func (alwaysPolicy) ShouldOverhear(*rand.Rand, rcast.Level, rcast.ListenContext) bool {
+	return true
+}
+func (alwaysPolicy) Name() string { return "always" }
+
+func TestPublicCustomPolicy(t *testing.T) {
+	base, err := rcast.Run(smallConfig(rcast.SchemeRcast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(rcast.SchemeRcast)
+	cfg.Policy = alwaysPolicy{}
+	greedy, err := rcast.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.TotalJoules <= base.TotalJoules {
+		t.Fatalf("always-overhear policy (%.0f J) should cost more than Rcast (%.0f J)",
+			greedy.TotalJoules, base.TotalJoules)
+	}
+}
+
+func TestPublicBuiltinPolicies(t *testing.T) {
+	policies := []rcast.Policy{
+		rcast.PolicyRcast, rcast.PolicyUnconditional, rcast.PolicyNone,
+		rcast.PolicySenderID, rcast.PolicyBattery, rcast.PolicyMobility, rcast.PolicyCombined,
+	}
+	seen := make(map[string]bool)
+	for _, p := range policies {
+		if p == nil || p.Name() == "" || seen[p.Name()] {
+			t.Fatalf("bad policy export %v", p)
+		}
+		seen[p.Name()] = true
+	}
+	if rcast.PolicyRcast.AdvertiseLevel(rcast.ClassRERR) != rcast.LevelUnconditional {
+		t.Fatal("re-exported levels/classes disagree")
+	}
+}
