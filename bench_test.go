@@ -10,13 +10,18 @@ package rcast_test
 
 import (
 	"io"
+	"math"
 	"os"
 	"sync"
 	"testing"
 
 	"rcast"
 	"rcast/internal/experiments"
+	"rcast/internal/geom"
+	"rcast/internal/mobility"
+	"rcast/internal/phy"
 	"rcast/internal/scenario"
+	"rcast/internal/sim"
 )
 
 var (
@@ -340,6 +345,48 @@ func benchmarkFullRun(b *testing.B, scheme rcast.Scheme) {
 			b.Fatal("no traffic")
 		}
 	}
+}
+
+// BenchmarkChannelTransmit measures one broadcast through the channel at
+// fixed node density (the paper's ~4500 m²/node) for growing node counts.
+// With the spatial grid, cost per transmission tracks the neighbor count,
+// not the population, so ns/op should stay roughly flat across sizes.
+func BenchmarkChannelTransmit(b *testing.B) {
+	for _, n := range []int{50, 200, 800} {
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			// Square field scaled to hold n nodes at paper density.
+			side := math.Sqrt(4500 * float64(n))
+			sched := sim.NewScheduler()
+			ch := NewBenchChannel(sched, 250, n, side)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := ch.RadioOf(phy.NodeID(i % n))
+				ch.Transmit(tx, phy.Frame{From: tx.ID(), To: phy.Broadcast, Bytes: 512}, 2)
+				sched.Run()
+			}
+		})
+	}
+}
+
+// NewBenchChannel builds a grid-enabled channel with n waypoint-mobile
+// radios spread over a side×side field.
+func NewBenchChannel(sched *sim.Scheduler, rangeM float64, n int, side float64) *phy.Channel {
+	ch := phy.NewChannel(sched, rangeM)
+	const maxSpeed = 20.0
+	ch.SetMotionBound(maxSpeed)
+	field := geom.Rect{W: side, H: side}
+	for i := 0; i < n; i++ {
+		rng := sim.Stream(int64(i+1), "bench-transmit")
+		mob := mobility.NewWaypoint(mobility.WaypointConfig{
+			Field:    field,
+			MinSpeed: 1,
+			MaxSpeed: maxSpeed,
+			Start:    geom.Point{X: side * rng.Float64(), Y: side * rng.Float64()},
+		}, rng)
+		ch.AddRadio(phy.NodeID(i), mob)
+	}
+	return ch
 }
 
 // BenchmarkSimulatedSecondsPerSecond reports the simulator's time dilation

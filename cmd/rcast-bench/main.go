@@ -14,7 +14,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"rcast/internal/experiments"
 )
@@ -33,6 +35,7 @@ func run(args []string) error {
 		only        = fs.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,a1,a2,a3,a4,a5,a6,a7")
 		reps        = fs.Int("reps", 0, "override replication count (0 = profile default)")
 		csvDir      = fs.String("csv", "", "also write sweep/fig5/fig9 series as CSV into this directory")
+		workers     = fs.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,14 +55,32 @@ func run(args []string) error {
 	}
 
 	s := experiments.NewSuite(p, os.Stdout)
-	if *csvDir != "" {
-		defer func() {
-			if err := writeCSVs(s, *csvDir); err != nil {
-				fmt.Fprintln(os.Stderr, "rcast-bench: csv:", err)
-			}
-		}()
+	s.SetWorkers(*workers)
+	start := time.Now()
+	if err := runFigures(s, *only); err != nil {
+		return err
 	}
-	if *only == "" {
+	if *csvDir != "" {
+		if err := writeCSVs(s, *csvDir); err != nil {
+			return fmt.Errorf("csv: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	effective := *workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	// The timing line goes to stderr so stdout stays byte-identical for
+	// every worker count.
+	fmt.Fprintf(os.Stderr, "rcast-bench: %d simulation runs in %s (%.2f runs/s, workers=%d)\n",
+		s.SimRuns(), elapsed.Round(time.Millisecond),
+		float64(s.SimRuns())/elapsed.Seconds(), effective)
+	return nil
+}
+
+// runFigures executes the selected generators (or all of them).
+func runFigures(s *experiments.Suite, only string) error {
+	if only == "" {
 		return s.All()
 	}
 	steps := map[string]func() error{
@@ -77,7 +98,7 @@ func run(args []string) error {
 		"a6":     func() error { _, err := s.AblationRouting(); return err },
 		"a7":     func() error { _, err := s.AblationATIM(); return err },
 	}
-	for _, name := range strings.Split(*only, ",") {
+	for _, name := range strings.Split(only, ",") {
 		name = strings.TrimSpace(strings.ToLower(name))
 		step, ok := steps[name]
 		if !ok {

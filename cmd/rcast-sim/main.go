@@ -46,6 +46,7 @@ func run(args []string) error {
 		routing    = fs.String("routing", "DSR", "routing protocol: DSR or AODV")
 		battery    = fs.Float64("battery", 0, "battery capacity in joules (0 = unlimited)")
 		traceFile  = fs.String("trace", "", "write NDJSON event trace to this file")
+		workers    = fs.Int("workers", 0, "parallel replication workers (0 = all CPUs, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,7 +90,7 @@ func run(args []string) error {
 		cfg.Trace = rcast.NewTraceWriter(f)
 	}
 
-	agg, err := rcast.RunReplications(cfg, *reps)
+	agg, err := rcast.RunReplicationsWorkers(cfg, *reps, *workers)
 	if err != nil {
 		return err
 	}

@@ -22,16 +22,20 @@ func (s *Suite) AblationPolicies() ([]PolicyResult, error) {
 	policies := []core.Policy{
 		core.Rcast{}, core.SenderID{}, core.Battery{}, core.Mobility{}, core.Combined{},
 	}
+	cfgs := make([]scenario.Config, len(policies))
+	for i, pol := range policies {
+		cfgs[i] = s.config(runKey{scheme: scenario.SchemeRcast, rate: s.p.LowRate})
+		cfgs[i].Policy = pol
+	}
+	aggs, err := s.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	s.printf("== Ablation A1: overhearing-decision factors (Rcast stack, rate=%.1f, mobile) ==\n", s.p.LowRate)
 	s.printf("%-10s %10s %10s %8s %9s %9s\n", "policy", "energy(J)", "varJ", "PDR", "delay(s)", "overhead")
 	var rows []PolicyResult
-	for _, pol := range policies {
-		cfg := s.config(runKey{scheme: scenario.SchemeRcast, rate: s.p.LowRate})
-		cfg.Policy = pol
-		a, err := scenario.RunReplications(cfg, s.p.Reps)
-		if err != nil {
-			return nil, err
-		}
+	for i, pol := range policies {
+		a := aggs[i]
 		row := PolicyResult{
 			Policy:         pol.Name(),
 			TotalJoules:    a.TotalJoules.Mean(),
@@ -64,6 +68,13 @@ type LevelResult struct {
 func (s *Suite) AblationLevels() ([]LevelResult, error) {
 	schemes := []scenario.Scheme{
 		scenario.SchemePSMNoOverhear, scenario.SchemePSM, scenario.SchemeRcast,
+	}
+	keys := make([]runKey, len(schemes))
+	for i, sch := range schemes {
+		keys[i] = runKey{scheme: sch, rate: s.p.LowRate}
+	}
+	if err := s.prefetch(keys...); err != nil {
+		return nil, err
 	}
 	s.printf("== Ablation A2: no / unconditional / randomized overhearing (rate=%.1f, mobile) ==\n", s.p.LowRate)
 	s.printf("%-16s %10s %8s %9s %10s %10s\n", "scheme", "energy(J)", "PDR", "overhead", "EPB", "varJ")
@@ -101,6 +112,12 @@ type GossipResult struct {
 // Rcast-ing broadcasts (probabilistic rebroadcast damping) on the Rcast
 // stack at the high-rate mobile point, where discoveries are most frequent.
 func (s *Suite) AblationGossip() ([]GossipResult, error) {
+	if err := s.prefetch(
+		runKey{scheme: scenario.SchemeRcast, rate: s.p.HighRate},
+		runKey{scheme: scenario.SchemeRcast, rate: s.p.HighRate, gossip: true},
+	); err != nil {
+		return nil, err
+	}
 	s.printf("== Ablation A3: broadcast Rcast (RREQ rebroadcast damping, rate=%.1f, mobile) ==\n", s.p.HighRate)
 	s.printf("%-8s %8s %12s %9s\n", "gossip", "PDR", "RREQ tx", "overhead")
 	var rows []GossipResult

@@ -87,6 +87,15 @@ func (s *Suite) WriteFig5CSV(w io.Writer) error {
 // WriteFig9CSV exports the per-node (role number, energy) scatter points
 // behind Fig. 9. One row per (rate, scheme, node).
 func (s *Suite) WriteFig9CSV(w io.Writer) error {
+	var keys []runKey
+	for _, rate := range []float64{s.p.LowRate, s.p.HighRate} {
+		for _, sch := range figureSchemes {
+			keys = append(keys, runKey{scheme: sch, rate: rate})
+		}
+	}
+	if err := s.prefetch(keys...); err != nil {
+		return err
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"rate", "scheme", "node", "role_number", "joules"}); err != nil {
 		return err
@@ -125,6 +134,13 @@ func (s *Suite) WriteFig9CSV(w io.Writer) error {
 // SummaryLine returns a one-line digest of the headline comparison at the
 // low-rate mobile point, used by tooling banners.
 func (s *Suite) SummaryLine() (string, error) {
+	keys := make([]runKey, len(figureSchemes))
+	for i, sch := range figureSchemes {
+		keys[i] = runKey{scheme: sch, rate: s.p.LowRate}
+	}
+	if err := s.prefetch(keys...); err != nil {
+		return "", err
+	}
 	var parts []string
 	for _, sch := range figureSchemes {
 		a, err := s.agg(runKey{scheme: sch, rate: s.p.LowRate})

@@ -9,8 +9,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"rcast/internal/scenario"
 	"rcast/internal/sim"
@@ -90,14 +92,20 @@ type runKey struct {
 	gossip bool
 }
 
-// Suite runs and caches the simulations behind all generators.
+// Suite runs and caches the simulations behind all generators. Simulation
+// cells fan out across a worker pool (see Runner); the reports and series a
+// suite produces are byte-identical for every worker count.
 type Suite struct {
-	p     Profile
-	out   io.Writer
-	cache map[runKey]*scenario.Aggregate
+	p       Profile
+	out     io.Writer
+	cache   map[runKey]*scenario.Aggregate
+	workers int
+	ctx     context.Context
+	simRuns atomic.Int64
 }
 
-// NewSuite creates a suite writing its reports to out.
+// NewSuite creates a suite writing its reports to out. Runs fan out across
+// runtime.GOMAXPROCS(0) workers by default; see SetWorkers.
 func NewSuite(p Profile, out io.Writer) *Suite {
 	if out == nil {
 		out = io.Discard
@@ -105,8 +113,32 @@ func NewSuite(p Profile, out io.Writer) *Suite {
 	return &Suite{p: p, out: out, cache: make(map[runKey]*scenario.Aggregate)}
 }
 
+// SetWorkers bounds the concurrency of the suite's simulation runs:
+// n <= 0 selects runtime.GOMAXPROCS(0), 1 reproduces the serial path.
+// Every setting produces identical output.
+func (s *Suite) SetWorkers(n int) { s.workers = n }
+
+// SetContext installs a cancellation context consulted between simulation
+// runs; cancelling it makes the in-progress generator return its error.
+func (s *Suite) SetContext(ctx context.Context) { s.ctx = ctx }
+
 // Runs returns how many distinct simulation batches have been executed.
 func (s *Suite) Runs() int { return len(s.cache) }
+
+// SimRuns returns how many individual simulations have completed (each
+// replication of each batch counts once, ablation batches included).
+func (s *Suite) SimRuns() int64 { return s.simRuns.Load() }
+
+func (s *Suite) runner() Runner {
+	return Runner{Workers: s.workers, OnRunDone: func() { s.simRuns.Add(1) }}
+}
+
+func (s *Suite) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
 
 func (s *Suite) config(k runKey) scenario.Config {
 	cfg := scenario.PaperDefaults()
@@ -134,13 +166,54 @@ func (s *Suite) agg(k runKey) (*scenario.Aggregate, error) {
 	if a, ok := s.cache[k]; ok {
 		return a, nil
 	}
-	a, err := scenario.RunReplications(s.config(k), s.p.Reps)
-	if err != nil {
+	if err := s.prefetch(k); err != nil {
 		return nil, fmt.Errorf("experiments: %v rate=%.1f static=%v: %w",
 			k.scheme, k.rate, k.static, err)
 	}
-	s.cache[k] = a
-	return a, nil
+	return s.cache[k], nil
+}
+
+// prefetch simulates every not-yet-cached key of the batch across the
+// worker pool, so one figure's independent cells run concurrently instead
+// of one by one. Generators call it with their full key set before reading
+// any aggregate; printing then happens from the cache in deterministic
+// order, keeping output byte-identical for every worker count.
+func (s *Suite) prefetch(keys ...runKey) error {
+	var missing []runKey
+	seen := make(map[runKey]bool, len(keys))
+	for _, k := range keys {
+		if _, ok := s.cache[k]; ok || seen[k] {
+			continue
+		}
+		seen[k] = true
+		missing = append(missing, k)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	specs := make([]RunSpec, len(missing))
+	for i, k := range missing {
+		specs[i] = RunSpec{Cfg: s.config(k), Reps: s.p.Reps}
+	}
+	aggs, err := s.runner().Run(s.context(), specs)
+	if err != nil {
+		return err
+	}
+	for i, k := range missing {
+		s.cache[k] = aggs[i]
+	}
+	return nil
+}
+
+// runConfigs executes one replication batch per config across the worker
+// pool and returns aggregates in input order. Used by the ablations, whose
+// configs carry knobs outside the runKey cache.
+func (s *Suite) runConfigs(cfgs []scenario.Config) ([]*scenario.Aggregate, error) {
+	specs := make([]RunSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		specs[i] = RunSpec{Cfg: cfg, Reps: s.p.Reps}
+	}
+	return s.runner().Run(s.context(), specs)
 }
 
 func (s *Suite) printf(format string, args ...any) {
@@ -154,8 +227,33 @@ func pauseLabel(static bool) string {
 	return "Tpause=mobile"
 }
 
+// sweepKeys returns every cell of the Figs. 6–8 rate sweep (which also
+// covers Table 1, Fig. 5 and Fig. 9, whose corner rates are in the sweep).
+func (s *Suite) sweepKeys() []runKey {
+	var keys []runKey
+	for _, static := range []bool{false, true} {
+		for _, rate := range s.p.Rates {
+			for _, sch := range figureSchemes {
+				keys = append(keys, runKey{scheme: sch, rate: rate, static: static})
+			}
+		}
+	}
+	return keys
+}
+
 // All regenerates every table and figure in order.
 func (s *Suite) All() error {
+	// Fan out every cacheable cell of every figure at once, so the worker
+	// pool sees the whole suite's parallelism instead of one figure's.
+	keys := s.sweepKeys()
+	keys = append(keys,
+		runKey{scheme: scenario.SchemePSMNoOverhear, rate: s.p.LowRate},
+		runKey{scheme: scenario.SchemePSM, rate: s.p.LowRate},
+		runKey{scheme: scenario.SchemeRcast, rate: s.p.HighRate, gossip: true},
+	)
+	if err := s.prefetch(keys...); err != nil {
+		return err
+	}
 	steps := []func() error{
 		func() error { _, err := s.Table1(); return err },
 		func() error { _, err := s.Fig5(); return err },

@@ -28,17 +28,21 @@ func (s *Suite) AblationCacheStrategies() ([]CacheResult, error) {
 		{Label: "timeout 30s", Capacity: 64, Lifetime: 30 * sim.Second},
 		{Label: "timeout 5s", Capacity: 64, Lifetime: 5 * sim.Second},
 	}
+	cfgs := make([]scenario.Config, len(variants))
+	for i, v := range variants {
+		cfgs[i] = s.config(runKey{scheme: scenario.SchemeRcast, rate: s.p.LowRate})
+		cfgs[i].DSR.CacheCapacity = v.Capacity
+		cfgs[i].DSR.CacheLifetime = v.Lifetime
+	}
+	aggs, err := s.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	s.printf("== Ablation A4: DSR cache strategies under Rcast (rate=%.1f, mobile) ==\n", s.p.LowRate)
 	s.printf("%-24s %8s %9s %10s %9s\n", "variant", "PDR", "overhead", "energy(J)", "delay(s)")
 	var rows []CacheResult
-	for _, v := range variants {
-		cfg := s.config(runKey{scheme: scenario.SchemeRcast, rate: s.p.LowRate})
-		cfg.DSR.CacheCapacity = v.Capacity
-		cfg.DSR.CacheLifetime = v.Lifetime
-		a, err := scenario.RunReplications(cfg, s.p.Reps)
-		if err != nil {
-			return nil, err
-		}
+	for i, v := range variants {
+		a := aggs[i]
 		v.PDR = a.PDR.Mean()
 		v.Overhead = a.NormalizedOverhead.Mean()
 		v.TotalJoules = a.TotalJoules.Mean()
@@ -65,17 +69,21 @@ type LifetimeResult struct {
 func (s *Suite) AblationLifetime() ([]LifetimeResult, error) {
 	// Budget: an always-awake node drains in 60% of the run.
 	battery := 1.15 * s.p.Duration.Seconds() * 0.6
+	cfgs := make([]scenario.Config, len(figureSchemes))
+	for i, sch := range figureSchemes {
+		cfgs[i] = s.config(runKey{scheme: sch, rate: s.p.LowRate})
+		cfgs[i].BatteryJoules = battery
+	}
+	aggs, err := s.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	s.printf("== Ablation A5: network lifetime with %.0f J batteries (rate=%.1f, mobile) ==\n",
 		battery, s.p.LowRate)
 	s.printf("%-8s %14s %10s %8s\n", "scheme", "firstDeath(s)", "deadNodes", "PDR")
 	var rows []LifetimeResult
-	for _, sch := range figureSchemes {
-		cfg := s.config(runKey{scheme: sch, rate: s.p.LowRate})
-		cfg.BatteryJoules = battery
-		a, err := scenario.RunReplications(cfg, s.p.Reps)
-		if err != nil {
-			return nil, err
-		}
+	for i, sch := range figureSchemes {
+		a := aggs[i]
 		var first float64
 		var dead int
 		for _, r := range a.Results {
@@ -113,18 +121,33 @@ type ATIMResult struct {
 // fail to deliver ATIM frames … the actual performance would be better
 // than the one reported in this paper").
 func (s *Suite) AblationATIM() ([]ATIMResult, error) {
+	type atimCell struct {
+		rate       float64
+		contention bool
+	}
+	var cells []atimCell
+	for _, rate := range []float64{s.p.LowRate, s.p.HighRate} {
+		for _, contention := range []bool{false, true} {
+			cells = append(cells, atimCell{rate: rate, contention: contention})
+		}
+	}
+	cfgs := make([]scenario.Config, len(cells))
+	for i, c := range cells {
+		cfgs[i] = s.config(runKey{scheme: scenario.SchemeRcast, rate: c.rate})
+		cfgs[i].MAC.ATIMContention = c.contention
+	}
+	aggs, err := s.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	s.printf("== Ablation A7: ATIM reliability assumption (Rcast stack, mobile) ==\n")
 	s.printf("%-12s %-6s %8s %9s %10s %10s\n",
 		"atim", "rate", "PDR", "delay(s)", "energy(J)", "atimFail")
 	var rows []ATIMResult
-	for _, rate := range []float64{s.p.LowRate, s.p.HighRate} {
-		for _, contention := range []bool{false, true} {
-			cfg := s.config(runKey{scheme: scenario.SchemeRcast, rate: rate})
-			cfg.MAC.ATIMContention = contention
-			a, err := scenario.RunReplications(cfg, s.p.Reps)
-			if err != nil {
-				return nil, err
-			}
+	for i, c := range cells {
+		{
+			rate, contention := c.rate, c.contention
+			a := aggs[i]
 			var fails float64
 			for _, r := range a.Results {
 				fails += float64(r.MACTotal.AtimFailures)
@@ -179,18 +202,28 @@ func (s *Suite) AblationRouting() ([]RoutingResult, error) {
 		{label: "AODV (no hello)", routing: scenario.RoutingAODV},
 		{label: "AODV (hello 1s)", routing: scenario.RoutingAODV, hello: true},
 	}
-	var rows []RoutingResult
+	routingSchemes := []scenario.Scheme{scenario.SchemeAlwaysOn, scenario.SchemeRcast}
+	var cfgs []scenario.Config
 	for _, v := range variants {
-		for _, sch := range []scenario.Scheme{scenario.SchemeAlwaysOn, scenario.SchemeRcast} {
+		for _, sch := range routingSchemes {
 			cfg := s.config(runKey{scheme: sch, rate: s.p.LowRate})
 			cfg.Routing = v.routing
 			if v.routing == scenario.RoutingAODV && !v.hello {
 				cfg.AODV.HelloInterval = 0
 			}
-			a, err := scenario.RunReplications(cfg, s.p.Reps)
-			if err != nil {
-				return nil, err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	aggs, err := s.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RoutingResult
+	cellIdx := 0
+	for _, v := range variants {
+		for _, sch := range routingSchemes {
+			a := aggs[cellIdx]
+			cellIdx++
 			var rreq, ctl, hello float64
 			for _, r := range a.Results {
 				rreq += float64(r.ControlByClass[core.ClassRREQ])

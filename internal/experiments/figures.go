@@ -23,6 +23,13 @@ func (s *Suite) Table1() ([]Table1Row, error) {
 		scenario.SchemeODPM:     "AM for 5s after RREP / 2s after data; fast path between AM nodes",
 		scenario.SchemeRcast:    "always PS; per-packet overhearing level; beacon-deferred transmission",
 	}
+	keys := make([]runKey, len(figureSchemes))
+	for i, sch := range figureSchemes {
+		keys[i] = runKey{scheme: sch, rate: s.p.LowRate}
+	}
+	if err := s.prefetch(keys...); err != nil {
+		return nil, err
+	}
 	s.printf("== Table 1: protocol behaviour (rate=%.1f pkt/s, mobile) ==\n", s.p.LowRate)
 	s.printf("%-8s %-10s %-8s %-10s %-10s %s\n",
 		"scheme", "awakeFrac", "PDR", "delay(s)", "energy(J)", "behaviour")
@@ -78,6 +85,17 @@ type Fig5Panel struct {
 // Fig5 reproduces "Energy consumption comparison at each node": four
 // panels (low/high rate × mobile/static), nodes sorted by consumption.
 func (s *Suite) Fig5() ([]Fig5Panel, error) {
+	var keys []runKey
+	for _, static := range []bool{false, true} {
+		for _, rate := range []float64{s.p.LowRate, s.p.HighRate} {
+			for _, sch := range figureSchemes {
+				keys = append(keys, runKey{scheme: sch, rate: rate, static: static})
+			}
+		}
+	}
+	if err := s.prefetch(keys...); err != nil {
+		return nil, err
+	}
 	var panels []Fig5Panel
 	for _, static := range []bool{false, true} {
 		for _, rate := range []float64{s.p.LowRate, s.p.HighRate} {
@@ -121,8 +139,12 @@ type SweepPoint struct {
 	NormalizedOverhead float64
 }
 
-// sweep runs (or reuses) the full rate sweep for both pause settings.
+// sweep runs (or reuses) the full rate sweep for both pause settings. All
+// missing cells simulate concurrently across the worker pool.
 func (s *Suite) sweep() ([]SweepPoint, error) {
+	if err := s.prefetch(s.sweepKeys()...); err != nil {
+		return nil, err
+	}
 	var out []SweepPoint
 	for _, static := range []bool{false, true} {
 		for _, rate := range s.p.Rates {
@@ -262,6 +284,15 @@ type Fig9Panel struct {
 
 // Fig9 reproduces "comparison of role number and energy consumption".
 func (s *Suite) Fig9() ([]Fig9Panel, error) {
+	var keys []runKey
+	for _, rate := range []float64{s.p.LowRate, s.p.HighRate} {
+		for _, sch := range figureSchemes {
+			keys = append(keys, runKey{scheme: sch, rate: rate})
+		}
+	}
+	if err := s.prefetch(keys...); err != nil {
+		return nil, err
+	}
 	var panels []Fig9Panel
 	s.printf("== Fig 9: role number vs per-node energy (mobile) ==\n")
 	s.printf("%-8s %-6s %9s %9s %9s %9s %9s %6s\n",

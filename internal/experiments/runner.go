@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rcast/internal/scenario"
+)
+
+// Runner fans independent simulation runs across a bounded pool of
+// goroutines. Each (config, replication) cell is one unit of work carrying
+// its own deterministically derived seed (the spec's seed plus the
+// replication index — worlds share no RNG or scheduler state), so cells can
+// execute in any order on any number of workers and still produce the exact
+// results of the serial path. Results are slotted by (spec, replication)
+// index and merged in order after all cells finish, which makes the
+// returned aggregates — and everything derived from them, figures and CSVs
+// included — byte-identical for every worker count.
+type Runner struct {
+	// Workers bounds concurrency. <= 0 selects runtime.GOMAXPROCS(0);
+	// 1 reproduces the serial execution order exactly.
+	Workers int
+	// OnRunDone, when non-nil, is called after each completed simulation
+	// run. It must be safe for concurrent use.
+	OnRunDone func()
+}
+
+// RunSpec is one batch of replications of a single configuration.
+// Replication i runs with seed Cfg.Seed + i, exactly as
+// scenario.RunReplications seeds the serial path.
+type RunSpec struct {
+	Cfg  scenario.Config
+	Reps int // < 1 means 1
+}
+
+// Run executes every replication of every spec across the worker pool and
+// returns one aggregate per spec, in input order. The first simulation
+// error stops the dispatch of further cells (in-flight runs finish) and is
+// returned; likewise a cancelled ctx stops dispatch and its error is
+// returned. A spec with a Trace sink forces Workers = 1, because sinks are
+// not safe for concurrent emission.
+func (r Runner) Run(ctx context.Context, specs []RunSpec) ([]*scenario.Aggregate, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for _, sp := range specs {
+		if sp.Cfg.Trace != nil {
+			workers = 1
+			break
+		}
+	}
+
+	type cell struct{ spec, rep int }
+	var cells []cell
+	results := make([][]*scenario.Result, len(specs))
+	for i, sp := range specs {
+		reps := sp.Reps
+		if reps < 1 {
+			reps = 1
+		}
+		results[i] = make([]*scenario.Result, reps)
+		for rep := 0; rep < reps; rep++ {
+			cells = append(cells, cell{spec: i, rep: rep})
+		}
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	runCell := func(cl cell) error {
+		cfg := specs[cl.spec].Cfg
+		cfg.Seed += int64(cl.rep)
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %v rate=%.1f seed=%d: %w",
+				cfg.Scheme, cfg.PacketRate, cfg.Seed, err)
+		}
+		results[cl.spec][cl.rep] = res
+		if r.OnRunDone != nil {
+			r.OnRunDone()
+		}
+		return nil
+	}
+
+	if workers <= 1 {
+		for _, cl := range cells {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := runCell(cl); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := runPool(ctx, workers, len(cells), func(i int) error {
+		return runCell(cells[i])
+	}); err != nil {
+		return nil, err
+	}
+
+	aggs := make([]*scenario.Aggregate, len(specs))
+	for i := range specs {
+		aggs[i] = scenario.AggregateResults(results[i])
+	}
+	return aggs, nil
+}
+
+// runPool executes do(0..n-1) across workers goroutines pulling indices
+// from a shared atomic dispenser. The first error (or ctx cancellation)
+// stops further dispatch; in-flight calls run to completion.
+func runPool(ctx context.Context, workers, n int, do func(int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := do(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

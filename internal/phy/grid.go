@@ -1,0 +1,89 @@
+package phy
+
+import (
+	"math"
+	"slices"
+
+	"rcast/internal/geom"
+	"rcast/internal/sim"
+)
+
+// grid is a uniform spatial index over radio positions. Cell edge length
+// equals the decode range R, so the radios decodable from a point always
+// live in a bounded neighbourhood of cells around it instead of requiring a
+// scan over every radio on the channel.
+//
+// Positions move continuously under mobility, so bins are allowed to go
+// stale: a radio's binned position may drift up to slack metres from its
+// true position before the grid re-bins. Queries compensate by scanning all
+// cells intersecting a disk of radius R+slack and exact-checking every
+// candidate, which keeps grid answers identical to the exhaustive scan.
+// With a declared motion bound v (m/s) the drift after t simulated seconds
+// is at most v*t, so one O(N) re-bin buys slack/v seconds of O(area)
+// queries.
+type grid struct {
+	cell  float64 // cell edge length (= decode range), metres
+	slack float64 // tolerated bin drift before re-binning, metres
+
+	cells   map[gridKey][]int32 // radio indices, ascending within a cell
+	binTime sim.Time
+	valid   bool
+}
+
+type gridKey struct{ cx, cy int32 }
+
+func (g *grid) keyFor(p geom.Point) gridKey {
+	return gridKey{
+		cx: int32(math.Floor(p.X / g.cell)),
+		cy: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// stale reports whether bins built at binTime may have drifted more than
+// slack by instant now, given the channel's motion bound.
+func (g *grid) stale(now sim.Time, motionBound float64) bool {
+	if !g.valid {
+		return true
+	}
+	if motionBound <= 0 || now == g.binTime {
+		return false
+	}
+	dt := now - g.binTime
+	if dt < 0 {
+		dt = -dt
+	}
+	return dt.Seconds()*motionBound > g.slack
+}
+
+// rebin rebuilds every bin from radio positions at instant now. Radios are
+// visited in registration order, so each cell's index list is ascending.
+func (g *grid) rebin(radios []*Radio, now sim.Time) {
+	if g.cells == nil {
+		g.cells = make(map[gridKey][]int32)
+	}
+	clear(g.cells)
+	for i, r := range radios {
+		k := g.keyFor(r.Position(now))
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	g.binTime = now
+	g.valid = true
+}
+
+// candidates appends to buf the indices of every radio whose bin intersects
+// the disk of the given radius (plus the drift slack) around p, and returns
+// buf sorted ascending. The result is a superset of the radios truly within
+// radius of p; callers exact-check distances, in registration order.
+func (g *grid) candidates(p geom.Point, radius float64, buf []int32) []int32 {
+	reach := radius + g.slack
+	lo := g.keyFor(geom.Point{X: p.X - reach, Y: p.Y - reach})
+	hi := g.keyFor(geom.Point{X: p.X + reach, Y: p.Y + reach})
+	buf = buf[:0]
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			buf = append(buf, g.cells[gridKey{cx: cx, cy: cy}]...)
+		}
+	}
+	slices.Sort(buf)
+	return buf
+}

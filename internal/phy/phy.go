@@ -97,13 +97,42 @@ type Stats struct {
 type Channel struct {
 	sched  *sim.Scheduler
 	radios []*Radio
+	byID   map[NodeID]*Radio
 	rangeM float64
 	stats  Stats
+
+	// Spatial index (see grid.go). Enabled by SetMotionBound; without a
+	// declared bound on node speed the channel cannot know when bins go
+	// stale and falls back to scanning every radio.
+	motionBound    float64
+	motionBoundSet bool
+	grid           grid
+	scratch        []int32
 }
 
 // NewChannel creates a channel; rangeM is the decode radius in metres.
 func NewChannel(sched *sim.Scheduler, rangeM float64) *Channel {
-	return &Channel{sched: sched, rangeM: rangeM}
+	return &Channel{
+		sched:  sched,
+		byID:   make(map[NodeID]*Radio),
+		rangeM: rangeM,
+		grid:   grid{cell: rangeM, slack: rangeM / 4},
+	}
+}
+
+// SetMotionBound declares an upper bound on how fast any radio on this
+// channel moves (metres per simulated second; 0 means every radio is
+// stationary) and enables the spatial grid index: Transmit, Neighbors and
+// CountNeighbors then query a uniform grid instead of scanning all radios.
+// The bound must hold for the whole run; grid answers are exact (identical
+// to the exhaustive scan) as long as it does.
+func (c *Channel) SetMotionBound(maxSpeedMps float64) {
+	if maxSpeedMps < 0 {
+		maxSpeedMps = 0
+	}
+	c.motionBound = maxSpeedMps
+	c.motionBoundSet = true
+	c.grid.valid = false
 }
 
 // Stats returns a copy of the channel counters.
@@ -116,6 +145,8 @@ func (c *Channel) Range() float64 { return c.rangeM }
 func (c *Channel) AddRadio(id NodeID, mob mobility.Model) *Radio {
 	r := &Radio{id: id, ch: c, mob: mob, awake: true}
 	c.radios = append(c.radios, r)
+	c.byID[id] = r
+	c.grid.valid = false
 	return r
 }
 
@@ -125,12 +156,7 @@ func (c *Channel) Radios() []*Radio { return c.radios }
 
 // RadioOf returns the radio for id, or nil.
 func (c *Channel) RadioOf(id NodeID) *Radio {
-	for _, r := range c.radios {
-		if r.id == id {
-			return r
-		}
-	}
-	return nil
+	return c.byID[id]
 }
 
 // InRange reports whether nodes a and b can hear each other at instant now.
@@ -138,34 +164,50 @@ func (c *Channel) InRange(a, b *Radio, now sim.Time) bool {
 	return a.Position(now).DistanceTo(b.Position(now)) <= c.rangeM
 }
 
+// visitInRange calls visit for every radio other than exclude within range
+// of p at instant now, in registration order (deterministic regardless of
+// whether the grid index or the exhaustive scan answers the query).
+func (c *Channel) visitInRange(p geom.Point, exclude *Radio, now sim.Time, visit func(*Radio)) {
+	if c.motionBoundSet && c.rangeM > 0 {
+		if c.grid.stale(now, c.motionBound) {
+			c.grid.rebin(c.radios, now)
+		}
+		c.scratch = c.grid.candidates(p, c.rangeM, c.scratch)
+		for _, i := range c.scratch {
+			o := c.radios[i]
+			if o == exclude {
+				continue
+			}
+			if p.DistanceTo(o.Position(now)) <= c.rangeM {
+				visit(o)
+			}
+		}
+		return
+	}
+	for _, o := range c.radios {
+		if o == exclude {
+			continue
+		}
+		if p.DistanceTo(o.Position(now)) <= c.rangeM {
+			visit(o)
+		}
+	}
+}
+
 // Neighbors returns the IDs of all radios within range of r at now,
 // excluding r itself, in registration order (deterministic).
 func (c *Channel) Neighbors(r *Radio, now sim.Time) []NodeID {
 	var out []NodeID
-	p := r.Position(now)
-	for _, o := range c.radios {
-		if o == r {
-			continue
-		}
-		if p.DistanceTo(o.Position(now)) <= c.rangeM {
-			out = append(out, o.id)
-		}
-	}
+	c.visitInRange(r.Position(now), r, now, func(o *Radio) {
+		out = append(out, o.id)
+	})
 	return out
 }
 
 // CountNeighbors returns the number of radios within range of r at now.
 func (c *Channel) CountNeighbors(r *Radio, now sim.Time) int {
 	n := 0
-	p := r.Position(now)
-	for _, o := range c.radios {
-		if o == r {
-			continue
-		}
-		if p.DistanceTo(o.Position(now)) <= c.rangeM {
-			n++
-		}
-	}
+	c.visitInRange(r.Position(now), r, now, func(*Radio) { n++ })
 	return n
 }
 
@@ -184,17 +226,10 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 	tx.txUntil = end
 	tx.extendCarrier(end)
 
-	pos := tx.Position(now)
-	for _, rx := range c.radios {
-		if rx == tx {
-			continue
-		}
-		if pos.DistanceTo(rx.Position(now)) > c.rangeM {
-			continue
-		}
+	c.visitInRange(tx.Position(now), tx, now, func(rx *Radio) {
 		rx.extendCarrier(end)
 		c.beginReception(rx, f, now, end)
-	}
+	})
 }
 
 func (c *Channel) beginReception(rx *Radio, f Frame, now, end sim.Time) {
@@ -264,6 +299,15 @@ type Radio struct {
 	carrierUntil sim.Time
 	txUntil      sim.Time
 	current      *delivery
+
+	// Single-instant position cache: one transmission (or neighbor query)
+	// asks many radios for their position at the same now, and mobility
+	// models answer by binary-searching a trajectory; caching the latest
+	// instant makes repeated same-instant queries free. Mobility models are
+	// pure functions of time, so the cache can never go stale.
+	posAt sim.Time
+	pos   geom.Point
+	posOK bool
 }
 
 // ID returns the owning node's ID.
@@ -272,8 +316,17 @@ func (r *Radio) ID() NodeID { return r.id }
 // SetReceiver registers the MAC upcall.
 func (r *Radio) SetReceiver(rc Receiver) { r.recv = rc }
 
-// Position returns the radio position at now.
-func (r *Radio) Position(now sim.Time) geom.Point { return r.mob.PositionAt(now) }
+// Position returns the radio position at now. The most recent instant is
+// cached, so the mobility model is evaluated at most once per radio per
+// instant.
+func (r *Radio) Position(now sim.Time) geom.Point {
+	if r.posOK && r.posAt == now {
+		return r.pos
+	}
+	p := r.mob.PositionAt(now)
+	r.posAt, r.pos, r.posOK = now, p, true
+	return p
+}
 
 // Awake reports whether the radio can currently receive.
 func (r *Radio) Awake() bool { return r.awake }

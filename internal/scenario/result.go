@@ -1,6 +1,10 @@
 package scenario
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"rcast/internal/core"
 	"rcast/internal/mac"
 	"rcast/internal/phy"
@@ -184,21 +188,14 @@ type Aggregate struct {
 	MeanSortedJoules []float64
 }
 
-// RunReplications runs cfg reps times with seeds cfg.Seed, cfg.Seed+1, …
-// and aggregates the headline metrics.
-func RunReplications(cfg Config, reps int) (*Aggregate, error) {
-	if reps < 1 {
-		reps = 1
-	}
+// AggregateResults folds already-computed replication results, in
+// replication order, into an Aggregate. It is the merge half of
+// RunReplications, shared with the parallel experiment runner so that
+// serial and parallel execution aggregate bit-identically.
+func AggregateResults(results []*Result) *Aggregate {
 	agg := &Aggregate{}
 	var sortedSum []float64
-	for i := 0; i < reps; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)
-		res, err := Run(c)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		agg.Results = append(agg.Results, res)
 		agg.PDR.Add(res.PDR)
 		agg.TotalJoules.Add(res.TotalJoules)
@@ -217,7 +214,91 @@ func RunReplications(cfg Config, reps int) (*Aggregate, error) {
 	}
 	agg.MeanSortedJoules = make([]float64, len(sortedSum))
 	for j, v := range sortedSum {
-		agg.MeanSortedJoules[j] = v / float64(reps)
+		agg.MeanSortedJoules[j] = v / float64(len(results))
 	}
-	return agg, nil
+	return agg
+}
+
+// RunReplications runs cfg reps times with seeds cfg.Seed, cfg.Seed+1, …
+// and aggregates the headline metrics.
+func RunReplications(cfg Config, reps int) (*Aggregate, error) {
+	return RunReplicationsWorkers(cfg, reps, 1)
+}
+
+// RunReplicationsWorkers is RunReplications with the replications fanned
+// across at most workers goroutines. Each replication derives its own seed
+// (cfg.Seed + replication index) and builds a private world, so runs share
+// no RNG or scheduler state; results merge in replication order, making the
+// aggregate identical for every worker count. workers <= 0 selects
+// runtime.GOMAXPROCS(0). A non-nil cfg.Trace forces workers = 1: replications
+// would otherwise emit concurrently into one sink.
+func RunReplicationsWorkers(cfg Config, reps, workers int) (*Aggregate, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Trace != nil {
+		workers = 1
+	}
+	if workers > reps {
+		workers = reps
+	}
+	results := make([]*Result, reps)
+	runRep := func(i int) error {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := Run(c)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	}
+	if workers == 1 {
+		for i := range results {
+			if err := runRep(i); err != nil {
+				return nil, err
+			}
+		}
+		return AggregateResults(results), nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= reps {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if err := runRep(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return AggregateResults(results), nil
 }

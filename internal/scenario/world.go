@@ -139,6 +139,18 @@ func newWorld(cfg Config) (*world, error) {
 		col:   metrics.NewCollector(cfg.Nodes),
 	}
 	w.ch = phy.NewChannel(w.sched, cfg.RangeM)
+	if cfg.Pause >= cfg.Duration {
+		// Static scenario: every node is pinned, bins never go stale.
+		w.ch.SetMotionBound(0)
+	} else {
+		// Mobility clamps the speed floor to 0.1 m/s (see mobility.NewWaypoint),
+		// so the effective maximum can exceed cfg.MaxSpeed when it is tiny.
+		bound := cfg.MaxSpeed
+		if bound < 0.1 {
+			bound = 0.1
+		}
+		w.ch.SetMotionBound(bound)
+	}
 
 	if cfg.Scheme != SchemeAlwaysOn {
 		w.coord = mac.NewCoordinator(w.sched, w.ch, cfg.MAC, sim.Stream(cfg.Seed, "atim"), cfg.Duration)

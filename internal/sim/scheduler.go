@@ -15,14 +15,22 @@ type Timer struct {
 	at        Time
 	seq       uint64
 	fn        func()
+	sched     *Scheduler
 	index     int // heap index, -1 when popped or cancelled
 	cancelled bool
 }
 
-// Cancel prevents the timer from firing. Safe to call multiple times.
+// Cancel prevents the timer from firing and removes it from the event heap
+// in O(log N). Safe to call multiple times.
 func (t *Timer) Cancel() {
+	if t.cancelled {
+		return
+	}
 	t.cancelled = true
 	t.fn = nil
+	if t.sched != nil && t.index >= 0 {
+		heap.Remove(&t.sched.heap, t.index)
+	}
 }
 
 // Cancelled reports whether Cancel was called.
@@ -51,16 +59,8 @@ func NewScheduler() *Scheduler {
 func (s *Scheduler) Now() Time { return s.now }
 
 // Pending returns the number of events not yet fired or cancelled.
-// Cancelled events still in the heap are not counted.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, t := range s.heap {
-		if !t.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Cancel removes its timer from the heap eagerly, so this is O(1).
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // Executed returns the number of events that have fired so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
@@ -71,7 +71,7 @@ func (s *Scheduler) At(t Time, fn func()) (*Timer, error) {
 	if t < s.now {
 		return nil, ErrTimeReversal
 	}
-	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	tm := &Timer{at: t, seq: s.seq, fn: fn, sched: s}
 	s.seq++
 	heap.Push(&s.heap, tm)
 	return tm, nil

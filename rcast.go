@@ -167,3 +167,11 @@ func Run(cfg Config) (*Result, error) { return scenario.Run(cfg) }
 func RunReplications(cfg Config, reps int) (*Aggregate, error) {
 	return scenario.RunReplications(cfg, reps)
 }
+
+// RunReplicationsWorkers is RunReplications with the replications fanned
+// out across up to workers goroutines (workers <= 0 selects
+// runtime.GOMAXPROCS(0)). Every replication carries its own derived seed,
+// so the aggregate is identical for every worker count.
+func RunReplicationsWorkers(cfg Config, reps, workers int) (*Aggregate, error) {
+	return scenario.RunReplicationsWorkers(cfg, reps, workers)
+}

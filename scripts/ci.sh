@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, race-enabled tests, and a benchmark smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke =="
+go test -run '^$' -bench 'BenchmarkFullRunRcast$|BenchmarkChannelTransmit' -benchtime 1x .
+
+echo "ci: OK"
