@@ -36,6 +36,7 @@ func run(args []string) error {
 		reps        = fs.Int("reps", 0, "override replication count (0 = profile default)")
 		csvDir      = fs.String("csv", "", "also write sweep/fig5/fig9 series as CSV into this directory")
 		workers     = fs.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
+		auditOn     = fs.Bool("audit", false, "run every simulation under the cross-layer invariant audit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +57,7 @@ func run(args []string) error {
 
 	s := experiments.NewSuite(p, os.Stdout)
 	s.SetWorkers(*workers)
+	s.SetAudit(*auditOn)
 	start := time.Now()
 	if err := runFigures(s, *only); err != nil {
 		return err

@@ -47,6 +47,7 @@ func run(args []string) error {
 		battery    = fs.Float64("battery", 0, "battery capacity in joules (0 = unlimited)")
 		traceFile  = fs.String("trace", "", "write NDJSON event trace to this file")
 		workers    = fs.Int("workers", 0, "parallel replication workers (0 = all CPUs, 1 = serial)")
+		auditOn    = fs.Bool("audit", false, "run under the cross-layer invariant audit (violations abort the run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +71,7 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.GossipFanout = *gossip
 	cfg.BatteryJoules = *battery
+	cfg.Audit = *auditOn
 	if *static {
 		cfg.Pause = cfg.Duration
 	}

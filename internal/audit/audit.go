@@ -1,0 +1,432 @@
+// Package audit is the simulator's cross-layer invariant checker. The
+// paper's headline results are accounting claims — joules, awake-time
+// fractions, delivery ratios — so a silent bookkeeping bug anywhere in the
+// stack corrupts every figure without failing a test. An Auditor taps the
+// observation hooks the lower layers expose (sim.ExecHook,
+// phy.DeliveryObserver, mac.Audit, the routing hooks) and verifies,
+// continuously during a run and once more at teardown:
+//
+//   - packet conservation: every originated data packet, identified by
+//     (source, flow, sequence), is eventually delivered, dropped with a
+//     reason, or still buffered somewhere when the run ends — never lost
+//     silently, never terminated before it was originated;
+//   - time conservation: per node, AwakeTime + SleepTime equals the powered
+//     lifetime (elapsed time, or the depletion instant for a dead battery)
+//     and joules decompose exactly into awakeW·awake + sleepW·sleep;
+//   - PSM legality: no frame is delivered to a dozing radio, no node sleeps
+//     inside an ATIM window, and active-mode horizons and DCF transmit
+//     windows only move forward;
+//   - scheduler sanity: event timestamps are monotone and cancelled timers
+//     never reach the dispatch path.
+//
+// The checks are hook-shaped so the hot path pays nothing when auditing is
+// off: every instrumented layer holds a nil interface/function unless a
+// scenario was built with Config.Audit. See DESIGN.md §8 for the invariant
+// catalogue and the differential oracles that complement it.
+package audit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rcast/internal/core"
+	"rcast/internal/energy"
+	"rcast/internal/metrics"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// NoNode marks a violation not attributable to a single node.
+const NoNode phy.NodeID = -2
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	At     sim.Time
+	Node   phy.NodeID // NoNode when not node-specific
+	Rule   string     // stable kebab-case identifier, e.g. "pkt-conservation"
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	if v.Node == NoNode {
+		return fmt.Sprintf("%.6fs [%s] %s", v.At.Seconds(), v.Rule, v.Detail)
+	}
+	return fmt.Sprintf("%.6fs %v [%s] %s", v.At.Seconds(), v.Node, v.Rule, v.Detail)
+}
+
+// Config describes the run being audited.
+type Config struct {
+	Nodes int
+	// BeaconInterval/ATIMWindow enable the PSM-phase checks; zero interval
+	// (no coordinator) disables them. BeaconStop is the instant at or after
+	// which no beacon fires (the run duration).
+	BeaconInterval sim.Time
+	ATIMWindow     sim.Time
+	BeaconStop     sim.Time
+	// MaxRecorded caps stored violations (the count keeps growing past it);
+	// <= 0 selects 32.
+	MaxRecorded int
+}
+
+// PacketKey identifies one application data packet end to end. Copies made
+// in flight (forwarding, salvaging) keep the key.
+type PacketKey struct {
+	Src  phy.NodeID
+	Flow uint64
+	Seq  uint64
+}
+
+func (k PacketKey) String() string {
+	return fmt.Sprintf("%v/flow%d/seq%d", k.Src, k.Flow, k.Seq)
+}
+
+type pktState uint8
+
+const (
+	pktLive pktState = iota + 1
+	pktDelivered
+	pktDropped
+)
+
+// Auditor accumulates invariant state for one run. It is not safe for
+// concurrent use; like the rest of a world, it lives on one scheduler.
+type Auditor struct {
+	cfg Config
+
+	violations []Violation
+	count      int
+
+	// Scheduler sanity.
+	lastEventAt sim.Time
+
+	// Packet conservation.
+	pkts       map[PacketKey]pktState
+	originated uint64
+	delivered  uint64
+	dropped    uint64
+	// dupTerminals counts terminal events for already-terminal keys. A
+	// known in-flight race produces them legitimately: a unicast data frame
+	// is decoded downstream while the MAC ACK back to the sender is lost,
+	// so the sender also salvages (or drops) its copy; both copies of the
+	// same key then terminate — including a second delivery, since basic
+	// DSR/AODV destinations keep no duplicate-suppression state. The count
+	// is reported as a diagnostic, not a violation; it bounds exactly how
+	// much double-counting the delivery metrics can contain.
+	dupTerminals uint64
+
+	// PSM legality.
+	amUntil   []sim.Time
+	windowEnd []sim.Time
+
+	meters []*energy.Meter
+}
+
+// New creates an auditor for a run described by cfg.
+func New(cfg Config) *Auditor {
+	if cfg.MaxRecorded <= 0 {
+		cfg.MaxRecorded = 32
+	}
+	return &Auditor{
+		cfg:       cfg,
+		pkts:      make(map[PacketKey]pktState),
+		amUntil:   make([]sim.Time, cfg.Nodes),
+		windowEnd: make([]sim.Time, cfg.Nodes),
+	}
+}
+
+// Violations returns the recorded violations in observation order (capped
+// at Config.MaxRecorded; Count reports the true total).
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// Count returns the total number of violations observed, recorded or not.
+func (a *Auditor) Count() int { return a.count }
+
+// DupTerminals returns how many terminal events hit already-terminal packet
+// keys (the in-flight duplication diagnostic; see the field comment).
+func (a *Auditor) DupTerminals() uint64 { return a.dupTerminals }
+
+func (a *Auditor) violatef(at sim.Time, node phy.NodeID, rule, format string, args ...any) {
+	a.count++
+	if len(a.violations) >= a.cfg.MaxRecorded {
+		return
+	}
+	a.violations = append(a.violations, Violation{
+		At: at, Node: node, Rule: rule, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// --- scheduler sanity (sim.ExecHook) ---
+
+// SchedulerEvent implements sim.ExecHook.
+func (a *Auditor) SchedulerEvent(at sim.Time, cancelled bool) {
+	if cancelled {
+		a.violatef(at, NoNode, "sched-cancelled-fired",
+			"cancelled timer reached the dispatch path")
+	}
+	if at < a.lastEventAt {
+		a.violatef(at, NoNode, "sched-monotone",
+			"event at %v after clock reached %v", at, a.lastEventAt)
+		return
+	}
+	a.lastEventAt = at
+}
+
+// --- PHY legality (phy.DeliveryObserver) ---
+
+// FrameDelivered implements phy.DeliveryObserver.
+func (a *Auditor) FrameDelivered(now sim.Time, rx phy.NodeID, awake bool, _ phy.Frame) {
+	if !awake {
+		a.violatef(now, rx, "phy-deliver-asleep", "frame delivered to a dozing radio")
+	}
+}
+
+// --- PSM legality (mac.Audit) ---
+
+// inATIM reports whether now falls strictly inside an ATIM window.
+func (a *Auditor) inATIM(now sim.Time) bool {
+	if a.cfg.BeaconInterval <= 0 || now >= a.cfg.BeaconStop {
+		return false
+	}
+	return now%a.cfg.BeaconInterval < a.cfg.ATIMWindow
+}
+
+// BeaconStarted implements mac.Audit.
+func (a *Auditor) BeaconStarted(now sim.Time, node phy.NodeID) {
+	if a.cfg.BeaconInterval <= 0 {
+		return
+	}
+	if now%a.cfg.BeaconInterval != 0 {
+		a.violatef(now, node, "psm-beacon-cadence",
+			"beacon off the %v grid", a.cfg.BeaconInterval)
+	}
+	if now >= a.cfg.BeaconStop {
+		a.violatef(now, node, "psm-beacon-cadence",
+			"beacon at or after the stop instant %v", a.cfg.BeaconStop)
+	}
+}
+
+// NodeSlept implements mac.Audit.
+func (a *Auditor) NodeSlept(now sim.Time, node phy.NodeID) {
+	if a.inATIM(now) {
+		a.violatef(now, node, "psm-sleep-in-atim",
+			"dozed %v into the ATIM window", now%a.cfg.BeaconInterval)
+	}
+}
+
+// AMExtended implements mac.Audit.
+func (a *Auditor) AMExtended(now sim.Time, node phy.NodeID, until sim.Time) {
+	if int(node) < 0 || int(node) >= len(a.amUntil) {
+		a.violatef(now, node, "psm-bad-node", "AM extension for unknown node")
+		return
+	}
+	if until < a.amUntil[node] {
+		a.violatef(now, node, "psm-am-regress",
+			"AM horizon moved back from %v to %v", a.amUntil[node], until)
+	}
+	if until <= now {
+		a.violatef(now, node, "psm-am-past", "AM horizon %v not in the future", until)
+	}
+	a.amUntil[node] = until
+}
+
+// TxWindowSet implements mac.Audit.
+func (a *Auditor) TxWindowSet(now sim.Time, node phy.NodeID, enabled bool, end sim.Time) {
+	if int(node) < 0 || int(node) >= len(a.windowEnd) {
+		a.violatef(now, node, "psm-bad-node", "window change for unknown node")
+		return
+	}
+	if !enabled {
+		return // closing carries no end; the last end stands for monotonicity
+	}
+	if end <= now {
+		a.violatef(now, node, "psm-window-past", "window opened ending at %v", end)
+	}
+	if end < a.windowEnd[node] {
+		a.violatef(now, node, "psm-window-regress",
+			"window end moved back from %v to %v", a.windowEnd[node], end)
+	}
+	// A node in active mode (ODPM keep-alive) legitimately behaves like
+	// 802.11 and opens its window regardless of the ATIM phase; ExtendAM
+	// reports the horizon before the window change, so amUntil is current.
+	if a.inATIM(now) && a.amUntil[node] <= now {
+		a.violatef(now, node, "psm-window-in-atim",
+			"transmit window opened %v into the ATIM window", now%a.cfg.BeaconInterval)
+	}
+	a.windowEnd[node] = end
+}
+
+// --- packet conservation (routing hooks) ---
+
+// PacketOriginated records a data packet entering the network.
+func (a *Auditor) PacketOriginated(now sim.Time, k PacketKey) {
+	if _, dup := a.pkts[k]; dup {
+		a.violatef(now, k.Src, "pkt-reoriginated", "%v originated twice", k)
+		return
+	}
+	a.pkts[k] = pktLive
+	a.originated++
+}
+
+// PacketDelivered records an end-to-end delivery.
+func (a *Auditor) PacketDelivered(now sim.Time, node phy.NodeID, k PacketKey) {
+	a.delivered++
+	switch a.pkts[k] {
+	case pktLive:
+		a.pkts[k] = pktDelivered
+	case pktDelivered, pktDropped:
+		a.dupTerminals++ // in-flight duplication race; diagnostic only
+		a.pkts[k] = pktDelivered
+	default:
+		a.violatef(now, node, "pkt-unknown", "%v delivered but never originated", k)
+	}
+}
+
+// PacketDropped records a terminal drop.
+func (a *Auditor) PacketDropped(now sim.Time, node phy.NodeID, k PacketKey, reason string) {
+	a.dropped++
+	switch a.pkts[k] {
+	case pktLive:
+		a.pkts[k] = pktDropped
+	case pktDelivered, pktDropped:
+		a.dupTerminals++ // in-flight duplication race; diagnostic only
+	default:
+		a.violatef(now, node, "pkt-unknown", "%v dropped (%s) but never originated", k, reason)
+	}
+}
+
+// --- time and energy conservation ---
+
+// ObserveMeters registers the per-node energy meters, indexed by node ID.
+func (a *Auditor) ObserveMeters(ms []*energy.Meter) { a.meters = ms }
+
+// CheckMeters verifies time and joule conservation for every registered
+// meter against its own last-update instant. It reads meter state only (no
+// ObserveAt), so audited runs stay bit-identical to unaudited ones. When
+// final is true, every meter must additionally have been driven to now.
+func (a *Auditor) CheckMeters(now sim.Time, final bool) {
+	for i, m := range a.meters {
+		id := phy.NodeID(i)
+		powered := m.LastUpdate()
+		if at, dead := m.DepletedAt(); dead && at < powered {
+			powered = at
+		}
+		if got := m.AwakeTime() + m.SleepTime(); got != powered {
+			a.violatef(now, id, "energy-time-conservation",
+				"awake %v + sleep %v != powered lifetime %v",
+				m.AwakeTime(), m.SleepTime(), powered)
+		}
+		want := m.AwakeWatts()*m.AwakeTime().Seconds() + m.SleepWatts()*m.SleepTime().Seconds()
+		if cap := m.Capacity(); cap > 0 && want > cap {
+			want = cap
+		}
+		tol := 1e-6 * (1 + math.Abs(want))
+		if diff := m.Joules() - want; diff > tol || diff < -tol {
+			a.violatef(now, id, "energy-joule-decomposition",
+				"joules %.9f != awakeW*awake + sleepW*sleep = %.9f", m.Joules(), want)
+		}
+		if cap := m.Capacity(); cap > 0 && m.Joules() > cap {
+			a.violatef(now, id, "energy-over-capacity",
+				"joules %.9f exceed capacity %.9f", m.Joules(), cap)
+		}
+		if final && m.LastUpdate() != now {
+			a.violatef(now, id, "energy-not-finalized",
+				"meter last updated at %v, run ended at %v", m.LastUpdate(), now)
+		}
+	}
+}
+
+// --- teardown ---
+
+// FinalizePackets reconciles the end-of-run packet census. buffered is
+// every data-packet key still held in a routing send buffer or MAC queue;
+// col is the run's metrics collector; routerDelivered/routerDropped are the
+// summed routing-layer data counters and routerControl the summed per-class
+// control transmissions (nil skips the per-class check). It must be called
+// exactly once, after the final CheckMeters.
+func (a *Auditor) FinalizePackets(now sim.Time, buffered []PacketKey, col *metrics.Collector, routerDelivered, routerDropped uint64, routerControl map[core.Class]uint64) {
+	inBuf := make(map[PacketKey]struct{}, len(buffered))
+	for _, k := range buffered {
+		inBuf[k] = struct{}{}
+		if _, known := a.pkts[k]; !known {
+			a.violatef(now, k.Src, "pkt-unknown", "%v buffered but never originated", k)
+		}
+	}
+	// Every key is in exactly one state, so originated = terminal + live by
+	// construction; the content of the conservation check is that every
+	// live key is still held somewhere — nothing vanished in flight.
+	var leaked []PacketKey
+	live := uint64(0)
+	for k, st := range a.pkts {
+		if st != pktLive {
+			continue
+		}
+		live++
+		if _, ok := inBuf[k]; !ok {
+			leaked = append(leaked, k)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool {
+		ki, kj := leaked[i], leaked[j]
+		if ki.Src != kj.Src {
+			return ki.Src < kj.Src
+		}
+		if ki.Flow != kj.Flow {
+			return ki.Flow < kj.Flow
+		}
+		return ki.Seq < kj.Seq
+	})
+	for _, k := range leaked {
+		a.violatef(now, k.Src, "pkt-leaked",
+			"%v neither delivered, dropped, nor buffered", k)
+	}
+	terminal := a.originated - live
+	if a.delivered+a.dropped < terminal || a.delivered+a.dropped-a.dupTerminals > terminal {
+		a.violatef(now, NoNode, "pkt-conservation",
+			"originated %d = delivered %d + dropped %d + live %d does not balance (%d duplicate terminals)",
+			a.originated, a.delivered, a.dropped, live, a.dupTerminals)
+	}
+
+	// Cross-layer census: the collector, the routing layer and the auditor
+	// observed the same events through independent paths.
+	if col.Originated() != a.originated {
+		a.violatef(now, NoNode, "metrics-mismatch",
+			"collector originated %d, audit saw %d", col.Originated(), a.originated)
+	}
+	if col.Delivered() != a.delivered {
+		a.violatef(now, NoNode, "metrics-mismatch",
+			"collector delivered %d, audit saw %d", col.Delivered(), a.delivered)
+	}
+	var colDrops uint64
+	for _, n := range col.Drops() {
+		colDrops += n
+	}
+	if colDrops != a.dropped {
+		a.violatef(now, NoNode, "metrics-mismatch",
+			"collector drops %d, audit saw %d", colDrops, a.dropped)
+	}
+	if routerDelivered != a.delivered {
+		a.violatef(now, NoNode, "router-mismatch",
+			"router stats delivered %d, audit saw %d", routerDelivered, a.delivered)
+	}
+	if routerDropped != a.dropped {
+		a.violatef(now, NoNode, "router-mismatch",
+			"router stats dropped %d, audit saw %d", routerDropped, a.dropped)
+	}
+	if routerControl != nil {
+		// Per-class control conservation: the routing layer's own counters
+		// and the collector's hook-fed tallies must agree class by class.
+		_, colByClass := col.ControlTransmissions()
+		for _, cl := range []core.Class{core.ClassRREQ, core.ClassRREP, core.ClassRERR} {
+			if colByClass[cl] != routerControl[cl] {
+				a.violatef(now, NoNode, "router-mismatch",
+					"collector %v transmissions %d, router stats %d",
+					cl, colByClass[cl], routerControl[cl])
+			}
+		}
+	}
+	for _, s := range col.SelfCheck() {
+		a.violatef(now, NoNode, "metrics-selfcheck", "%s", s)
+	}
+}

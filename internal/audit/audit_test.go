@@ -1,0 +1,262 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"rcast/internal/core"
+	"rcast/internal/energy"
+	"rcast/internal/metrics"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+func newAuditor(nodes int) *Auditor {
+	return New(Config{
+		Nodes:          nodes,
+		BeaconInterval: sim.FromSeconds(0.25),
+		ATIMWindow:     sim.FromSeconds(0.05),
+		BeaconStop:     sim.FromSeconds(100),
+	})
+}
+
+func wantRule(t *testing.T, a *Auditor, rule string) {
+	t.Helper()
+	for _, v := range a.Violations() {
+		if v.Rule == rule {
+			return
+		}
+	}
+	t.Fatalf("expected a %q violation, got %v", rule, a.Violations())
+}
+
+func wantClean(t *testing.T, a *Auditor) {
+	t.Helper()
+	if a.Count() != 0 {
+		t.Fatalf("expected no violations, got %v", a.Violations())
+	}
+}
+
+func TestSchedulerMonotoneAndCancelled(t *testing.T) {
+	a := newAuditor(1)
+	a.SchedulerEvent(10, false)
+	a.SchedulerEvent(10, false) // same instant is fine
+	a.SchedulerEvent(20, false)
+	wantClean(t, a)
+	a.SchedulerEvent(15, false)
+	wantRule(t, a, "sched-monotone")
+
+	b := newAuditor(1)
+	b.SchedulerEvent(5, true)
+	wantRule(t, b, "sched-cancelled-fired")
+}
+
+func TestFrameDeliveredToSleeper(t *testing.T) {
+	a := newAuditor(2)
+	a.FrameDelivered(100, 1, true, phy.Frame{})
+	wantClean(t, a)
+	a.FrameDelivered(200, 1, false, phy.Frame{})
+	wantRule(t, a, "phy-deliver-asleep")
+}
+
+func TestPSMPhaseRules(t *testing.T) {
+	iv := sim.FromSeconds(0.25)
+	atim := sim.FromSeconds(0.05)
+
+	a := newAuditor(2)
+	a.BeaconStarted(3*iv, 0)
+	a.NodeSlept(3*iv+atim, 0) // at the boundary: legal
+	wantClean(t, a)
+
+	a.BeaconStarted(3*iv+1, 0)
+	wantRule(t, a, "psm-beacon-cadence")
+
+	b := newAuditor(2)
+	b.NodeSlept(5*iv+atim/2, 1)
+	wantRule(t, b, "psm-sleep-in-atim")
+
+	// After BeaconStop the ATIM structure no longer exists.
+	c := newAuditor(2)
+	c.NodeSlept(sim.FromSeconds(100)+atim/2, 1)
+	wantClean(t, c)
+}
+
+func TestAMHorizonMonotone(t *testing.T) {
+	a := newAuditor(2)
+	a.AMExtended(100, 0, 500)
+	a.AMExtended(200, 0, 500) // re-assert same horizon: fine
+	a.AMExtended(300, 0, 900)
+	wantClean(t, a)
+	a.AMExtended(400, 0, 700)
+	wantRule(t, a, "psm-am-regress")
+
+	b := newAuditor(2)
+	b.AMExtended(400, 0, 400) // not in the future
+	wantRule(t, b, "psm-am-past")
+}
+
+func TestTxWindowRules(t *testing.T) {
+	iv := sim.FromSeconds(0.25)
+	atim := sim.FromSeconds(0.05)
+
+	a := newAuditor(2)
+	a.TxWindowSet(atim, 0, true, iv)
+	a.TxWindowSet(iv, 0, false, 0) // closing never regresses
+	a.TxWindowSet(iv+atim, 0, true, 2*iv)
+	wantClean(t, a)
+	a.TxWindowSet(iv+atim+1, 0, true, iv)
+	wantRule(t, a, "psm-window-regress")
+
+	b := newAuditor(2)
+	b.TxWindowSet(atim/2, 0, true, iv)
+	wantRule(t, b, "psm-window-in-atim")
+
+	c := newAuditor(2)
+	c.TxWindowSet(atim, 0, true, atim)
+	wantRule(t, c, "psm-window-past")
+}
+
+func TestPacketLifecycle(t *testing.T) {
+	a := newAuditor(3)
+	k1 := PacketKey{Src: 0, Flow: 1, Seq: 1}
+	k2 := PacketKey{Src: 0, Flow: 1, Seq: 2}
+	k3 := PacketKey{Src: 1, Flow: 2, Seq: 1}
+	a.PacketOriginated(10, k1)
+	a.PacketOriginated(20, k2)
+	a.PacketOriginated(30, k3)
+	a.PacketDelivered(40, 2, k1)
+	a.PacketDropped(50, 1, k2, "no-route")
+
+	col := metrics.NewCollector(3)
+	col.DataOriginated()
+	col.DataOriginated()
+	col.DataOriginated()
+	col.DataDelivered(30, 512, 2)
+	col.DataDropped("no-route")
+
+	// k3 still buffered: conservation holds.
+	a.CheckMeters(100, false)
+	a.FinalizePackets(100, []PacketKey{k3}, col, 1, 1, nil)
+	wantClean(t, a)
+}
+
+func TestPacketLeakDetected(t *testing.T) {
+	a := newAuditor(2)
+	k := PacketKey{Src: 0, Flow: 1, Seq: 1}
+	a.PacketOriginated(10, k)
+	col := metrics.NewCollector(2)
+	col.DataOriginated()
+	a.FinalizePackets(100, nil, col, 0, 0, nil)
+	wantRule(t, a, "pkt-leaked")
+}
+
+func TestPacketAnomalies(t *testing.T) {
+	a := newAuditor(2)
+	k := PacketKey{Src: 0, Flow: 1, Seq: 1}
+	a.PacketOriginated(10, k)
+	a.PacketOriginated(20, k)
+	wantRule(t, a, "pkt-reoriginated")
+
+	b := newAuditor(2)
+	b.PacketDelivered(10, 1, k)
+	wantRule(t, b, "pkt-unknown")
+
+	// Terminal-after-terminal is the legitimate ACK-lost duplication race
+	// (basic DSR/AODV destinations keep no dedup state): diagnostic only.
+	c := newAuditor(2)
+	c.PacketOriginated(10, k)
+	c.PacketDelivered(20, 1, k)
+	c.PacketDelivered(30, 1, k)
+	wantClean(t, c)
+	if c.DupTerminals() != 1 {
+		t.Fatalf("DupTerminals = %d, want 1", c.DupTerminals())
+	}
+
+	d := newAuditor(2)
+	d.PacketOriginated(10, k)
+	d.PacketDelivered(20, 1, k)
+	d.PacketDropped(30, 0, k, "link-failure")
+	wantClean(t, d)
+	if d.DupTerminals() != 1 {
+		t.Fatalf("DupTerminals = %d, want 1", d.DupTerminals())
+	}
+}
+
+func TestCollectorMismatch(t *testing.T) {
+	a := newAuditor(2)
+	k := PacketKey{Src: 0, Flow: 1, Seq: 1}
+	a.PacketOriginated(10, k)
+	a.PacketDelivered(20, 1, k)
+	col := metrics.NewCollector(2) // saw nothing
+	a.FinalizePackets(100, nil, col, 1, 0, nil)
+	wantRule(t, a, "metrics-mismatch")
+}
+
+func TestMeterConservation(t *testing.T) {
+	m := energy.NewMeter(1.0, 0.1, 0)
+	end := sim.FromSeconds(100)
+	if err := m.SetState(sim.FromSeconds(40), energy.Asleep); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ObserveAt(end); err != nil {
+		t.Fatal(err)
+	}
+
+	a := newAuditor(1)
+	a.ObserveMeters([]*energy.Meter{m})
+	a.CheckMeters(end, true)
+	wantClean(t, a)
+
+	// A meter not driven to the final instant is flagged on the final sweep.
+	b := newAuditor(1)
+	b.ObserveMeters([]*energy.Meter{m})
+	b.CheckMeters(end+1, true)
+	wantRule(t, b, "energy-not-finalized")
+}
+
+func TestMeterDepletionConservation(t *testing.T) {
+	m := energy.NewMeter(1.0, 0.1, 10) // awake: dies at 10s
+	end := sim.FromSeconds(50)
+	if err := m.ObserveAt(end); err != nil {
+		t.Fatal(err)
+	}
+	a := newAuditor(1)
+	a.ObserveMeters([]*energy.Meter{m})
+	a.CheckMeters(end, true)
+	wantClean(t, a)
+}
+
+func TestViolationCapAndString(t *testing.T) {
+	a := New(Config{Nodes: 1, MaxRecorded: 2})
+	for i := 0; i < 5; i++ {
+		a.SchedulerEvent(sim.Time(10-i), false)
+	}
+	if a.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", a.Count())
+	}
+	if len(a.Violations()) != 2 {
+		t.Fatalf("recorded %d, want cap 2", len(a.Violations()))
+	}
+	s := a.Violations()[0].String()
+	if !strings.Contains(s, "sched-monotone") {
+		t.Fatalf("String() = %q, want rule name", s)
+	}
+}
+
+func TestControlClassMismatch(t *testing.T) {
+	a := newAuditor(2)
+	col := metrics.NewCollector(2)
+	col.ControlSent(core.ClassRREQ)
+	col.ControlSent(core.ClassRREP)
+	// Routers claim an extra RERR the collector never saw.
+	a.FinalizePackets(100, nil, col, 0, 0, map[core.Class]uint64{
+		core.ClassRREQ: 1, core.ClassRREP: 1, core.ClassRERR: 1,
+	})
+	wantRule(t, a, "router-mismatch")
+
+	b := newAuditor(2)
+	b.FinalizePackets(100, nil, col, 0, 0, map[core.Class]uint64{
+		core.ClassRREQ: 1, core.ClassRREP: 1,
+	})
+	wantClean(t, b)
+}

@@ -316,6 +316,31 @@ func (Combined) ShouldOverhear(rng *rand.Rand, lvl Level, ctx ListenContext) boo
 // Name implements Policy.
 func (Combined) Name() string { return "combined" }
 
+// FixedProb advertises like Rcast but overhears randomized advertisements
+// with a fixed probability P instead of 1/neighbors. It exists for
+// calibration and differential testing: P >= 1 never consults the rng
+// (probRandomized short-circuits), which makes FixedProb{P: 1} listeners
+// bit-identical to Unconditional ones — the scenario-level oracle tests
+// rely on exactly that.
+type FixedProb struct {
+	// P is the stay-awake probability for LevelRandomized advertisements;
+	// values are used as-is (clamped only by probRandomized's semantics).
+	P float64
+}
+
+var _ Policy = FixedProb{}
+
+// AdvertiseLevel implements Policy.
+func (FixedProb) AdvertiseLevel(c Class) Level { return Rcast{}.AdvertiseLevel(c) }
+
+// ShouldOverhear implements Policy.
+func (f FixedProb) ShouldOverhear(rng *rand.Rand, lvl Level, _ ListenContext) bool {
+	return probRandomized(rng, lvl, f.P)
+}
+
+// Name implements Policy.
+func (f FixedProb) Name() string { return fmt.Sprintf("fixed-%.2f", f.P) }
+
 // BroadcastGossip implements the §5 extension of applying Rcast to
 // broadcast packets (RREQ) to damp redundant rebroadcasts in dense networks
 // (the broadcast-storm problem, Ni et al.). A node rebroadcasts with

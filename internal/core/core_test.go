@@ -284,3 +284,48 @@ func TestLevelMonotonicityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBroadcastGossipFractionalFanout pins down the boundary between the
+// always-rebroadcast regime and the probabilistic one when Fanout is not an
+// integer: the guarantee applies to neighborhoods of at most ⌊fanout⌋
+// nodes, and the first probabilistic neighborhood size is ⌊fanout⌋+1.
+func TestBroadcastGossipFractionalFanout(t *testing.T) {
+	g := BroadcastGossip{Fanout: 3.5}
+	rng := newRNG()
+	// neighbors <= ⌊3.5⌋ = 3: certain rebroadcast, no randomness drawn.
+	for _, n := range []int{0, 1, 2, 3} {
+		for i := 0; i < 100; i++ {
+			if !g.ShouldRebroadcast(rng, n) {
+				t.Fatalf("neighbors=%d below fractional fanout must rebroadcast", n)
+			}
+		}
+	}
+	// neighbors = 4 crosses the boundary: probabilistic at 3.5/4 = 0.875.
+	hits := 0
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		if g.ShouldRebroadcast(rng, 4) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.85 || got > 0.90 {
+		t.Fatalf("empirical rebroadcast p = %v at the fractional boundary, want ~0.875", got)
+	}
+	if hits == trials {
+		t.Fatal("boundary neighborhood rebroadcast with certainty; gossip damping is off")
+	}
+
+	// A sub-unit fractional fanout clamps to 1: two neighbors damp at 1/2.
+	weak := BroadcastGossip{Fanout: 0.4}
+	hits = 0
+	for i := 0; i < trials; i++ {
+		if weak.ShouldRebroadcast(rng, 2) {
+			hits++
+		}
+	}
+	got = float64(hits) / trials
+	if got < 0.47 || got > 0.53 {
+		t.Fatalf("clamped fanout: empirical p = %v, want ~0.5", got)
+	}
+}

@@ -64,7 +64,9 @@ type Meter struct {
 	awakeFor sim.Time
 	sleepFor sim.Time
 
-	capacity float64 // joules; 0 means unlimited
+	capacity   float64 // joules; 0 means unlimited
+	depletedAt sim.Time
+	depleted   bool
 }
 
 // NewMeter returns a meter that is Awake at t=0. Non-positive power values
@@ -101,21 +103,39 @@ func (m *Meter) accrue(now sim.Time) error {
 	if now < m.lastAt {
 		return ErrTimeReversal
 	}
+	prev := m.lastAt
 	dt := now - m.lastAt
 	m.lastAt = now
 	if m.Depleted() {
 		return nil // a dead battery draws nothing
 	}
+	var watts float64
 	switch m.state {
 	case Awake:
-		m.joules += m.awakeW * dt.Seconds()
+		watts = m.awakeW
+	case Asleep:
+		watts = m.sleepW
+	}
+	// When this interval crosses the depletion point, split it at the
+	// depletion instant: joules stop at capacity and time-in-state stops
+	// with them, so AwakeTime+SleepTime always equals the powered lifetime.
+	if m.capacity > 0 && watts > 0 && m.joules+watts*dt.Seconds() >= m.capacity {
+		ttl := sim.FromSeconds((m.capacity - m.joules) / watts)
+		if ttl > dt {
+			ttl = dt
+		}
+		dt = ttl
+		m.joules = m.capacity
+		m.depleted = true
+		m.depletedAt = prev + ttl
+	} else {
+		m.joules += watts * dt.Seconds()
+	}
+	switch m.state {
+	case Awake:
 		m.awakeFor += dt
 	case Asleep:
-		m.joules += m.sleepW * dt.Seconds()
 		m.sleepFor += dt
-	}
-	if m.capacity > 0 && m.joules > m.capacity {
-		m.joules = m.capacity
 	}
 	return nil
 }
@@ -146,6 +166,22 @@ func (m *Meter) DepletionIn() sim.Time {
 
 // Joules returns total consumption through the last update.
 func (m *Meter) Joules() float64 { return m.joules }
+
+// LastUpdate returns the instant of the most recent accrual (SetState or
+// ObserveAt).
+func (m *Meter) LastUpdate() sim.Time { return m.lastAt }
+
+// DepletedAt returns the instant a limited battery ran out, if it has.
+func (m *Meter) DepletedAt() (sim.Time, bool) { return m.depletedAt, m.depleted }
+
+// AwakeWatts returns the awake-state draw.
+func (m *Meter) AwakeWatts() float64 { return m.awakeW }
+
+// SleepWatts returns the doze-state draw.
+func (m *Meter) SleepWatts() float64 { return m.sleepW }
+
+// Capacity returns the battery capacity in joules (0 = unlimited).
+func (m *Meter) Capacity() float64 { return m.capacity }
 
 // AwakeTime returns cumulative time spent awake through the last update.
 func (m *Meter) AwakeTime() sim.Time { return m.awakeFor }

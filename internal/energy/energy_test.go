@@ -188,3 +188,61 @@ func TestEnergyDecompositionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// An interval that crosses the depletion point must be split there: joules
+// clamp to capacity AND time-in-state stops at the depletion instant, so
+// AwakeTime+SleepTime equals the powered lifetime rather than the
+// observation horizon.
+func TestDepletionBoundarySplit(t *testing.T) {
+	m := NewMeter(1.0, 0.1, 10) // 4 J awake + 6 J asleep => dead at t=64s
+	if err := m.SetState(4*sim.Second, Asleep); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ObserveAt(100 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Depleted() {
+		t.Fatal("meter should be depleted")
+	}
+	if got := m.Joules(); got != 10 {
+		t.Errorf("Joules = %v, want capacity 10", got)
+	}
+	at, ok := m.DepletedAt()
+	if !ok || at != 64*sim.Second {
+		t.Errorf("DepletedAt = %v, %v; want 64s, true", at, ok)
+	}
+	if m.AwakeTime() != 4*sim.Second || m.SleepTime() != 60*sim.Second {
+		t.Errorf("time-in-state = awake %v + sleep %v; want 4s + 60s",
+			m.AwakeTime(), m.SleepTime())
+	}
+	if sum := m.AwakeTime() + m.SleepTime(); sum != at {
+		t.Errorf("awake+sleep = %v, want depletion instant %v", sum, at)
+	}
+	if m.LastUpdate() != 100*sim.Second {
+		t.Errorf("LastUpdate = %v, want 100s", m.LastUpdate())
+	}
+	// Post-depletion observations change nothing.
+	if err := m.ObserveAt(200 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.AwakeTime() != 4*sim.Second || m.SleepTime() != 60*sim.Second || m.Joules() != 10 {
+		t.Error("depleted meter kept accruing")
+	}
+}
+
+// Depletion exactly at an observation instant must not over- or under-count.
+func TestDepletionExactBoundary(t *testing.T) {
+	m := NewMeter(1.0, 0.045, 10)
+	if err := m.ObserveAt(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Depleted() || m.Joules() != 10 {
+		t.Fatalf("joules = %v, depleted = %v; want 10, true", m.Joules(), m.Depleted())
+	}
+	if at, ok := m.DepletedAt(); !ok || at != 10*sim.Second {
+		t.Errorf("DepletedAt = %v, %v; want 10s, true", at, ok)
+	}
+	if m.AwakeTime() != 10*sim.Second {
+		t.Errorf("AwakeTime = %v, want 10s", m.AwakeTime())
+	}
+}

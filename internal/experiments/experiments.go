@@ -100,6 +100,7 @@ type Suite struct {
 	out     io.Writer
 	cache   map[runKey]*scenario.Aggregate
 	workers int
+	audit   bool
 	ctx     context.Context
 	simRuns atomic.Int64
 }
@@ -117,6 +118,12 @@ func NewSuite(p Profile, out io.Writer) *Suite {
 // n <= 0 selects runtime.GOMAXPROCS(0), 1 reproduces the serial path.
 // Every setting produces identical output.
 func (s *Suite) SetWorkers(n int) { s.workers = n }
+
+// SetAudit turns on the cross-layer invariant audit (scenario.Config.Audit)
+// for every simulation the suite runs. Any violation aborts the suite with
+// an error naming the first breach. Metrics are unchanged either way: the
+// audit only observes.
+func (s *Suite) SetAudit(on bool) { s.audit = on }
 
 // SetContext installs a cancellation context consulted between simulation
 // runs; cancelling it makes the in-progress generator return its error.
@@ -158,6 +165,7 @@ func (s *Suite) config(k runKey) scenario.Config {
 	if k.gossip {
 		cfg.GossipFanout = 3
 	}
+	cfg.Audit = s.audit
 	return cfg
 }
 
@@ -211,6 +219,7 @@ func (s *Suite) prefetch(keys ...runKey) error {
 func (s *Suite) runConfigs(cfgs []scenario.Config) ([]*scenario.Aggregate, error) {
 	specs := make([]RunSpec, len(cfgs))
 	for i, cfg := range cfgs {
+		cfg.Audit = cfg.Audit || s.audit
 		specs[i] = RunSpec{Cfg: cfg, Reps: s.p.Reps}
 	}
 	return s.runner().Run(s.context(), specs)

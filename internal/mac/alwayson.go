@@ -55,6 +55,9 @@ func (m *AlwaysOn) NodeID() phy.NodeID { return m.radio.ID() }
 // Stats implements Mac.
 func (m *AlwaysOn) Stats() Stats { return m.stats }
 
+// Queued implements Mac.
+func (m *AlwaysOn) Queued() []Packet { return m.dcf.queuedPackets() }
+
 func (m *AlwaysOn) deliver(from phy.NodeID, pkt Packet, toMe bool) {
 	if m.up == nil {
 		return

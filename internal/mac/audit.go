@@ -1,0 +1,25 @@
+package mac
+
+import (
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// Audit observes PSM power-management transitions for invariant checking
+// (implemented by internal/audit; this package defines the interface so it
+// never depends on the checker). All methods are called synchronously from
+// scheduler events. A nil Audit disables instrumentation entirely — the hot
+// path then pays one nil check per beacon-cycle transition.
+type Audit interface {
+	// BeaconStarted fires when a station wakes for a beacon's ATIM window.
+	BeaconStarted(now sim.Time, node phy.NodeID)
+	// NodeSlept fires when a station voluntarily dozes for a data phase.
+	// Battery-depletion kills are not reported: dying is legal at any
+	// instant, sleeping is not.
+	NodeSlept(now sim.Time, node phy.NodeID)
+	// AMExtended fires after ExtendAM moves the active-mode horizon.
+	AMExtended(now sim.Time, node phy.NodeID, until sim.Time)
+	// TxWindowSet fires on every transmit-window change; end is meaningful
+	// only when enabled.
+	TxWindowSet(now sim.Time, node phy.NodeID, enabled bool, end sim.Time)
+}

@@ -1,0 +1,52 @@
+package mac
+
+import (
+	"testing"
+
+	"rcast/internal/core"
+	"rcast/internal/geom"
+	"rcast/internal/mobility"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// The churn rate must normalize by the real time since the previous sample,
+// not by the beacon interval, and the first sample must only record the
+// baseline neighbor set (there is no interval to rate over yet).
+func TestChurnNormalizesByElapsedTime(t *testing.T) {
+	r := newRig(t, 1, 10)
+	m := r.psm(0, core.Rcast{})
+
+	// First sample: one neighbor appears "out of nowhere" relative to the
+	// empty baseline; it must not register as churn.
+	r.ch.AddRadio(phy.NodeID(1), mobility.Static{P: geom.Point{X: 10}})
+	m.updateChurn(0)
+	if m.LinkChangesPerSec() != 0 {
+		t.Fatalf("baseline sample moved churn to %v, want 0", m.LinkChangesPerSec())
+	}
+
+	// One link change over 10 s: rate 0.1/s, EWMA (alpha 0.2) = 0.02 — not
+	// the 1/BeaconInterval = 4/s a fixed-interval divisor would produce.
+	r.ch.AddRadio(phy.NodeID(2), mobility.Static{P: geom.Point{X: 20}})
+	m.updateChurn(10 * sim.Second)
+	if got, want := m.LinkChangesPerSec(), 0.2*0.1; !almostEqual(got, want) {
+		t.Errorf("churn after 1 change / 10 s = %v, want %v", got, want)
+	}
+
+	// A stable neighborhood decays the estimate regardless of sample gap.
+	m.updateChurn(12 * sim.Second)
+	if got, want := m.LinkChangesPerSec(), 0.8*0.2*0.1; !almostEqual(got, want) {
+		t.Errorf("churn after stable sample = %v, want %v", got, want)
+	}
+
+	// Zero-elapsed resample is a no-op, not a divide-by-zero.
+	m.updateChurn(12 * sim.Second)
+	if got, want := m.LinkChangesPerSec(), 0.8*0.2*0.1; !almostEqual(got, want) {
+		t.Errorf("churn after zero-dt sample = %v, want %v", got, want)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}

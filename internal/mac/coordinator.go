@@ -84,6 +84,15 @@ func (c *Coordinator) AddStation(s Station) { c.stations = append(c.stations, s)
 // Beacons returns how many beacon boundaries have fired.
 func (c *Coordinator) Beacons() uint64 { return c.beacons }
 
+// BeaconInterval returns the effective beacon interval.
+func (c *Coordinator) BeaconInterval() sim.Time { return c.interval }
+
+// ATIMWindow returns the effective ATIM window (clamped below the interval).
+func (c *Coordinator) ATIMWindow() sim.Time { return c.atim }
+
+// StopAt returns the instant at or after which no beacon fires.
+func (c *Coordinator) StopAt() sim.Time { return c.stopAt }
+
 // ATIMCollisions returns how many advertisement receptions were lost to
 // slot collisions (contention mode only).
 func (c *Coordinator) ATIMCollisions() uint64 { return c.atimCollisions }

@@ -460,9 +460,15 @@ func (d *dcf) onData(f phy.Frame, df *dataFrame) {
 			}, d.p.DataRateMbps)
 		})
 	}
-	// Per-sender duplicate suppression: sequence numbers are monotone per
-	// sender, retransmissions reuse the same value.
-	if last, ok := d.lastSeen[f.From]; ok && df.Seq <= last {
+	// Per-sender duplicate suppression. Frames from one sender arrive in
+	// transmission order and a retransmission (lost ACK) repeats the same
+	// sequence number back to back, so a duplicate is exactly a repeat of
+	// the sender's most recent number. An ordering test (Seq <= last)
+	// would be wrong: PSM's ATIM admission gate serves the transmit queue
+	// out of order, so a frame heard later can legitimately carry a
+	// smaller number — discarding it here would ACK the frame and then
+	// silently drop the packet.
+	if last, ok := d.lastSeen[f.From]; ok && df.Seq == last {
 		return
 	}
 	d.lastSeen[f.From] = df.Seq

@@ -125,6 +125,10 @@ type Mac interface {
 	NodeID() phy.NodeID
 	// Stats returns a copy of the MAC counters.
 	Stats() Stats
+	// Queued returns the packets the MAC currently holds (transmit queue
+	// and, for PSM, packets awaiting the next ATIM window). The audit
+	// layer enumerates still-buffered traffic with it at teardown.
+	Queued() []Packet
 }
 
 // Stats counts MAC-level events.

@@ -45,7 +45,11 @@ type PSM struct {
 
 	lastHeard     map[phy.NodeID]sim.Time
 	prevNeighbors map[phy.NodeID]struct{}
-	linkChurn     float64 // EWMA link changes per second
+	linkChurn     float64  // EWMA link changes per second
+	churnAt       sim.Time // instant of the previous churn sample
+	churnInit     bool     // a baseline neighbor set has been recorded
+
+	audit Audit // nil = no invariant instrumentation
 
 	// ATIM-contention admission state (Params.ATIMContention).
 	lastAnnounced []annKey
@@ -104,6 +108,17 @@ func (m *PSM) Radio() *phy.Radio { return m.radio }
 // SetFastPath installs the ODPM fast-path query (may be nil).
 func (m *PSM) SetFastPath(f func(dst phy.NodeID) bool) { m.fastPath = f }
 
+// SetAudit installs the invariant observer (nil disables instrumentation).
+func (m *PSM) SetAudit(a Audit) { m.audit = a }
+
+// setWindow forwards to the DCF and reports the change to the auditor.
+func (m *PSM) setWindow(enabled bool, end sim.Time) {
+	m.dcf.setWindow(enabled, end)
+	if m.audit != nil {
+		m.audit.TxWindowSet(m.sched.Now(), m.radio.ID(), enabled, end)
+	}
+}
+
 // ExtendAM keeps the node in active mode until at least `until`. While in
 // AM the node never sleeps and may transmit outside the beacon data phase.
 func (m *PSM) ExtendAM(until sim.Time) {
@@ -112,13 +127,16 @@ func (m *PSM) ExtendAM(until sim.Time) {
 	}
 	m.amUntil = until
 	now := m.sched.Now()
+	if m.audit != nil {
+		m.audit.AMExtended(now, m.radio.ID(), until)
+	}
 	if !m.radio.Awake() {
 		m.radio.SetAwake(true)
 		_ = m.meter.SetState(now, energy.Awake)
 	}
 	// Open the transmit window immediately: AM nodes behave like 802.11.
 	if !m.dcf.enabled {
-		m.dcf.setWindow(true, m.nextBoundary(now))
+		m.setWindow(true, m.nextBoundary(now))
 	}
 }
 
@@ -157,6 +175,13 @@ func (m *PSM) NodeID() phy.NodeID { return m.radio.ID() }
 // Stats implements Mac.
 func (m *PSM) Stats() Stats { return m.stats }
 
+// Queued implements Mac: packets in the DCF queue plus packets waiting for
+// the next ATIM window.
+func (m *PSM) Queued() []Packet {
+	out := m.dcf.queuedPackets()
+	return append(out, m.pending...)
+}
+
 // LinkChangesPerSec returns the node's mobility estimate.
 func (m *PSM) LinkChangesPerSec() float64 { return m.linkChurn }
 
@@ -165,7 +190,7 @@ func (m *PSM) LinkChangesPerSec() float64 { return m.linkChurn }
 func (m *PSM) Kill() {
 	m.dead = true
 	m.amUntil = 0
-	m.dcf.setWindow(false, 0)
+	m.setWindow(false, 0)
 	m.radio.SetAwake(false)
 	_ = m.meter.SetState(m.sched.Now(), energy.Asleep)
 }
@@ -182,7 +207,10 @@ func (m *PSM) BeaconStart(now sim.Time) []Announcement {
 	}
 	m.radio.SetAwake(true)
 	_ = m.meter.SetState(now, energy.Awake)
-	m.dcf.setWindow(false, 0)
+	if m.audit != nil {
+		m.audit.BeaconStarted(now, m.radio.ID())
+	}
+	m.setWindow(false, 0)
 	m.updateChurn(now)
 
 	for _, p := range m.pending {
@@ -267,11 +295,14 @@ func (m *PSM) ATIMEnd(now sim.Time, heard []Announcement, nextBeacon sim.Time) {
 	}
 	if awake {
 		m.stats.AwakePhases++
-		m.dcf.setWindow(true, nextBeacon)
+		m.setWindow(true, nextBeacon)
 		return
 	}
 	m.stats.SleptPhases++
-	m.dcf.setWindow(false, 0)
+	m.setWindow(false, 0)
+	if m.audit != nil {
+		m.audit.NodeSlept(now, m.radio.ID())
+	}
 	m.radio.SetAwake(false)
 	_ = m.meter.SetState(now, energy.Asleep)
 }
@@ -301,8 +332,8 @@ func (m *PSM) shouldStayAwake(now sim.Time, heard []Announcement) bool {
 			ctx = m.listenContext(now)
 			haveCtx = true
 		}
-		heard, ok := m.lastHeard[a.From]
-		ctx.SenderRecentlyHeard = ok && now-heard <= senderRecencyWindow
+		last, ok := m.lastHeard[a.From]
+		ctx.SenderRecentlyHeard = ok && now-last <= senderRecencyWindow
 		if m.policy.ShouldOverhear(m.rng, a.Level, ctx) {
 			return true
 		}
@@ -318,7 +349,11 @@ func (m *PSM) listenContext(now sim.Time) core.ListenContext {
 	}
 }
 
-// updateChurn refreshes the EWMA of neighbor-set changes per second.
+// updateChurn refreshes the EWMA of neighbor-set changes per second. Samples
+// are not necessarily one beacon interval apart (a node can miss beacons
+// around death, and the very first sample has no predecessor at all), so the
+// rate normalizes by the real time since the previous sample; the first
+// sample only records the baseline neighbor set.
 func (m *PSM) updateChurn(now sim.Time) {
 	cur := make(map[phy.NodeID]struct{})
 	for _, id := range m.ch.Neighbors(m.radio, now) {
@@ -336,7 +371,17 @@ func (m *PSM) updateChurn(now sim.Time) {
 		}
 	}
 	m.prevNeighbors = cur
-	rate := float64(changes) / m.p.BeaconInterval.Seconds()
+	if !m.churnInit {
+		m.churnInit = true
+		m.churnAt = now
+		return
+	}
+	dt := now - m.churnAt
+	m.churnAt = now
+	if dt <= 0 {
+		return
+	}
+	rate := float64(changes) / dt.Seconds()
 	const alpha = 0.2
 	m.linkChurn = (1-alpha)*m.linkChurn + alpha*rate
 }

@@ -6,6 +6,8 @@
 package metrics
 
 import (
+	"fmt"
+
 	"rcast/internal/core"
 	"rcast/internal/phy"
 	"rcast/internal/sim"
@@ -174,6 +176,38 @@ func (c *Collector) Forwards() []uint64 {
 	out := make([]uint64, len(c.forwards))
 	copy(out, c.forwards)
 	return out
+}
+
+// SelfCheck verifies the collector's internal bookkeeping and returns one
+// description per inconsistency (nil when consistent). The audit layer runs
+// it at teardown; every check ties two independently maintained views of
+// the same quantity together.
+func (c *Collector) SelfCheck() []string {
+	var bad []string
+	if uint64(len(c.delaySamples)) != c.delivered {
+		bad = append(bad, fmt.Sprintf("delay samples (%d) != deliveries (%d)",
+			len(c.delaySamples), c.delivered))
+	}
+	var sum float64
+	for _, s := range c.delaySamples {
+		sum += s
+	}
+	if diff := sum - c.totalDelay.Seconds(); diff > 1e-3 || diff < -1e-3 {
+		bad = append(bad, fmt.Sprintf("delay sample sum %.6fs != total delay %.6fs",
+			sum, c.totalDelay.Seconds()))
+	}
+	var fw uint64
+	for _, f := range c.forwards {
+		fw += f
+	}
+	if fw > c.dataTx {
+		bad = append(bad, fmt.Sprintf("per-node forwards (%d) exceed data transmissions (%d)",
+			fw, c.dataTx))
+	}
+	if c.delivered > 0 && c.deliveredBits <= 0 {
+		bad = append(bad, fmt.Sprintf("%d deliveries carried no payload bits", c.delivered))
+	}
+	return bad
 }
 
 // Drops returns a copy of the per-reason drop counts.

@@ -131,3 +131,70 @@ func TestSnapshotsAreCopies(t *testing.T) {
 		t.Error("Drops returned aliased storage")
 	}
 }
+
+// TestOutOfRangeNodeIDs checks that per-node attribution rejects IDs
+// outside the collector's node range instead of panicking or corrupting a
+// neighbor's counters; aggregate totals still advance.
+func TestOutOfRangeNodeIDs(t *testing.T) {
+	c := NewCollector(3)
+	for _, id := range []phy.NodeID{-1, 3, 1000} {
+		c.DataForwarded(id)
+	}
+	c.DataForwarded(1)
+	if got := c.Forwards(); got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("Forwards = %v, want only node 1 credited", got)
+	}
+	// Out-of-range forwards still count as data transmissions (the frames
+	// were sent) — only the per-node attribution is dropped.
+	if c.dataTx != 4 {
+		t.Errorf("dataTx = %d, want 4", c.dataTx)
+	}
+
+	c.RouteCached([]phy.NodeID{0, -5, 99, 2})
+	c.RouteCached([]phy.NodeID{0, 1, 2})
+	if got := c.RoleNumbers(); got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("RoleNumbers = %v, want only node 1 credited", got)
+	}
+	if bad := c.SelfCheck(); bad != nil {
+		t.Errorf("SelfCheck after out-of-range events: %v", bad)
+	}
+}
+
+// TestSelfCheckCatchesCorruption corrupts each independently maintained
+// pair of counters and checks SelfCheck reports it.
+func TestSelfCheckCatchesCorruption(t *testing.T) {
+	clean := func() *Collector {
+		c := NewCollector(2)
+		c.DataOriginated()
+		c.DataTransmitted()
+		c.DataDelivered(100*sim.Millisecond, 512, 1)
+		return c
+	}
+	if bad := clean().SelfCheck(); bad != nil {
+		t.Fatalf("consistent collector flagged: %v", bad)
+	}
+
+	c := clean()
+	c.delivered++ // delivery without a delay sample
+	if bad := c.SelfCheck(); len(bad) == 0 {
+		t.Error("missing delay sample not detected")
+	}
+
+	c = clean()
+	c.totalDelay += sim.Second // sum no longer matches samples
+	if bad := c.SelfCheck(); len(bad) == 0 {
+		t.Error("delay sum drift not detected")
+	}
+
+	c = clean()
+	c.forwards[0] = 5 // forwards exceed data transmissions
+	if bad := c.SelfCheck(); len(bad) == 0 {
+		t.Error("forward overcount not detected")
+	}
+
+	c = clean()
+	c.deliveredBits = 0 // deliveries without payload
+	if bad := c.SelfCheck(); len(bad) == 0 {
+		t.Error("zero payload bits not detected")
+	}
+}

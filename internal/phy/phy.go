@@ -85,6 +85,13 @@ type Receiver interface {
 	OnFrame(f Frame)
 }
 
+// DeliveryObserver is notified of every reception that completes
+// successfully, immediately before the MAC upcall (invariant auditing).
+// awake is the receiving radio's power state at the delivery instant.
+type DeliveryObserver interface {
+	FrameDelivered(now sim.Time, rx NodeID, awake bool, f Frame)
+}
+
 // Stats counts channel-level events.
 type Stats struct {
 	Transmissions uint64 // frames put on the air
@@ -108,7 +115,12 @@ type Channel struct {
 	motionBoundSet bool
 	grid           grid
 	scratch        []int32
+
+	obs DeliveryObserver // nil = no delivery instrumentation
 }
+
+// SetDeliveryObserver installs the delivery observer (nil disables it).
+func (c *Channel) SetDeliveryObserver(o DeliveryObserver) { c.obs = o }
 
 // NewChannel creates a channel; rangeM is the decode radius in metres.
 func NewChannel(sched *sim.Scheduler, rangeM float64) *Channel {
@@ -276,6 +288,9 @@ func (c *Channel) finishReception(rx *Radio, d *delivery) {
 		return
 	}
 	c.stats.Deliveries++
+	if c.obs != nil {
+		c.obs.FrameDelivered(c.sched.Now(), rx.id, rx.awake, d.frame)
+	}
 	if rx.recv != nil {
 		rx.recv.OnFrame(d.frame)
 	}

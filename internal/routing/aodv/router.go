@@ -2,6 +2,7 @@ package aodv
 
 import (
 	"math/rand"
+	"sort"
 
 	"rcast/internal/core"
 	"rcast/internal/phy"
@@ -148,6 +149,22 @@ func (r *Router) ID() phy.NodeID { return r.id }
 
 // Table exposes the routing table for metrics and tests.
 func (r *Router) Table() *Table { return r.table }
+
+// BufferedData returns the data packets currently parked awaiting route
+// discovery, ordered by destination then insertion. The audit layer
+// enumerates still-buffered traffic with it at teardown.
+func (r *Router) BufferedData() []*DataPacket {
+	dsts := make([]phy.NodeID, 0, len(r.buf))
+	for dst := range r.buf {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	var out []*DataPacket
+	for _, dst := range dsts {
+		out = append(out, r.buf[dst]...)
+	}
+	return out
+}
 
 // Stats returns a copy of the router counters.
 func (r *Router) Stats() Stats { return r.stats }

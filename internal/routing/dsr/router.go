@@ -2,6 +2,7 @@ package dsr
 
 import (
 	"math/rand"
+	"sort"
 
 	"rcast/internal/core"
 	"rcast/internal/phy"
@@ -183,6 +184,24 @@ func (r *Router) ID() phy.NodeID { return r.id }
 
 // Cache exposes the route cache (read-mostly; used by metrics and tests).
 func (r *Router) Cache() *Cache { return r.cache }
+
+// BufferedData returns the data packets currently parked in the send buffer
+// awaiting route discovery, ordered by destination then insertion. The
+// audit layer enumerates still-buffered traffic with it at teardown.
+func (r *Router) BufferedData() []*DataPacket {
+	dsts := make([]phy.NodeID, 0, len(r.buf))
+	for dst := range r.buf {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	var out []*DataPacket
+	for _, dst := range dsts {
+		for _, e := range r.buf[dst] {
+			out = append(out, e.pkt)
+		}
+	}
+	return out
+}
 
 // Stats returns a copy of the router counters.
 func (r *Router) Stats() Stats { return r.stats }

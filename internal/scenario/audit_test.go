@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"testing"
+
+	"rcast/internal/sim"
+)
+
+// TestAuditedRunsClean runs every scheme — plus AODV, finite batteries,
+// gossip and an early traffic stop — under the full invariant audit. Any
+// accounting bug in the stack that breaks packet, time or energy
+// conservation fails here with the first violation in the error.
+func TestAuditedRunsClean(t *testing.T) {
+	base := PaperDefaults()
+	base.Nodes = 30
+	base.Connections = 6
+	base.Duration = 60 * sim.Second
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"aodv-psm", func(c *Config) { c.Routing = RoutingAODV; c.Scheme = SchemePSM }},
+		{"aodv-80211", func(c *Config) { c.Routing = RoutingAODV; c.Scheme = SchemeAlwaysOn }},
+		{"battery", func(c *Config) { c.Scheme = SchemeRcast; c.BatteryJoules = 20 }},
+		{"gossip", func(c *Config) { c.Scheme = SchemeRcast; c.GossipFanout = 3 }},
+		{"drain", func(c *Config) { c.Scheme = SchemePSM; c.TrafficStop = 40 * sim.Second }},
+		// ATIM contention serves the MAC queue out of order; this caught
+		// the receive-side dedup discarding legitimately reordered frames.
+		{"atim-contention", func(c *Config) { c.Scheme = SchemeRcast; c.MAC.ATIMContention = true }},
+	}
+	for _, scheme := range Schemes() {
+		scheme := scheme
+		cases = append(cases, struct {
+			name string
+			mut  func(*Config)
+		}{scheme.String(), func(c *Config) { c.Scheme = scheme }})
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := base
+			tc.mut(&cfg)
+			cfg.Audit = true
+			res, err := Run(cfg)
+			if err != nil {
+				t.Errorf("audited run failed: %v", err)
+				for _, v := range res.AuditViolations {
+					t.Logf("  %s", v)
+				}
+			}
+			if res.Originated == 0 {
+				t.Error("run originated no traffic; audit exercised nothing")
+			}
+		})
+	}
+}
+
+// TestAuditIsObservationOnly checks that turning the audit on does not
+// perturb the simulation: an audited run and an unaudited run of the same
+// configuration must produce identical metrics. The auditor only observes
+// (it never draws randomness or drives meters), so any divergence means an
+// audit hook mutated simulation state.
+func TestAuditIsObservationOnly(t *testing.T) {
+	cfg := PaperDefaults()
+	cfg.Scheme = SchemeRcast
+	cfg.Nodes = 30
+	cfg.Connections = 6
+	cfg.Duration = 60 * sim.Second
+
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Audit = true
+	audited, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("audited run failed: %v", err)
+	}
+	// Strip the audit-only fields, then demand bit-identical metrics.
+	audited.AuditViolations = nil
+	audited.AuditViolationCount = 0
+	audited.AuditDupTerminals = 0
+	assertResultsEqual(t, plain, audited)
+}

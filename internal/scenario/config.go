@@ -117,6 +117,10 @@ type Config struct {
 	PacketRate   float64 // packets/second per connection
 	PacketBytes  int
 	TrafficStart sim.Time
+	// TrafficStop ends CBR sources early, leaving a drain window before
+	// Duration so in-flight packets can settle. Zero means Duration (no
+	// drain window), preserving the paper setup.
+	TrafficStop sim.Time
 
 	MinSpeed, MaxSpeed float64  // m/s
 	Pause              sim.Time // random-waypoint pause time
@@ -155,6 +159,13 @@ type Config struct {
 	// (origination, delivery, forwarding, drops, control traffic, cache
 	// insertions, battery deaths).
 	Trace trace.Sink
+
+	// Audit enables the cross-layer invariant checker (internal/audit):
+	// packet conservation, time/energy conservation, PSM legality and
+	// scheduler sanity are verified continuously and at teardown, and any
+	// violation turns the run into an error. Off (the default) costs
+	// nothing: every hook stays nil.
+	Audit bool
 }
 
 // PaperDefaults returns the evaluation setup of §4.1: 100 nodes on a
@@ -208,6 +219,16 @@ func (c Config) Validate() error {
 		return errors.New("scenario: speed bounds invalid")
 	case c.TrafficStart < 0 || c.TrafficStart >= c.Duration:
 		return errors.New("scenario: traffic start outside the run")
+	case c.TrafficStop != 0 && (c.TrafficStop <= c.TrafficStart || c.TrafficStop > c.Duration):
+		return errors.New("scenario: traffic stop outside (start, duration]")
 	}
 	return nil
+}
+
+// trafficStop resolves the effective CBR stop instant.
+func (c Config) trafficStop() sim.Time {
+	if c.TrafficStop != 0 {
+		return c.TrafficStop
+	}
+	return c.Duration
 }

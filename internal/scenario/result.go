@@ -1,10 +1,12 @@
 package scenario
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"rcast/internal/audit"
 	"rcast/internal/core"
 	"rcast/internal/mac"
 	"rcast/internal/phy"
@@ -61,16 +63,31 @@ type Result struct {
 	// whichever protocol ran (the other is zero).
 	DSRTotal  dsr.Stats
 	AODVTotal aodv.Stats
+
+	// Audit results (Config.Audit runs only). AuditViolations holds the
+	// recorded invariant breaches (capped; AuditViolationCount is the true
+	// total); AuditDupTerminals counts the benign in-flight-duplication
+	// diagnostic (see audit.Auditor.DupTerminals).
+	AuditViolations     []audit.Violation
+	AuditViolationCount int
+	AuditDupTerminals   uint64
 }
 
 // Run executes one simulation described by cfg and returns its metrics.
+// With cfg.Audit set, any invariant violation makes Run return an error
+// alongside the (still fully populated) result.
 func Run(cfg Config) (*Result, error) {
 	w, err := newWorld(cfg)
 	if err != nil {
 		return nil, err
 	}
 	w.run()
-	return w.result(), nil
+	res := w.result()
+	if w.aud != nil && w.aud.Count() > 0 {
+		return res, fmt.Errorf("scenario: audit found %d invariant violation(s); first: %s",
+			w.aud.Count(), w.aud.Violations()[0])
+	}
+	return res, nil
 }
 
 // result assembles the Result after the run completes.
@@ -122,6 +139,19 @@ func (w *world) result() *Result {
 		macTotal.SleptPhases += s.SleptPhases
 		macTotal.AwakePhases += s.AwakePhases
 	}
+	if w.aud != nil {
+		// Teardown audit: every meter must have been driven to Duration
+		// (run() does that), and the packet census must balance.
+		w.aud.CheckMeters(w.cfg.Duration, true)
+		w.aud.FinalizePackets(w.cfg.Duration, w.bufferedKeys(), w.col,
+			dsrTotal.Delivered+aodvTotal.Delivered, dsrTotal.Dropped+aodvTotal.Dropped,
+			map[core.Class]uint64{
+				core.ClassRREQ: dsrTotal.RREQSent + aodvTotal.RREQSent,
+				// AODV hellos go on the air as unsolicited RREPs.
+				core.ClassRREP: dsrTotal.RREPSent + aodvTotal.RREPSent + aodvTotal.HelloSent,
+				core.ClassRERR: dsrTotal.RERRSent + aodvTotal.RERRSent,
+			})
+	}
 	total := stats.Sum(perNode)
 	ctl, byClass := w.col.ControlTransmissions()
 	deaths := make([]sim.Time, len(w.deaths))
@@ -137,7 +167,7 @@ func (w *world) result() *Result {
 			firstDeath = d
 		}
 	}
-	return &Result{
+	res := &Result{
 		Scheme:             w.cfg.Scheme,
 		Nodes:              w.cfg.Nodes,
 		Duration:           w.cfg.Duration,
@@ -168,6 +198,12 @@ func (w *world) result() *Result {
 		DSRTotal:           dsrTotal,
 		AODVTotal:          aodvTotal,
 	}
+	if w.aud != nil {
+		res.AuditViolations = w.aud.Violations()
+		res.AuditViolationCount = w.aud.Count()
+		res.AuditDupTerminals = w.aud.DupTerminals()
+	}
+	return res
 }
 
 // Aggregate summarizes replications of the same configuration under

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"rcast/internal/audit"
 	"rcast/internal/core"
 	"rcast/internal/energy"
 	"rcast/internal/geom"
@@ -51,7 +52,13 @@ type world struct {
 	nodes  []*node
 	col    *metrics.Collector
 	conns  []traffic.Connection
-	deaths []sim.Time // per node; 0 = survived the run
+	deaths []sim.Time     // per node; 0 = survived the run
+	aud    *audit.Auditor // nil unless Config.Audit
+}
+
+// pktKey builds the auditor's end-to-end packet identity.
+func pktKey(src phy.NodeID, flow, seq uint64) audit.PacketKey {
+	return audit.PacketKey{Src: src, Flow: flow, Seq: seq}
 }
 
 // killer is implemented by every MAC flavour (battery depletion).
@@ -155,6 +162,19 @@ func newWorld(cfg Config) (*world, error) {
 	if cfg.Scheme != SchemeAlwaysOn {
 		w.coord = mac.NewCoordinator(w.sched, w.ch, cfg.MAC, sim.Stream(cfg.Seed, "atim"), cfg.Duration)
 	}
+	if cfg.Audit {
+		acfg := audit.Config{Nodes: cfg.Nodes}
+		if w.coord != nil {
+			// Take the beacon structure from the coordinator, which clamps
+			// oversized ATIM windows, rather than from raw cfg.MAC.
+			acfg.BeaconInterval = w.coord.BeaconInterval()
+			acfg.ATIMWindow = w.coord.ATIMWindow()
+			acfg.BeaconStop = w.coord.StopAt()
+		}
+		w.aud = audit.New(acfg)
+		w.sched.SetExecHook(w.aud.SchedulerEvent)
+		w.ch.SetDeliveryObserver(w.aud)
+	}
 	policy := cfg.Policy
 	if policy == nil {
 		policy = cfg.Scheme.defaultPolicy()
@@ -192,6 +212,9 @@ func newWorld(cfg Config) (*world, error) {
 			psm := mac.NewPSM(w.sched, w.ch, n.radio, n.meter, policy, macRNG, cfg.MAC, up)
 			n.psm = psm
 			n.link = psm
+			if w.aud != nil {
+				psm.SetAudit(w.aud)
+			}
 			w.coord.AddStation(psm)
 			if cfg.Scheme == SchemeODPM {
 				n.pm = odpm.New(w.sched, psm, cfg.ODPMRREPKeepAlive, cfg.ODPMDataKeepAlive)
@@ -240,7 +263,64 @@ func newWorld(cfg Config) (*world, error) {
 	if cfg.BatteryJoules > 0 {
 		w.scheduleBatterySweep()
 	}
+	if w.aud != nil {
+		meters := make([]*energy.Meter, len(w.nodes))
+		for i, n := range w.nodes {
+			meters[i] = n.meter
+		}
+		w.aud.ObserveMeters(meters)
+		w.scheduleAuditSweep()
+	}
 	return w, nil
+}
+
+// scheduleAuditSweep re-verifies time/energy conservation once per beacon
+// interval so a broken meter is caught near the corruption, not at
+// teardown. The sweep only reads meter state — it never drives meters
+// forward — so an audited run stays bit-identical to an unaudited one.
+func (w *world) scheduleAuditSweep() {
+	interval := w.cfg.MAC.BeaconInterval
+	if interval <= 0 {
+		interval = 250 * sim.Millisecond
+	}
+	var sweep func()
+	sweep = func() {
+		now := w.sched.Now()
+		if now >= w.cfg.Duration {
+			return
+		}
+		w.aud.CheckMeters(now, false)
+		w.sched.After(interval, sweep)
+	}
+	w.sched.After(interval, sweep)
+}
+
+// bufferedKeys enumerates every application data packet still parked in a
+// routing send buffer or queued at a MAC at the end of the run — the
+// "still-buffered" leg of the packet-conservation invariant.
+func (w *world) bufferedKeys() []audit.PacketKey {
+	var keys []audit.PacketKey
+	for _, n := range w.nodes {
+		if n.router != nil {
+			for _, p := range n.router.BufferedData() {
+				keys = append(keys, pktKey(p.Src, p.FlowID, p.Seq))
+			}
+		}
+		if n.aodvRouter != nil {
+			for _, p := range n.aodvRouter.BufferedData() {
+				keys = append(keys, pktKey(p.Src, p.FlowID, p.Seq))
+			}
+		}
+		for _, mp := range n.link.Queued() {
+			switch p := mp.Payload.(type) {
+			case *dsr.DataPacket:
+				keys = append(keys, pktKey(p.Src, p.FlowID, p.Seq))
+			case *aodv.DataPacket:
+				keys = append(keys, pktKey(p.Src, p.FlowID, p.Seq))
+			}
+		}
+	}
+	return keys
 }
 
 // scheduleBatterySweep polls batteries twice per beacon interval and kills
@@ -293,15 +373,24 @@ func (w *world) hooksFor(n *node) dsr.Hooks {
 	h := dsr.Hooks{
 		DataOriginated: func(p *dsr.DataPacket) {
 			w.col.DataOriginated()
+			if w.aud != nil {
+				w.aud.PacketOriginated(w.sched.Now(), pktKey(p.Src, p.FlowID, p.Seq))
+			}
 			w.trace(n.id, trace.KindOriginate, fmt.Sprintf("dst=%v", p.Dst))
 		},
 		DataDelivered: func(p *dsr.DataPacket, _ phy.NodeID) {
 			hops := len(p.Route) - 1
 			w.col.DataDelivered(w.sched.Now()-p.OriginatedAt, p.PayloadBytes, hops)
+			if w.aud != nil {
+				w.aud.PacketDelivered(w.sched.Now(), n.id, pktKey(p.Src, p.FlowID, p.Seq))
+			}
 			w.trace(n.id, trace.KindDeliver, fmt.Sprintf("src=%v hops=%d", p.Src, hops))
 		},
-		DataDropped: func(_ *dsr.DataPacket, reason string) {
+		DataDropped: func(p *dsr.DataPacket, reason string) {
 			w.col.DataDropped(reason)
+			if w.aud != nil {
+				w.aud.PacketDropped(w.sched.Now(), n.id, pktKey(p.Src, p.FlowID, p.Seq), reason)
+			}
 			w.trace(n.id, trace.KindDrop, reason)
 		},
 		DataForwarded: func(*dsr.DataPacket) {
@@ -330,14 +419,23 @@ func (w *world) aodvHooksFor(n *node) aodv.Hooks {
 	h := aodv.Hooks{
 		DataOriginated: func(p *aodv.DataPacket) {
 			w.col.DataOriginated()
+			if w.aud != nil {
+				w.aud.PacketOriginated(w.sched.Now(), pktKey(p.Src, p.FlowID, p.Seq))
+			}
 			w.trace(n.id, trace.KindOriginate, fmt.Sprintf("dst=%v", p.Dst))
 		},
 		DataDelivered: func(p *aodv.DataPacket, _ phy.NodeID) {
 			w.col.DataDelivered(w.sched.Now()-p.OriginatedAt, p.PayloadBytes, p.HopsTaken+1)
+			if w.aud != nil {
+				w.aud.PacketDelivered(w.sched.Now(), n.id, pktKey(p.Src, p.FlowID, p.Seq))
+			}
 			w.trace(n.id, trace.KindDeliver, fmt.Sprintf("src=%v hops=%d", p.Src, p.HopsTaken+1))
 		},
-		DataDropped: func(_ *aodv.DataPacket, reason string) {
+		DataDropped: func(p *aodv.DataPacket, reason string) {
 			w.col.DataDropped(reason)
+			if w.aud != nil {
+				w.aud.PacketDropped(w.sched.Now(), n.id, pktKey(p.Src, p.FlowID, p.Seq), reason)
+			}
 			w.trace(n.id, trace.KindDrop, reason)
 		},
 		DataForwarded: func(*aodv.DataPacket) {
@@ -375,7 +473,7 @@ func (w *world) startTraffic() error {
 			Rate:        w.cfg.PacketRate,
 			PacketBytes: w.cfg.PacketBytes,
 			Start:       w.cfg.TrafficStart + stagger,
-			Stop:        w.cfg.Duration,
+			Stop:        w.cfg.trafficStop(),
 		}, c, func(dst phy.NodeID, flowID uint64, bytes int) {
 			src.sendData(dst, flowID, bytes)
 		})

@@ -39,6 +39,12 @@ func (t *Timer) Cancelled() bool { return t.cancelled }
 // When returns the instant the timer is (or was) scheduled to fire.
 func (t *Timer) When() Time { return t.at }
 
+// ExecHook observes every timer the scheduler surfaces for execution
+// (invariant auditing). cancelled reports a timer that reached the dispatch
+// path despite having been cancelled — Cancel removes timers from the heap
+// eagerly, so a cancelled timer surfacing is always a bug.
+type ExecHook func(at Time, cancelled bool)
+
 // Scheduler is a deterministic discrete-event scheduler. Events scheduled
 // for the same instant fire in the order they were scheduled (FIFO), which
 // keeps runs reproducible.
@@ -48,7 +54,12 @@ type Scheduler struct {
 	seq  uint64
 
 	executed uint64
+	hook     ExecHook
 }
+
+// SetExecHook installs the execution observer (nil disables it). The hook
+// only observes; it must not schedule or cancel timers.
+func (s *Scheduler) SetExecHook(h ExecHook) { s.hook = h }
 
 // NewScheduler returns a scheduler with the clock at zero.
 func NewScheduler() *Scheduler {
@@ -96,6 +107,9 @@ func (s *Scheduler) Step() bool {
 		if !ok {
 			return false
 		}
+		if s.hook != nil {
+			s.hook(tm.at, tm.cancelled)
+		}
 		if tm.cancelled {
 			continue
 		}
@@ -137,6 +151,9 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) peek() *Timer {
 	for len(s.heap) > 0 {
 		if s.heap[0].cancelled {
+			if s.hook != nil {
+				s.hook(s.heap[0].at, true)
+			}
 			heap.Pop(&s.heap)
 			continue
 		}

@@ -158,8 +158,8 @@ func TestSchedulerOrderProperty(t *testing.T) {
 		s := NewScheduler()
 		var fireTimes []Time
 		var maxT Time
-		for _, d := range delays {
-			d := Time(d) * Microsecond
+		for _, raw := range delays {
+			d := Time(raw) * Microsecond
 			if d > maxT {
 				maxT = d
 			}

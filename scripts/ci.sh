@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# CI gate: vet, build, race-enabled tests, and a benchmark smoke run.
+# CI gate: vet, shadow lint, build, race-enabled tests, a benchmark smoke
+# run, and an invariant-audited experiment smoke under the race detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== go vet =="
 go vet ./...
+
+echo "== shadowcheck =="
+go run ./tools/shadowcheck .
 
 echo "== go build =="
 go build ./...
@@ -14,5 +18,8 @@ go test -race ./...
 
 echo "== bench smoke =="
 go test -run '^$' -bench 'BenchmarkFullRunRcast$|BenchmarkChannelTransmit' -benchtime 1x .
+
+echo "== audited smoke (race) =="
+go run -race ./cmd/rcast-bench -profile quick -only table1 -reps 1 -audit > /dev/null
 
 echo "ci: OK"

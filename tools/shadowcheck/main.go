@@ -1,0 +1,359 @@
+// Command shadowcheck reports short variable declarations that shadow a
+// variable of the same name from an enclosing scope in the same function —
+// the bug class behind reading a stale outer value after an inner
+// `x, ok := ...` silently rebound x. It is a standard-library-only
+// substitute for vet's optional shadow analyzer (this repo builds with no
+// module downloads), so it works from syntax alone:
+//
+//   - every function body is walked with an explicit scope stack
+//     (parameters and named results seed the outermost scope);
+//   - each := (assignment or range) that rebinds a name already declared in
+//     an enclosing scope of the same function is reported;
+//   - the conventional throwaways err and ok are exempt, as is a name whose
+//     enclosing binding is itself never referenced again after the
+//     shadowing point (rebinding it cannot change behaviour).
+//
+// Usage: go run ./tools/shadowcheck [dir ...]   (default: .)
+// Walks each directory recursively over non-test and test .go files alike
+// and exits 1 when any shadowing is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shadowcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	found := 0
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shadowcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			found += checkFunc(fset, fn)
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "shadowcheck: %d shadowed declaration(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// exempt names are rebound so pervasively and idiomatically in Go that
+// reporting them would bury real findings.
+var exempt = map[string]bool{"err": true, "ok": true, "_": true}
+
+// scope is one lexical level: the names it declares, and where.
+type scope map[string]token.Pos
+
+// checker walks one function with an explicit scope stack.
+type checker struct {
+	fset   *token.FileSet
+	fn     *ast.FuncDecl
+	stack  []scope
+	report int
+}
+
+func checkFunc(fset *token.FileSet, fn *ast.FuncDecl) int {
+	c := &checker{fset: fset, fn: fn}
+	c.push()
+	if fn.Recv != nil {
+		c.declareFields(fn.Recv)
+	}
+	if fn.Type.Params != nil {
+		c.declareFields(fn.Type.Params)
+	}
+	if fn.Type.Results != nil {
+		c.declareFields(fn.Type.Results)
+	}
+	c.block(fn.Body)
+	c.pop()
+	return c.report
+}
+
+func (c *checker) push() { c.stack = append(c.stack, scope{}) }
+func (c *checker) pop()  { c.stack = c.stack[:len(c.stack)-1] }
+
+func (c *checker) declareFields(fl *ast.FieldList) {
+	for _, f := range fl.List {
+		for _, n := range f.Names {
+			c.declare(n)
+		}
+	}
+}
+
+func (c *checker) declare(id *ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	c.stack[len(c.stack)-1][id.Name] = id.Pos()
+}
+
+// checkDecl reports id if an enclosing scope already binds its name and
+// that outer binding is still referenced after the shadowing point.
+func (c *checker) checkDecl(id *ast.Ident) {
+	if exempt[id.Name] {
+		c.declare(id)
+		return
+	}
+	for i := len(c.stack) - 2; i >= 0; i-- {
+		if outer, shadowed := c.stack[i][id.Name]; shadowed {
+			if c.usedAfter(id.Name, id.End()) {
+				pos := c.fset.Position(id.Pos())
+				fmt.Printf("%s: %q shadows declaration at %s\n",
+					pos, id.Name, c.fset.Position(outer))
+				c.report++
+			}
+			break
+		}
+	}
+	c.declare(id)
+}
+
+// usedAfter reports whether name appears as an identifier anywhere in the
+// function after pos. Syntactic and over-approximate on purpose: a later
+// use of the *inner* binding also returns true, which only ever keeps a
+// report, never suppresses one.
+func (c *checker) usedAfter(name string, pos token.Pos) bool {
+	used := false
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && id.Pos() > pos {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// stmt walks one statement, managing scopes for every construct that
+// introduces a lexical level.
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.push()
+		c.block(s)
+		c.pop()
+	case *ast.AssignStmt:
+		c.exprs(s.Rhs)
+		if s.Tok == token.DEFINE {
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				// `x := x` is the deliberate loop-capture idiom, not a bug.
+				if len(s.Lhs) == len(s.Rhs) {
+					if rid, ok := s.Rhs[i].(*ast.Ident); ok && rid.Name == id.Name {
+						c.declare(id)
+						continue
+					}
+				}
+				c.checkDecl(id)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.exprs(vs.Values)
+					for _, n := range vs.Names {
+						c.checkDecl(n)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		c.push()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.expr(s.Cond)
+		c.push()
+		c.block(s.Body)
+		c.pop()
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+		c.pop()
+	case *ast.ForStmt:
+		c.push()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+		c.push()
+		c.block(s.Body)
+		c.pop()
+		c.pop()
+	case *ast.RangeStmt:
+		c.push()
+		c.expr(s.X)
+		if s.Tok == token.DEFINE {
+			if id, ok := s.Key.(*ast.Ident); ok {
+				c.checkDecl(id)
+			}
+			if id, ok := s.Value.(*ast.Ident); ok {
+				c.checkDecl(id)
+			}
+		}
+		c.push()
+		c.block(s.Body)
+		c.pop()
+		c.pop()
+	case *ast.SwitchStmt:
+		c.push()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.push()
+				c.stmts(cc.Body)
+				c.pop()
+			}
+		}
+		c.pop()
+	case *ast.TypeSwitchStmt:
+		c.push()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		// `switch v := x.(type)` declares v once per clause; treat the
+		// clause scope as declaring it so later clauses don't self-report.
+		var tsName *ast.Ident
+		if as, ok := s.Assign.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				tsName = id
+			}
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.push()
+				if tsName != nil {
+					c.declare(tsName)
+				}
+				c.stmts(cc.Body)
+				c.pop()
+			}
+		}
+		c.pop()
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				c.push()
+				if cc.Comm != nil {
+					c.stmt(cc.Comm)
+				}
+				c.stmts(cc.Body)
+				c.pop()
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.GoStmt:
+		c.expr(s.Call)
+	case *ast.DeferStmt:
+		c.expr(s.Call)
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.ReturnStmt:
+		c.exprs(s.Results)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	}
+}
+
+// expr descends into expressions only to find function literals, whose
+// bodies get their own parameter scope.
+func (c *checker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		c.push()
+		if fl.Type.Params != nil {
+			c.declareFields(fl.Type.Params)
+		}
+		if fl.Type.Results != nil {
+			c.declareFields(fl.Type.Results)
+		}
+		c.block(fl.Body)
+		c.pop()
+		return false
+	})
+}
+
+func (c *checker) exprs(es []ast.Expr) {
+	for _, e := range es {
+		c.expr(e)
+	}
+}
+
+func (c *checker) block(b *ast.BlockStmt) { c.stmts(b.List) }
+
+func (c *checker) stmts(ss []ast.Stmt) {
+	for _, s := range ss {
+		c.stmt(s)
+	}
+}
