@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"rcast/internal/experiments"
+	"rcast/internal/fault"
 )
 
 func main() {
@@ -32,11 +33,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("rcast-bench", flag.ContinueOnError)
 	var (
 		profileName = fs.String("profile", "quick", "experiment profile: quick or paper")
-		only        = fs.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,a1,a2,a3,a4,a5,a6,a7")
+		only        = fs.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,a1,a2,a3,a4,a5,a6,a7,a8")
 		reps        = fs.Int("reps", 0, "override replication count (0 = profile default)")
 		csvDir      = fs.String("csv", "", "also write sweep/fig5/fig9 series as CSV into this directory")
 		workers     = fs.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
 		auditOn     = fs.Bool("audit", false, "run every simulation under the cross-layer invariant audit")
+		faultsName  = fs.String("faults", "", "fault preset applied to every run: "+strings.Join(fault.PresetNames(), ", "))
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +60,13 @@ func run(args []string) error {
 	s := experiments.NewSuite(p, os.Stdout)
 	s.SetWorkers(*workers)
 	s.SetAudit(*auditOn)
+	if *faultsName != "" {
+		plan, err := fault.Preset(*faultsName)
+		if err != nil {
+			return err
+		}
+		s.SetFaults(plan)
+	}
 	start := time.Now()
 	if err := runFigures(s, *only); err != nil {
 		return err
@@ -99,6 +108,7 @@ func runFigures(s *experiments.Suite, only string) error {
 		"a5":     func() error { _, err := s.AblationLifetime(); return err },
 		"a6":     func() error { _, err := s.AblationRouting(); return err },
 		"a7":     func() error { _, err := s.AblationATIM(); return err },
+		"a8":     func() error { _, err := s.AblationFaults(); return err },
 	}
 	for _, name := range strings.Split(only, ",") {
 		name = strings.TrimSpace(strings.ToLower(name))

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"rcast"
@@ -48,6 +49,7 @@ func run(args []string) error {
 		traceFile  = fs.String("trace", "", "write NDJSON event trace to this file")
 		workers    = fs.Int("workers", 0, "parallel replication workers (0 = all CPUs, 1 = serial)")
 		auditOn    = fs.Bool("audit", false, "run under the cross-layer invariant audit (violations abort the run)")
+		faultsName = fs.String("faults", "", "fault preset: "+strings.Join(rcast.FaultPresetNames(), ", "))
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +74,11 @@ func run(args []string) error {
 	cfg.GossipFanout = *gossip
 	cfg.BatteryJoules = *battery
 	cfg.Audit = *auditOn
+	if plan, err := rcast.FaultPreset(*faultsName); err != nil {
+		return err
+	} else if plan != nil {
+		cfg.Faults = plan
+	}
 	if *static {
 		cfg.Pause = cfg.Duration
 	}
@@ -116,6 +123,10 @@ func run(args []string) error {
 	if cfg.BatteryJoules > 0 {
 		fmt.Printf("network lifetime  first death %.0f s, %d/%d nodes dead\n",
 			res.FirstDeath.Seconds(), res.DeadNodes, cfg.Nodes)
+	}
+	if cfg.Faults != nil {
+		fmt.Printf("fault injection   %d crashes, %d recoveries, %d pkts flushed, %d frames burst-lost\n",
+			res.NodeCrashes, res.NodeRecoveries, res.CrashFlushedPackets, res.Channel.FaultLost)
 	}
 	fmt.Printf("drops             %v\n", res.Drops)
 	fmt.Printf("channel           %d tx, %d collisions, %d missed asleep\n",

@@ -88,6 +88,7 @@ const (
 	pktLive pktState = iota + 1
 	pktDelivered
 	pktDropped
+	pktCrashed // flushed from a crashing node's buffers by fault injection
 )
 
 // Auditor accumulates invariant state for one run. It is not safe for
@@ -106,6 +107,7 @@ type Auditor struct {
 	originated uint64
 	delivered  uint64
 	dropped    uint64
+	crashed    uint64
 	// dupTerminals counts terminal events for already-terminal keys. A
 	// known in-flight race produces them legitimately: a unicast data frame
 	// is decoded downstream while the MAC ACK back to the sender is lost,
@@ -146,6 +148,10 @@ func (a *Auditor) Count() int { return a.count }
 // DupTerminals returns how many terminal events hit already-terminal packet
 // keys (the in-flight duplication diagnostic; see the field comment).
 func (a *Auditor) DupTerminals() uint64 { return a.dupTerminals }
+
+// Crashed returns how many packets terminated by being flushed from a
+// crashing node's buffers.
+func (a *Auditor) Crashed() uint64 { return a.crashed }
 
 func (a *Auditor) violatef(at sim.Time, node phy.NodeID, rule, format string, args ...any) {
 	a.count++
@@ -257,6 +263,19 @@ func (a *Auditor) TxWindowSet(now sim.Time, node phy.NodeID, enabled bool, end s
 	a.windowEnd[node] = end
 }
 
+// NodeDown implements mac.Audit: a fault-injected crash wiped the node's
+// MAC state, so its monotonicity baselines (AM horizon, window end) reset —
+// a recovered station restarts with amnesia and may legally open windows
+// ending before its pre-crash horizon.
+func (a *Auditor) NodeDown(now sim.Time, node phy.NodeID) {
+	if int(node) < 0 || int(node) >= len(a.amUntil) {
+		a.violatef(now, node, "psm-bad-node", "power-down for unknown node")
+		return
+	}
+	a.amUntil[node] = 0
+	a.windowEnd[node] = 0
+}
+
 // --- packet conservation (routing hooks) ---
 
 // PacketOriginated records a data packet entering the network.
@@ -275,7 +294,7 @@ func (a *Auditor) PacketDelivered(now sim.Time, node phy.NodeID, k PacketKey) {
 	switch a.pkts[k] {
 	case pktLive:
 		a.pkts[k] = pktDelivered
-	case pktDelivered, pktDropped:
+	case pktDelivered, pktDropped, pktCrashed:
 		a.dupTerminals++ // in-flight duplication race; diagnostic only
 		a.pkts[k] = pktDelivered
 	default:
@@ -289,10 +308,26 @@ func (a *Auditor) PacketDropped(now sim.Time, node phy.NodeID, k PacketKey, reas
 	switch a.pkts[k] {
 	case pktLive:
 		a.pkts[k] = pktDropped
-	case pktDelivered, pktDropped:
+	case pktDelivered, pktDropped, pktCrashed:
 		a.dupTerminals++ // in-flight duplication race; diagnostic only
 	default:
 		a.violatef(now, node, "pkt-unknown", "%v dropped (%s) but never originated", k, reason)
+	}
+}
+
+// PacketCrashed records a packet flushed from a crashing node's buffers —
+// a terminal class of its own so fault runs stay fully reconciled: the
+// packet neither reached its destination nor passed through the routing
+// layer's drop path.
+func (a *Auditor) PacketCrashed(now sim.Time, node phy.NodeID, k PacketKey) {
+	a.crashed++
+	switch a.pkts[k] {
+	case pktLive:
+		a.pkts[k] = pktCrashed
+	case pktDelivered, pktDropped, pktCrashed:
+		a.dupTerminals++ // in-flight duplication race; diagnostic only
+	default:
+		a.violatef(now, node, "pkt-unknown", "%v crash-flushed but never originated", k)
 	}
 }
 
@@ -382,10 +417,11 @@ func (a *Auditor) FinalizePackets(now sim.Time, buffered []PacketKey, col *metri
 			"%v neither delivered, dropped, nor buffered", k)
 	}
 	terminal := a.originated - live
-	if a.delivered+a.dropped < terminal || a.delivered+a.dropped-a.dupTerminals > terminal {
+	sum := a.delivered + a.dropped + a.crashed
+	if sum < terminal || sum-a.dupTerminals > terminal {
 		a.violatef(now, NoNode, "pkt-conservation",
-			"originated %d = delivered %d + dropped %d + live %d does not balance (%d duplicate terminals)",
-			a.originated, a.delivered, a.dropped, live, a.dupTerminals)
+			"originated %d = delivered %d + dropped %d + crashed %d + live %d does not balance (%d duplicate terminals)",
+			a.originated, a.delivered, a.dropped, a.crashed, live, a.dupTerminals)
 	}
 
 	// Cross-layer census: the collector, the routing layer and the auditor
@@ -402,9 +438,11 @@ func (a *Auditor) FinalizePackets(now sim.Time, buffered []PacketKey, col *metri
 	for _, n := range col.Drops() {
 		colDrops += n
 	}
-	if colDrops != a.dropped {
+	// Crash flushes reach the collector as "node-crash" drops but the
+	// auditor classes them separately, so the census splits accordingly.
+	if colDrops != a.dropped+a.crashed {
 		a.violatef(now, NoNode, "metrics-mismatch",
-			"collector drops %d, audit saw %d", colDrops, a.dropped)
+			"collector drops %d, audit saw %d dropped + %d crashed", colDrops, a.dropped, a.crashed)
 	}
 	if routerDelivered != a.delivered {
 		a.violatef(now, NoNode, "router-mismatch",

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"rcast/internal/fault"
 	"rcast/internal/scenario"
 	"rcast/internal/sim"
 )
@@ -101,6 +102,7 @@ type Suite struct {
 	cache   map[runKey]*scenario.Aggregate
 	workers int
 	audit   bool
+	faults  *fault.Plan
 	ctx     context.Context
 	simRuns atomic.Int64
 }
@@ -124,6 +126,16 @@ func (s *Suite) SetWorkers(n int) { s.workers = n }
 // an error naming the first breach. Metrics are unchanged either way: the
 // audit only observes.
 func (s *Suite) SetAudit(on bool) { s.audit = on }
+
+// SetFaults installs a fault plan (see internal/fault) applied to every
+// simulation the suite builds — figures and ablations alike, except the
+// fault ablation itself, whose cells carry their own per-variant plans.
+// Cached aggregates from a previous plan would be stale, so the cache is
+// cleared; call SetFaults before running any generator.
+func (s *Suite) SetFaults(plan *fault.Plan) {
+	s.faults = plan
+	s.cache = make(map[runKey]*scenario.Aggregate)
+}
 
 // SetContext installs a cancellation context consulted between simulation
 // runs; cancelling it makes the in-progress generator return its error.
@@ -166,6 +178,7 @@ func (s *Suite) config(k runKey) scenario.Config {
 		cfg.GossipFanout = 3
 	}
 	cfg.Audit = s.audit
+	cfg.Faults = s.faults
 	return cfg
 }
 
@@ -277,6 +290,7 @@ func (s *Suite) All() error {
 		func() error { _, err := s.AblationLifetime(); return err },
 		func() error { _, err := s.AblationRouting(); return err },
 		func() error { _, err := s.AblationATIM(); return err },
+		func() error { _, err := s.AblationFaults(); return err },
 	}
 	for _, step := range steps {
 		if err := step(); err != nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"rcast/internal/fault"
 	"rcast/internal/scenario"
 	"rcast/internal/sim"
 )
@@ -312,6 +313,72 @@ func TestAblationRouting(t *testing.T) {
 	}
 }
 
+func TestAblationFaults(t *testing.T) {
+	s := NewSuite(tiny(), nil)
+	rows, err := s.AblationFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("A8: %d rows, want 4 variants x 4 schemes", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Variant {
+		case "none":
+			if r.Crashes != 0 || r.Flushed != 0 || r.FaultLost != 0 {
+				t.Fatalf("A8 none/%v: fault counters nonzero: %+v", r.Scheme, r)
+			}
+		case "crash":
+			if r.Crashes == 0 {
+				t.Fatalf("A8 crash/%v: no crashes recorded", r.Scheme)
+			}
+			if r.FaultLost != 0 {
+				t.Fatalf("A8 crash/%v: burst loss leaked into the crash-only cell", r.Scheme)
+			}
+		case "burst-loss":
+			if r.FaultLost == 0 {
+				t.Fatalf("A8 burst-loss/%v: loss model vanished no frames", r.Scheme)
+			}
+			if r.Crashes != 0 {
+				t.Fatalf("A8 burst-loss/%v: crashes leaked into the loss-only cell", r.Scheme)
+			}
+		case "crash+loss":
+			if r.Crashes == 0 || r.FaultLost == 0 {
+				t.Fatalf("A8 crash+loss/%v: combined cell missing a fault class: %+v", r.Scheme, r)
+			}
+		default:
+			t.Fatalf("A8: unknown variant %q", r.Variant)
+		}
+	}
+}
+
+func TestSetFaultsAppliesToSuiteRuns(t *testing.T) {
+	s := NewSuite(tiny(), nil)
+	k := runKey{scheme: scenario.SchemeRcast, rate: tiny().LowRate}
+	clean, err := s.agg(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Results[0].NodeCrashes != 0 {
+		t.Fatal("unfaulted suite run recorded crashes")
+	}
+	plan, err := fault.Preset("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaults(plan)
+	if s.Runs() != 0 {
+		t.Fatal("SetFaults did not clear the run cache")
+	}
+	faulted, err := s.agg(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Results[0].NodeCrashes == 0 {
+		t.Fatal("SetFaults plan did not reach the suite's simulations")
+	}
+}
+
 func TestAllRunsEverything(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite in -short mode")
@@ -322,7 +389,7 @@ func TestAllRunsEverything(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Table 1", "Fig 5", "Fig 6", "Fig 7", "Fig 8", "Fig 9",
-		"Ablation A1", "Ablation A2", "Ablation A3"} {
+		"Ablation A1", "Ablation A2", "Ablation A3", "Ablation A8"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("report missing %q", want)
 		}

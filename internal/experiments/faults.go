@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"rcast/internal/fault"
+	"rcast/internal/scenario"
+)
+
+// FaultResult is one row of the fault-sweep ablation.
+type FaultResult struct {
+	Variant     string
+	Scheme      scenario.Scheme
+	PDR         float64
+	TotalJoules float64
+	AvgDelaySec float64
+	Crashes     float64 // mean node crashes per replication
+	Flushed     float64 // mean packets flushed from crashing buffers
+	FaultLost   float64 // mean frames vanished by the burst-loss channel
+}
+
+// faultVariants returns the A8 grid: each fault class alone, then crashes
+// and burst loss together. Plans derive from the shared presets so the
+// table tracks the CLI's -faults vocabulary.
+func faultVariants() ([]struct {
+	label string
+	plan  *fault.Plan
+}, error) {
+	crash, err := fault.Preset("crash")
+	if err != nil {
+		return nil, err
+	}
+	loss, err := fault.Preset("loss")
+	if err != nil {
+		return nil, err
+	}
+	both := &fault.Plan{
+		CrashFraction: crash.CrashFraction,
+		Downtime:      crash.Downtime,
+		Loss:          loss.Loss,
+	}
+	return []struct {
+		label string
+		plan  *fault.Plan
+	}{
+		{label: "none", plan: nil},
+		{label: "crash", plan: crash},
+		{label: "burst-loss", plan: loss},
+		{label: "crash+loss", plan: both},
+	}, nil
+}
+
+// AblationFaults stresses every scheme of the paper's figures (plus
+// unmodified PSM) under the fault-injection presets: a fifth of the nodes
+// power-cycling mid-run, Gilbert–Elliott burst loss on every link, and the
+// two combined. The question is robustness, not raw performance: does
+// Rcast's randomized overhearing degrade gracefully when the network
+// misbehaves, or does it amplify faults that plain PSM would absorb?
+func (s *Suite) AblationFaults() ([]FaultResult, error) {
+	variants, err := faultVariants()
+	if err != nil {
+		return nil, err
+	}
+	schemes := []scenario.Scheme{
+		scenario.SchemeAlwaysOn, scenario.SchemePSM,
+		scenario.SchemeODPM, scenario.SchemeRcast,
+	}
+	var cfgs []scenario.Config
+	for _, v := range variants {
+		for _, sch := range schemes {
+			cfg := s.config(runKey{scheme: sch, rate: s.p.LowRate})
+			cfg.Faults = v.plan
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	aggs, err := s.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	s.printf("== Ablation A8: fault injection (rate=%.1f, mobile) ==\n", s.p.LowRate)
+	s.printf("%-12s %-8s %8s %10s %9s %9s %9s %10s\n",
+		"faults", "scheme", "PDR", "energy(J)", "delay(s)", "crashes", "flushed", "faultLost")
+	var rows []FaultResult
+	cell := 0
+	for _, v := range variants {
+		for _, sch := range schemes {
+			a := aggs[cell]
+			cell++
+			var crashes, flushed, faultLost float64
+			for _, r := range a.Results {
+				crashes += float64(r.NodeCrashes)
+				flushed += float64(r.CrashFlushedPackets)
+				faultLost += float64(r.Channel.FaultLost)
+			}
+			n := float64(len(a.Results))
+			row := FaultResult{
+				Variant:     v.label,
+				Scheme:      sch,
+				PDR:         a.PDR.Mean(),
+				TotalJoules: a.TotalJoules.Mean(),
+				AvgDelaySec: a.AvgDelaySec.Mean(),
+				Crashes:     crashes / n,
+				Flushed:     flushed / n,
+				FaultLost:   faultLost / n,
+			}
+			rows = append(rows, row)
+			s.printf("%-12s %-8s %8.3f %10.0f %9.3f %9.1f %9.1f %10.0f\n",
+				row.Variant, sch, row.PDR, row.TotalJoules, row.AvgDelaySec,
+				row.Crashes, row.Flushed, row.FaultLost)
+		}
+	}
+	s.printf("\n")
+	return rows, nil
+}

@@ -1,0 +1,271 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+func testEnv() Env {
+	return Env{
+		Seed:     7,
+		Nodes:    50,
+		Duration: 900 * sim.Second,
+		FieldW:   1500,
+		FieldH:   300,
+		RangeM:   250,
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"crash node out of range", Plan{Crashes: []Crash{{Node: 50, At: sim.Second}}}},
+		{"negative crash node", Plan{Crashes: []Crash{{Node: -1, At: sim.Second}}}},
+		{"negative crash time", Plan{Crashes: []Crash{{Node: 0, At: -sim.Second}}}},
+		{"recovery before crash", Plan{Crashes: []Crash{{Node: 0, At: 2 * sim.Second, RecoverAt: sim.Second}}}},
+		{"crash fraction above one", Plan{CrashFraction: 1.5}},
+		{"negative downtime", Plan{Downtime: -sim.Second}},
+		{"loss prob above one", Plan{Loss: LossConfig{PGood: 1.5}}},
+		{"bad loss without sojourns", Plan{Loss: LossConfig{PBad: 0.5}}},
+		{"negative sojourn", Plan{Loss: LossConfig{PGood: 0.1, MeanGood: -sim.Second}}},
+		{"partition window inverted", Plan{Partitions: []Partition{{StartFrac: 0.7, StopFrac: 0.4}}}},
+		{"partition past the run", Plan{Partitions: []Partition{{StartFrac: 0.5, StopFrac: 1.5}}}},
+		{"battery jitter of one", Plan{BatteryJitter: 1}},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(50); err == nil {
+			t.Errorf("%s: Validate accepted an invalid plan", tc.name)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(50); err != nil {
+		t.Errorf("nil plan failed validation: %v", err)
+	}
+}
+
+func TestPresetsAllValid(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := Preset(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if err := p.Validate(100); err != nil {
+			t.Errorf("preset %q fails validation: %v", name, err)
+		}
+		if name != "none" && !p.Enabled() {
+			t.Errorf("preset %q is unexpectedly inert", name)
+		}
+	}
+	if p, err := Preset(""); err != nil || p != nil {
+		t.Errorf("empty preset = (%v, %v), want (nil, nil)", p, err)
+	}
+	if _, err := Preset("bogus"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestInjectorInertForNilPlan(t *testing.T) {
+	inj := NewInjector(nil, testEnv())
+	if got := inj.Schedule(); len(got) != 0 {
+		t.Errorf("nil plan scheduled %d crashes", len(got))
+	}
+	if inj.LossModel() != nil {
+		t.Error("nil plan produced a loss model")
+	}
+	if got := inj.BatteryCapacity(3, 420); got != 420 {
+		t.Errorf("BatteryCapacity = %v, want the base untouched", got)
+	}
+	if inj.ShiftsFor(1) != nil {
+		t.Error("nil plan produced partition shifts")
+	}
+	if inj.ExtraMotionBound() != 0 {
+		t.Error("nil plan claims extra motion")
+	}
+}
+
+func TestCrashScheduleDeterministicAndSorted(t *testing.T) {
+	plan := &Plan{CrashFraction: 0.3, Downtime: 30 * sim.Second}
+	env := testEnv()
+	a := NewInjector(plan, env).Schedule()
+	b := NewInjector(plan, env).Schedule()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (plan, env) resolved to different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("30% crash fraction over 50 nodes drew no crashes")
+	}
+	lo, hi := env.Duration/10, env.Duration-env.Duration/10
+	for i, c := range a {
+		if i > 0 && (a[i-1].At > c.At || (a[i-1].At == c.At && a[i-1].Node >= c.Node)) {
+			t.Errorf("schedule not sorted at %d", i)
+		}
+		if c.At < lo || c.At >= hi {
+			t.Errorf("crash %d at %v outside the middle 80%% [%v, %v)", i, c.At, lo, hi)
+		}
+		if c.RecoverAt != 0 && c.RecoverAt != c.At+plan.Downtime {
+			t.Errorf("crash %d recovery %v != At+Downtime", i, c.RecoverAt)
+		}
+	}
+}
+
+func TestCrashAtOrPastDurationNeverScheduled(t *testing.T) {
+	env := testEnv()
+	plan := &Plan{Crashes: []Crash{
+		{Node: 0, At: env.Duration},
+		{Node: 1, At: env.Duration + sim.Second},
+		{Node: 2, At: sim.Second, RecoverAt: env.Duration + sim.Second},
+	}}
+	sched := NewInjector(plan, env).Schedule()
+	if len(sched) != 1 {
+		t.Fatalf("scheduled %d crashes, want only the in-run one", len(sched))
+	}
+	if sched[0].Node != 2 || sched[0].RecoverAt != 0 {
+		t.Errorf("in-run crash = %+v; recovery past the run should normalize to 0", sched[0])
+	}
+}
+
+func TestBatteryJitterBoundsAndIdentity(t *testing.T) {
+	env := testEnv()
+	j := 0.4
+	inj := NewInjector(&Plan{BatteryJitter: j}, env)
+	for i := 0; i < env.Nodes; i++ {
+		f := inj.BatteryCapacity(i, 100) / 100
+		if f < 1-j || f > 1+j {
+			t.Errorf("node %d battery factor %v outside [%v, %v]", i, f, 1-j, 1+j)
+		}
+	}
+	// Zero capacity means "infinite battery" and must stay exactly zero.
+	if got := inj.BatteryCapacity(0, 0); got != 0 {
+		t.Errorf("jittered zero capacity = %v, want 0", got)
+	}
+	// Without jitter the base must come back bit-identical.
+	plain := NewInjector(&Plan{CrashFraction: 0.1}, env)
+	if got := plain.BatteryCapacity(5, 123.456); got != 123.456 {
+		t.Errorf("unjittered capacity = %v, want bit-identical base", got)
+	}
+}
+
+func TestPartitionShiftsOnlyOddNodes(t *testing.T) {
+	env := testEnv()
+	inj := NewInjector(&Plan{Partitions: []Partition{{StartFrac: 0.4, StopFrac: 0.7}}}, env)
+	if got := inj.ShiftsFor(2); got != nil {
+		t.Error("even node received partition shifts")
+	}
+	shifts := inj.ShiftsFor(3)
+	if len(shifts) != 1 {
+		t.Fatalf("odd node has %d shifts, want 1", len(shifts))
+	}
+	s := shifts[0]
+	wantOffset := env.FieldH + env.RangeM + partitionClearance
+	if s.Offset.Y != wantOffset {
+		t.Errorf("offset %v, want %v (out of range plus clearance)", s.Offset.Y, wantOffset)
+	}
+	if s.Ramp != defaultRamp {
+		t.Errorf("ramp %v, want the %v default", s.Ramp, defaultRamp)
+	}
+	if b := inj.ExtraMotionBound(); math.Abs(b-s.Offset.Y/s.Ramp.Seconds()) > 1e-9 {
+		t.Errorf("extra motion bound %v inconsistent with offset/ramp", b)
+	}
+}
+
+func TestPartitionRampClampedToHalfWindow(t *testing.T) {
+	env := testEnv()
+	// A 2% window (18 s) cannot fit two 10 s ramps; expect (stop-start)/2.
+	inj := NewInjector(&Plan{Partitions: []Partition{{StartFrac: 0.50, StopFrac: 0.52}}}, env)
+	shifts := inj.ShiftsFor(1)
+	if len(shifts) != 1 {
+		t.Fatalf("got %d shifts, want 1", len(shifts))
+	}
+	if want := (shifts[0].Stop - shifts[0].Start) / 2; shifts[0].Ramp != want {
+		t.Errorf("ramp %v, want clamp to half window %v", shifts[0].Ramp, want)
+	}
+}
+
+// TestLossModelBernoulliRate pins the degenerate (no-burst) chain to a
+// plain Bernoulli with rate PGood.
+func TestLossModelBernoulliRate(t *testing.T) {
+	m := newLossModel(LossConfig{PGood: 0.25}, 1)
+	if m == nil {
+		t.Fatal("Bernoulli config produced no model")
+	}
+	lost, trials := 0, 20000
+	for i := 0; i < trials; i++ {
+		if m.Lose(sim.Time(i)*sim.Millisecond, 0, 1) {
+			lost++
+		}
+	}
+	rate := float64(lost) / float64(trials)
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Errorf("Bernoulli loss rate %v, want ~0.25", rate)
+	}
+}
+
+// TestLossModelBurstStructure verifies the two-state chain loses far more
+// in aggregate than the good-state floor, and that two models with the
+// same seed agree query by query regardless of chain creation order.
+func TestLossModelBurstStructure(t *testing.T) {
+	cfg := LossConfig{PGood: 0.01, PBad: 0.9, MeanGood: sim.Second, MeanBad: sim.Second}
+	m := newLossModel(cfg, 1)
+	lost, trials := 0, 20000
+	for i := 0; i < trials; i++ {
+		if m.Lose(sim.Time(i)*sim.Millisecond, 0, 1) {
+			lost++
+		}
+	}
+	rate := float64(lost) / float64(trials)
+	// Equal sojourns → roughly half the time in Bad: expect ~0.455.
+	if rate < 0.2 || rate > 0.7 {
+		t.Errorf("burst loss rate %v, want roughly (PGood+PBad)/2", rate)
+	}
+
+	// Same seed, chains touched in different orders: per-chain streams are
+	// anchored at t=0, so answers must match exactly.
+	a := newLossModel(cfg, 9)
+	b := newLossModel(cfg, 9)
+	_ = b.Lose(0, 0, 2) // touch another receiver's chain first on b
+	for i := 0; i < 1000; i++ {
+		at := sim.Time(i) * 3 * sim.Millisecond
+		if a.Lose(at, 0, 1) != b.Lose(at, 0, 1) {
+			t.Fatalf("chain creation order changed the loss sequence at %v", at)
+		}
+	}
+}
+
+// TestLossModelPerLinkIndependence: with PerLink, the (tx→rx) and (tx'→rx)
+// chains draw from distinct streams.
+func TestLossModelPerLinkIndependence(t *testing.T) {
+	cfg := LossConfig{PGood: 0.5, PerLink: true}
+	a := newLossModel(cfg, 4)
+	b := newLossModel(cfg, 4)
+	diff := 0
+	for i := 0; i < 2000; i++ {
+		at := sim.Time(i) * sim.Millisecond
+		if a.Lose(at, 0, 1) != b.Lose(at, 2, 1) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("per-link chains for different transmitters are identical")
+	}
+}
+
+func TestLossModelDisabledConfigs(t *testing.T) {
+	if m := newLossModel(LossConfig{}, 1); m != nil {
+		t.Error("zero config produced a model")
+	}
+	if m := newLossModel(LossConfig{PBad: 0.9}, 1); m != nil {
+		t.Error("bad-state prob without sojourn times produced a model")
+	}
+	var inj Injector
+	if inj.LossModel() != nil {
+		t.Error("zero injector leaked a typed-nil loss model")
+	}
+}
+
+var _ phy.LossModel = (*gilbertElliott)(nil)

@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"sort"
+
+	"rcast/internal/geom"
+	"rcast/internal/mobility"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// partitionClearance is how far beyond "barely out of range" the displaced
+// group is pushed, so boundary-distance float noise cannot leak a link
+// across an active partition.
+const partitionClearance = 50.0
+
+// defaultRamp is the partition transition time when a Partition leaves
+// Ramp zero.
+const defaultRamp = 10 * sim.Second
+
+// Env is the run geometry an Injector resolves a Plan against.
+type Env struct {
+	Seed           int64
+	Nodes          int
+	Duration       sim.Time
+	FieldW, FieldH float64
+	RangeM         float64
+}
+
+// Injector is a Plan resolved for one run: a concrete crash schedule,
+// per-node battery factors, partition shifts and the channel loss model.
+// All randomness is drawn at construction (or, for the loss model, from
+// per-chain streams), so two injectors built from the same (Plan, Env) are
+// interchangeable.
+type Injector struct {
+	plan Plan
+	env  Env
+
+	schedule      []Crash
+	batteryFactor []float64        // nil when BatteryJitter is zero
+	shifts        []mobility.Shift // applied to odd-indexed nodes
+}
+
+// NewInjector resolves plan against env. A nil plan yields a fully inert
+// injector.
+func NewInjector(plan *Plan, env Env) *Injector {
+	inj := &Injector{env: env}
+	if plan == nil {
+		return inj
+	}
+	inj.plan = *plan
+	inj.resolveCrashes()
+	inj.resolveBatteries()
+	inj.resolvePartitions()
+	return inj
+}
+
+// resolveCrashes merges the explicit crash list with the randomized draw
+// into one schedule, dropping events outside (or starting past) the run.
+func (inj *Injector) resolveCrashes() {
+	add := func(c Crash) {
+		if c.At >= inj.env.Duration {
+			return // crash-at-t=∞ is no crash
+		}
+		if c.RecoverAt >= inj.env.Duration || c.RecoverAt <= c.At {
+			c.RecoverAt = 0
+		}
+		inj.schedule = append(inj.schedule, c)
+	}
+	for _, c := range inj.plan.Crashes {
+		add(c)
+	}
+	if frac := inj.plan.CrashFraction; frac > 0 {
+		// One stream, consumed in node order: the schedule depends only on
+		// (seed, fraction, downtime), never on anything the run does.
+		rng := sim.Stream(inj.env.Seed, "fault/crash")
+		lo := inj.env.Duration / 10
+		span := inj.env.Duration - 2*lo
+		for i := 0; i < inj.env.Nodes; i++ {
+			if rng.Float64() >= frac {
+				continue
+			}
+			at := lo + sim.Time(rng.Float64()*float64(span))
+			c := Crash{Node: i, At: at}
+			if inj.plan.Downtime > 0 {
+				c.RecoverAt = at + inj.plan.Downtime
+			}
+			add(c)
+		}
+	}
+	sort.Slice(inj.schedule, func(i, j int) bool {
+		a, b := inj.schedule[i], inj.schedule[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Node < b.Node
+	})
+}
+
+func (inj *Injector) resolveBatteries() {
+	j := inj.plan.BatteryJitter
+	if j <= 0 {
+		return
+	}
+	rng := sim.Stream(inj.env.Seed, "fault/battery")
+	inj.batteryFactor = make([]float64, inj.env.Nodes)
+	for i := range inj.batteryFactor {
+		inj.batteryFactor[i] = 1 - j + 2*j*rng.Float64()
+	}
+}
+
+func (inj *Injector) resolvePartitions() {
+	if len(inj.plan.Partitions) == 0 {
+		return
+	}
+	// Displace the odd-indexed half of the field far enough that the
+	// closest cross-group pair is partitionClearance beyond radio range.
+	offset := geom.Point{Y: inj.env.FieldH + inj.env.RangeM + partitionClearance}
+	for _, w := range inj.plan.Partitions {
+		start := sim.Time(w.StartFrac * float64(inj.env.Duration))
+		stop := sim.Time(w.StopFrac * float64(inj.env.Duration))
+		if stop <= start {
+			continue
+		}
+		ramp := w.Ramp
+		if ramp <= 0 {
+			ramp = defaultRamp
+		}
+		if half := (stop - start) / 2; ramp > half {
+			ramp = half
+		}
+		if ramp < sim.Microsecond {
+			continue
+		}
+		inj.shifts = append(inj.shifts, mobility.Shift{
+			Start: start, Stop: stop, Ramp: ramp, Offset: offset,
+		})
+	}
+}
+
+// Schedule returns the resolved crash schedule, sorted by (At, Node).
+func (inj *Injector) Schedule() []Crash { return inj.schedule }
+
+// LossModel returns the channel loss hook, or nil when the plan's loss
+// configuration cannot lose frames (no hook is installed at all).
+func (inj *Injector) LossModel() phy.LossModel {
+	if m := newLossModel(inj.plan.Loss, inj.env.Seed); m != nil {
+		return m
+	}
+	return nil
+}
+
+// BatteryCapacity returns node i's jittered battery capacity. With zero
+// jitter it returns base untouched (bit-identical, not merely close).
+func (inj *Injector) BatteryCapacity(i int, base float64) float64 {
+	if inj.batteryFactor == nil || base <= 0 || i < 0 || i >= len(inj.batteryFactor) {
+		return base
+	}
+	return base * inj.batteryFactor[i]
+}
+
+// ShiftsFor returns the partition displacement windows for node i (nil for
+// the stationary group and for plans without partitions).
+func (inj *Injector) ShiftsFor(i int) []mobility.Shift {
+	if len(inj.shifts) == 0 || i%2 == 0 {
+		return nil
+	}
+	return inj.shifts
+}
+
+// ExtraMotionBound returns the worst-case extra speed (m/s) the partition
+// shifts add on top of the scenario's own mobility; the channel's declared
+// motion bound must grow by this much for grid answers to stay exact.
+func (inj *Injector) ExtraMotionBound() float64 {
+	var total float64
+	for _, s := range inj.shifts {
+		total += s.MaxExtraSpeed()
+	}
+	return total
+}

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// gilbertElliott implements phy.LossModel: one continuous-time two-state
+// Markov chain per receiver (or per directed link), advanced lazily to each
+// query instant.
+//
+// Determinism: each chain owns a private RNG stream derived from the run
+// seed and the chain identity, and a chain is only ever queried at
+// reception-completion events, which the scheduler dispatches in
+// deterministic order at monotone times. Chain state therefore never
+// depends on map iteration order or on which other links exist, and the
+// spatial-grid delivery path (which visits receivers in registration order,
+// identical to the exhaustive scan) consumes chain randomness in exactly
+// the same sequence as the brute-force path.
+type gilbertElliott struct {
+	cfg    LossConfig
+	seed   int64
+	chains map[chainKey]*geChain
+}
+
+type chainKey struct {
+	tx, rx phy.NodeID // tx is phy.Broadcast for the per-receiver variant
+}
+
+type geChain struct {
+	rng      *rand.Rand
+	bad      bool
+	nextFlip sim.Time // end of the current sojourn (burst chains only)
+}
+
+// newLossModel builds the model, or returns nil when cfg cannot lose
+// frames (so an inert configuration installs no hook at all).
+func newLossModel(cfg LossConfig, seed int64) *gilbertElliott {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &gilbertElliott{cfg: cfg, seed: seed, chains: make(map[chainKey]*geChain)}
+}
+
+// Lose implements phy.LossModel: it reports whether the frame from tx
+// completing at rx at instant now is corrupted by the channel.
+func (g *gilbertElliott) Lose(now sim.Time, tx, rx phy.NodeID) bool {
+	k := chainKey{tx: phy.Broadcast, rx: rx}
+	if g.cfg.PerLink {
+		k.tx = tx
+	}
+	c, ok := g.chains[k]
+	if !ok {
+		c = g.newChain(k, now)
+		g.chains[k] = c
+	}
+	if g.cfg.burst() {
+		for c.nextFlip <= now {
+			c.bad = !c.bad
+			c.nextFlip += expDur(c.rng, g.sojourn(c.bad))
+		}
+	}
+	p := g.cfg.PGood
+	if c.bad {
+		p = g.cfg.PBad
+	}
+	if p <= 0 {
+		return false
+	}
+	return c.rng.Float64() < p
+}
+
+func (g *gilbertElliott) sojourn(bad bool) sim.Time {
+	if bad {
+		return g.cfg.MeanBad
+	}
+	return g.cfg.MeanGood
+}
+
+// newChain starts a chain in the Good state with its first sojourn drawn
+// from the chain's private stream. Chains are created lazily at the first
+// query, but the sojourn sequence is anchored at t=0 so creation order is
+// irrelevant: the catch-up loop in Lose advances it to now.
+func (g *gilbertElliott) newChain(k chainKey, _ sim.Time) *geChain {
+	var name string
+	if g.cfg.PerLink {
+		name = fmt.Sprintf("fault/loss/%d-%d", int(k.tx), int(k.rx))
+	} else {
+		name = fmt.Sprintf("fault/loss/%d", int(k.rx))
+	}
+	c := &geChain{rng: sim.Stream(g.seed, name)}
+	if g.cfg.burst() {
+		c.nextFlip = expDur(c.rng, g.cfg.MeanGood)
+	}
+	return c
+}
+
+// expDur draws an exponential duration with the given mean, clamped below
+// at one scheduler tick so sojourns always advance the chain.
+func expDur(rng *rand.Rand, mean sim.Time) sim.Time {
+	d := sim.Time(float64(mean) * -math.Log(1-rng.Float64()))
+	if d < sim.Microsecond {
+		d = sim.Microsecond
+	}
+	return d
+}

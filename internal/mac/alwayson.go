@@ -15,6 +15,8 @@ type AlwaysOn struct {
 	radio *phy.Radio
 	dcf   *dcf
 	up    Upcalls
+	dead  bool // battery depletion: permanent
+	down  bool // fault-injected crash: reversible via PowerUp
 	stats Stats
 }
 
@@ -37,12 +39,49 @@ func NewAlwaysOn(
 
 // Kill permanently silences the node (battery depletion).
 func (m *AlwaysOn) Kill() {
+	m.dead = true
 	m.dcf.setWindow(false, 0)
 	m.radio.SetAwake(false)
 }
 
+// PowerDown crashes the node: the radio goes dark and the DCF queue is
+// flushed and returned WITHOUT firing OnResult (the fault layer reconciles
+// the packets). No-op returning nil if already dead or down. The caller
+// owns the node's energy meter transition: unlike PSM, an always-on MAC
+// never drives its meter.
+func (m *AlwaysOn) PowerDown() []Packet {
+	if m.dead || m.down {
+		return nil
+	}
+	m.down = true
+	flushed := m.dcf.flush()
+	m.radio.SetAwake(false)
+	return flushed
+}
+
+// PowerUp recovers a crashed node: radio awake, transmit window open
+// forever, exactly the state NewAlwaysOn leaves a fresh station in. No-op
+// unless PowerDown is in effect (battery death is permanent).
+func (m *AlwaysOn) PowerUp() {
+	if m.dead || !m.down {
+		return
+	}
+	m.down = false
+	m.radio.SetAwake(true)
+	m.dcf.setWindow(true, sim.MaxTime)
+}
+
+// Down reports whether a fault-injected PowerDown is in effect.
+func (m *AlwaysOn) Down() bool { return m.down }
+
 // Send implements Mac.
 func (m *AlwaysOn) Send(p Packet) {
+	if m.down {
+		if p.OnResult != nil {
+			p.OnResult(false)
+		}
+		return
+	}
 	if p.Level == 0 {
 		p.Level = core.LevelUnconditional // no PSM: everyone hears everything
 	}

@@ -22,4 +22,9 @@ type Audit interface {
 	// TxWindowSet fires on every transmit-window change; end is meaningful
 	// only when enabled.
 	TxWindowSet(now sim.Time, node phy.NodeID, enabled bool, end sim.Time)
+	// NodeDown fires when fault injection power-cycles a station off
+	// (PowerDown). The checker must reset its per-node monotonicity
+	// baselines: a recovered node restarts with amnesia, so pre-crash AM
+	// horizons and window ends no longer bound its behaviour.
+	NodeDown(now sim.Time, node phy.NodeID)
 }

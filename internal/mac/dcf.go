@@ -45,8 +45,14 @@ type dcf struct {
 	attemptTimer *sim.Timer
 	ctsTimer     *sim.Timer
 	ackTimer     *sim.Timer
-	awaitingCTS  bool
-	awaitingAck  bool
+	// doneTimer tracks a broadcast frame's on-air completion. It gates
+	// kick() exactly like the unicast awaiting* flags: without it, an
+	// enqueue or window reset during the broadcast's airtime would re-serve
+	// the in-flight job — a duplicate transmission whose second completion
+	// fires OnResult twice.
+	doneTimer   *sim.Timer
+	awaitingCTS bool
+	awaitingAck bool
 
 	// navUntil is the virtual carrier-sense reservation learned from
 	// overheard RTS/CTS frames.
@@ -128,7 +134,7 @@ func (d *dcf) setWindow(enabled bool, end sim.Time) {
 	d.windowEnd = end
 	d.stalled = false
 	if !enabled {
-		for _, tm := range []**sim.Timer{&d.attemptTimer, &d.ctsTimer, &d.ackTimer} {
+		for _, tm := range []**sim.Timer{&d.attemptTimer, &d.ctsTimer, &d.ackTimer, &d.doneTimer} {
 			if *tm != nil {
 				(*tm).Cancel()
 				*tm = nil
@@ -140,6 +146,26 @@ func (d *dcf) setWindow(enabled bool, end sim.Time) {
 		return
 	}
 	d.kick()
+}
+
+// flush closes the window, cancels all pending activity and empties the
+// transmit queue, returning the queued packets in queue order WITHOUT
+// firing their OnResult callbacks: a power-cycle crash must not look like a
+// per-packet link failure (which would trigger salvage/RERR machinery on a
+// node that is supposed to be dead). The caller reconciles the returned
+// packets. Receiver-side soft state (duplicate filter, NAV) is cleared too:
+// a recovered node restarts with amnesia.
+func (d *dcf) flush() []Packet {
+	d.setWindow(false, 0)
+	pkts := d.queuedPackets()
+	for i := range d.queue {
+		d.queue[i] = nil
+	}
+	d.queue = d.queue[:0]
+	d.navUntil = 0
+	d.eligible = nil
+	clear(d.lastSeen)
+	return pkts
 }
 
 // setEligible installs (or clears) the admission gate and re-kicks.
@@ -176,7 +202,8 @@ func (d *dcf) failJobs(match func(Packet) bool) int {
 // kick starts an attempt for the first eligible job if the pipeline is
 // idle.
 func (d *dcf) kick() {
-	if !d.enabled || d.stalled || d.awaitingCTS || d.awaitingAck || d.attemptTimer != nil {
+	if !d.enabled || d.stalled || d.awaitingCTS || d.awaitingAck ||
+		d.attemptTimer != nil || d.doneTimer != nil {
 		return
 	}
 	if d.current == nil {
@@ -308,7 +335,10 @@ func (d *dcf) sendData(job *txJob) {
 
 	if job.pkt.Dst == phy.Broadcast {
 		d.stats.BroadcastTx++
-		d.sched.After(airtime, func() { d.complete(job, true) })
+		d.doneTimer = d.sched.After(airtime, func() {
+			d.doneTimer = nil
+			d.complete(job, true)
+		})
 		return
 	}
 

@@ -1,0 +1,148 @@
+package mac
+
+import (
+	"testing"
+
+	"rcast/internal/core"
+	"rcast/internal/energy"
+	"rcast/internal/geom"
+	"rcast/internal/mobility"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// TestBroadcastEnqueueDuringAirtimeCompletesOnce is the deterministic
+// regression for a double-completion bug the fuzzer found: an enqueue
+// while a broadcast frame was on the air re-served the in-flight job
+// (kick saw no awaiting* flag and no attempt timer), so the frame went
+// out twice and its OnResult fired twice. The completion timer now gates
+// the pipeline like the unicast handshake timers do.
+func TestBroadcastEnqueueDuringAirtimeCompletesOnce(t *testing.T) {
+	r := newRig(t, 2, 100)
+	a := r.alwaysOn(0)
+	r.alwaysOn(1)
+	first := 0
+	a.Send(Packet{Dst: phy.Broadcast, Class: core.ClassRREQ, Bytes: 64,
+		OnResult: func(bool) { first++ }})
+	// Mid-airtime (64 B + header at 2 Mb/s is ~500 µs on the air), enqueue a
+	// second broadcast; this kicks the pipeline while job 1 is in flight.
+	second := 0
+	r.sched.After(100*sim.Microsecond, func() {
+		a.Send(Packet{Dst: phy.Broadcast, Class: core.ClassRREQ, Bytes: 64,
+			OnResult: func(bool) { second++ }})
+	})
+	r.run(sim.Second)
+	if first != 1 || second != 1 {
+		t.Fatalf("OnResult counts = (%d, %d), want (1, 1)", first, second)
+	}
+	if got := a.Stats().BroadcastTx; got != 2 {
+		t.Fatalf("BroadcastTx = %d, want 2 (no duplicate transmission)", got)
+	}
+}
+
+// FuzzPSMOperations drives a three-station PSM/ATIM network through an
+// arbitrary interleaving of sends, beacon-cycle progress, AM extensions,
+// fault-injected power cycles and battery kills, decoded two bytes per
+// operation from the fuzz input. The safety properties are the ones every
+// higher layer leans on:
+//
+//   - OnResult fires at most once per packet, regardless of crashes
+//     (PowerDown flushes without firing; Send while down fires false once).
+//   - A down (crashed) station buffers nothing; only battery death (Kill)
+//     may leave a buffer behind, for the audit to reconcile.
+//   - Meters never run backwards: awake time is bounded by elapsed time
+//     and accrued energy is non-negative.
+//   - The state machine never panics, whatever the interleaving.
+func FuzzPSMOperations(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x40, 0x13, 0x00, 0x02, 0x40})      // send, run, crash, run
+	f.Add([]byte{0x00, 0x01, 0x10, 0x02, 0x02, 0xff, 0x14, 0x00})      // two senders, long run, recover
+	f.Add([]byte{0x05, 0x20, 0x00, 0x01, 0x02, 0x30, 0x16, 0x00})     // extend AM, send, run, kill
+	f.Add([]byte{0x07, 0x01, 0x01, 0x00, 0x02, 0x80, 0x03, 0x02,
+		0x02, 0x40, 0x04, 0x00, 0x02, 0x40}) // RERR, broadcast, crash+recover cycle
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 3
+		sched := sim.NewScheduler()
+		ch := phy.NewChannel(sched, 250)
+		coord := NewCoordinator(sched, ch, DefaultParams(), sim.Stream(1, "fuzz/atim"), 3600*sim.Second)
+		var (
+			stations []*PSM
+			meters   []*energy.Meter
+		)
+		for i := 0; i < n; i++ {
+			radio := ch.AddRadio(phy.NodeID(i), mobility.Static{P: geom.Point{X: float64(i) * 100}})
+			meter := energy.NewMeter(1.15, 0.045, 0)
+			m := NewPSM(sched, ch, radio, meter, core.Rcast{},
+				sim.Stream(int64(i), "fuzz/mac"), DefaultParams(), &recorder{})
+			coord.AddStation(m)
+			stations = append(stations, m)
+			meters = append(meters, meter)
+		}
+		coord.Start()
+
+		// resultCounts[i] counts OnResult invocations of packet i.
+		var resultCounts []int
+		send := func(m *PSM, dst phy.NodeID, class core.Class) {
+			i := len(resultCounts)
+			resultCounts = append(resultCounts, 0)
+			m.Send(Packet{Dst: dst, Class: class, Bytes: 128,
+				OnResult: func(bool) { resultCounts[i]++ }})
+		}
+
+		for pc := 0; pc+1 < len(data); pc += 2 {
+			op, arg := data[pc], data[pc+1]
+			m := stations[int(op>>4)%n]
+			switch op % 8 {
+			case 0: // unicast data
+				send(m, phy.NodeID(int(arg)%n), core.ClassData)
+			case 1: // broadcast RREQ
+				send(m, phy.Broadcast, core.ClassRREQ)
+			case 2: // advance simulated time (1..256 ms)
+				sched.RunUntil(sched.Now() + sim.Time(int(arg)+1)*sim.Millisecond)
+			case 3: // crash
+				m.PowerDown()
+			case 4: // recover
+				m.PowerUp()
+			case 5: // extend the active-mode horizon
+				m.ExtendAM(sched.Now() + sim.Time(int(arg)+1)*sim.Millisecond)
+			case 6: // battery death (permanent)
+				m.Kill()
+			case 7: // unicast RERR (unconditional overhearing level)
+				send(m, phy.NodeID(int(arg)%n), core.ClassRERR)
+			}
+			// A crashed station flushes on PowerDown and refuses enqueues
+			// while down. (A battery-dead station is different: Kill keeps
+			// the buffer, which the audit reconciles as its buffered class.)
+			if m.Down() {
+				if q := m.Queued(); len(q) != 0 {
+					t.Fatalf("down station buffered %d packets", len(q))
+				}
+			}
+		}
+
+		// Drain: give retries and beacon cycles time to settle.
+		end := sched.Now() + 2*sim.Second
+		sched.RunUntil(end)
+
+		for i, c := range resultCounts {
+			if c > 1 {
+				t.Fatalf("packet %d: OnResult fired %d times", i, c)
+			}
+		}
+		for i, meter := range meters {
+			if err := meter.ObserveAt(end); err != nil {
+				t.Fatalf("node %d: meter observe: %v", i, err)
+			}
+			if meter.Joules() < 0 {
+				t.Fatalf("node %d: negative energy %v", i, meter.Joules())
+			}
+			if meter.AwakeTime() > end {
+				t.Fatalf("node %d: awake %v longer than the run %v", i, meter.AwakeTime(), end)
+			}
+		}
+		for i, m := range stations {
+			if m.Down() && len(m.Queued()) != 0 {
+				t.Fatalf("down station %d still buffers packets", i)
+			}
+		}
+	})
+}

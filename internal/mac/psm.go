@@ -56,7 +56,8 @@ type PSM struct {
 	admitted      map[annKey]struct{}
 	atimMisses    map[annKey]int
 
-	dead bool
+	dead bool // battery depletion: permanent
+	down bool // fault-injected crash: reversible via PowerUp
 
 	stats Stats
 }
@@ -122,7 +123,7 @@ func (m *PSM) setWindow(enabled bool, end sim.Time) {
 // ExtendAM keeps the node in active mode until at least `until`. While in
 // AM the node never sleeps and may transmit outside the beacon data phase.
 func (m *PSM) ExtendAM(until sim.Time) {
-	if m.dead || until <= m.amUntil {
+	if m.dead || m.down || until <= m.amUntil {
 		return
 	}
 	m.amUntil = until
@@ -152,7 +153,7 @@ func (m *PSM) nextBoundary(now sim.Time) sim.Time {
 // Send implements Mac. Packets normally wait for the next ATIM window; an
 // AM node with an AM next hop (ODPM fast path) transmits immediately.
 func (m *PSM) Send(p Packet) {
-	if m.dead {
+	if m.dead || m.down {
 		if p.OnResult != nil {
 			p.OnResult(false)
 		}
@@ -198,11 +199,60 @@ func (m *PSM) Kill() {
 // Dead reports whether Kill was called.
 func (m *PSM) Dead() bool { return m.dead }
 
+// PowerDown crashes the node: the radio goes dark, the transmit window
+// closes, and all buffered packets — DCF queue plus packets awaiting the
+// next ATIM window — are flushed and returned in deterministic order
+// WITHOUT firing OnResult (the fault layer reconciles them; a crash is not
+// a per-packet link failure). Soft protocol state (announcements,
+// admission, neighbor history, churn estimate) is reset: a recovered node
+// restarts with amnesia. No-op returning nil if already dead or down.
+func (m *PSM) PowerDown() []Packet {
+	if m.dead || m.down {
+		return nil
+	}
+	m.down = true
+	m.amUntil = 0
+	m.setWindow(false, 0)
+	flushed := m.dcf.flush()
+	flushed = append(flushed, m.pending...)
+	m.pending = nil
+	m.lastAnnounced = m.lastAnnounced[:0]
+	if m.admitted != nil {
+		clear(m.admitted)
+		clear(m.atimMisses)
+	}
+	clear(m.lastHeard)
+	clear(m.prevNeighbors)
+	m.churnInit = false
+	m.linkChurn = 0
+	now := m.sched.Now()
+	m.radio.SetAwake(false)
+	_ = m.meter.SetState(now, energy.Asleep)
+	if m.audit != nil {
+		m.audit.NodeDown(now, m.radio.ID())
+	}
+	return flushed
+}
+
+// PowerUp recovers a crashed node. The radio and meter stay asleep: the
+// node rejoins the beacon cycle at its next BeaconStart, exactly like a
+// station that slept through the data phase. No-op unless PowerDown is in
+// effect (battery death is permanent).
+func (m *PSM) PowerUp() {
+	if m.dead || !m.down {
+		return
+	}
+	m.down = false
+}
+
+// Down reports whether a fault-injected PowerDown is in effect.
+func (m *PSM) Down() bool { return m.down }
+
 // BeaconStart implements Station: wake up, quiesce data transmission for
 // the ATIM window, fold pending packets into the transmit queue, and return
 // this interval's advertisements.
 func (m *PSM) BeaconStart(now sim.Time) []Announcement {
-	if m.dead {
+	if m.dead || m.down {
 		return nil
 	}
 	m.radio.SetAwake(true)
@@ -245,7 +295,7 @@ func (m *PSM) BeaconStart(now sim.Time) []Announcement {
 // failed advertisements they are dropped as link failures (the sender's
 // MAC gives up on the destination).
 func (m *PSM) ATIMOutcome(_ sim.Time, admitted []Announcement) {
-	if m.admitted == nil || m.dead {
+	if m.admitted == nil || m.dead || m.down {
 		return
 	}
 	clear(m.admitted)
@@ -286,7 +336,7 @@ func (m *PSM) ATIMOutcome(_ sim.Time, admitted []Announcement) {
 // phase based on this interval's advertisements, then either open the
 // transmit window or sleep until the next beacon.
 func (m *PSM) ATIMEnd(now sim.Time, heard []Announcement, nextBeacon sim.Time) {
-	if m.dead {
+	if m.dead || m.down {
 		return
 	}
 	awake := m.InAM(now) || m.dcf.queueLen() > 0

@@ -1,0 +1,69 @@
+package mobility
+
+import (
+	"rcast/internal/geom"
+	"rcast/internal/sim"
+)
+
+// Shift is a timed displacement window: between Start and Stop the node's
+// position is offset by Offset, ramping linearly in over [Start, Start+Ramp]
+// and out over [Stop-Ramp, Stop]. The ramp bounds the extra speed the shift
+// adds (Offset.Norm()/Ramp), which callers must fold into the channel's
+// declared motion bound. A Shift with Ramp <= 0 degenerates to an
+// instantaneous (unbounded-speed) jump and is rejected by MaxExtraSpeed
+// returning +Inf; construct shifts with a positive ramp.
+type Shift struct {
+	Start, Stop sim.Time
+	Ramp        sim.Time
+	Offset      geom.Point
+}
+
+// factor returns the displacement fraction in [0, 1] applied at instant t.
+func (s Shift) factor(t sim.Time) float64 {
+	if t <= s.Start || t >= s.Stop {
+		return 0
+	}
+	if s.Ramp <= 0 {
+		return 1
+	}
+	if d := t - s.Start; d < s.Ramp {
+		return float64(d) / float64(s.Ramp)
+	}
+	if d := s.Stop - t; d < s.Ramp {
+		return float64(d) / float64(s.Ramp)
+	}
+	return 1
+}
+
+// MaxExtraSpeed returns the largest speed (m/s) the shift adds on top of
+// the base model's own motion.
+func (s Shift) MaxExtraSpeed() float64 {
+	if s.Ramp <= 0 {
+		return inf
+	}
+	return s.Offset.Norm() / s.Ramp.Seconds()
+}
+
+var inf = func() float64 { var z float64; return 1 / z }()
+
+// Shifted wraps a base model with timed displacement overrides (partition
+// faults). Like every Model it is a pure function of time: the shift factor
+// is computed analytically, so arbitrary and out-of-order queries stay
+// consistent and the per-instant position cache in phy remains valid.
+type Shifted struct {
+	Base   Model
+	Shifts []Shift
+}
+
+var _ Model = (*Shifted)(nil)
+
+// PositionAt implements Model.
+func (s *Shifted) PositionAt(t sim.Time) geom.Point {
+	p := s.Base.PositionAt(t)
+	for _, sh := range s.Shifts {
+		if f := sh.factor(t); f > 0 {
+			p = p.Add(sh.Offset.Scale(f))
+		}
+	}
+	return p
+}

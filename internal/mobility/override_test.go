@@ -1,0 +1,67 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"rcast/internal/geom"
+	"rcast/internal/sim"
+)
+
+func TestShiftFactorRampsInAndOut(t *testing.T) {
+	s := Shift{
+		Start:  10 * sim.Second,
+		Stop:   30 * sim.Second,
+		Ramp:   5 * sim.Second,
+		Offset: geom.Point{Y: 100},
+	}
+	cases := []struct {
+		at   sim.Time
+		want float64
+	}{
+		{0, 0},
+		{10 * sim.Second, 0},           // window edges are exclusive
+		{12500 * sim.Millisecond, 0.5}, // halfway up the ramp
+		{15 * sim.Second, 1},           // plateau start
+		{20 * sim.Second, 1},           // plateau
+		{27500 * sim.Millisecond, 0.5}, // halfway down
+		{30 * sim.Second, 0},           // closed again
+		{40 * sim.Second, 0},
+	}
+	for _, tc := range cases {
+		if got := s.factor(tc.at); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("factor(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestShiftedIsPureFunctionOfTime(t *testing.T) {
+	base := Static{P: geom.Point{X: 3, Y: 4}}
+	m := &Shifted{Base: base, Shifts: []Shift{{
+		Start: sim.Second, Stop: 5 * sim.Second, Ramp: sim.Second,
+		Offset: geom.Point{X: 10},
+	}}}
+	mid := m.PositionAt(3 * sim.Second)
+	if want := (geom.Point{X: 13, Y: 4}); mid != want {
+		t.Errorf("plateau position %v, want %v", mid, want)
+	}
+	// Out-of-order and repeated queries must agree (phy caches positions
+	// per instant and the grid re-queries arbitrarily).
+	early := m.PositionAt(0)
+	if again := m.PositionAt(3 * sim.Second); again != mid {
+		t.Errorf("repeat query diverged: %v vs %v", again, mid)
+	}
+	if want := base.P; early != want {
+		t.Errorf("pre-window position %v, want base %v", early, want)
+	}
+}
+
+func TestShiftMaxExtraSpeed(t *testing.T) {
+	s := Shift{Ramp: 2 * sim.Second, Offset: geom.Point{X: 30, Y: 40}}
+	if got := s.MaxExtraSpeed(); math.Abs(got-25) > 1e-12 {
+		t.Errorf("MaxExtraSpeed = %v, want 25 (|offset| 50 m over 2 s)", got)
+	}
+	if got := (Shift{Offset: geom.Point{X: 1}}).MaxExtraSpeed(); !math.IsInf(got, 1) {
+		t.Errorf("zero-ramp shift speed = %v, want +Inf", got)
+	}
+}

@@ -98,6 +98,16 @@ type Stats struct {
 	Deliveries    uint64 // successful per-receiver decodes
 	Collisions    uint64 // per-receiver losses due to overlap
 	MissedAsleep  uint64 // per-receiver losses because the radio slept
+	FaultLost     uint64 // per-receiver losses injected by the LossModel
+}
+
+// LossModel decides, per completed reception, whether the channel corrupts
+// the frame (fault injection; see internal/fault). Lose is consulted only
+// for frames that would otherwise decode — after collision, half-duplex and
+// sleep filtering — so implementations see a deterministic query sequence:
+// reception completions in scheduler order at monotone instants.
+type LossModel interface {
+	Lose(now sim.Time, tx, rx NodeID) bool
 }
 
 // Channel is the shared medium connecting all radios in a scenario.
@@ -116,11 +126,16 @@ type Channel struct {
 	grid           grid
 	scratch        []int32
 
-	obs DeliveryObserver // nil = no delivery instrumentation
+	obs  DeliveryObserver // nil = no delivery instrumentation
+	loss LossModel        // nil = clean channel
 }
 
 // SetDeliveryObserver installs the delivery observer (nil disables it).
 func (c *Channel) SetDeliveryObserver(o DeliveryObserver) { c.obs = o }
+
+// SetLossModel installs the fault-injection loss model (nil restores the
+// clean channel).
+func (c *Channel) SetLossModel(m LossModel) { c.loss = m }
 
 // NewChannel creates a channel; rangeM is the decode radius in metres.
 func NewChannel(sched *sim.Scheduler, rangeM float64) *Channel {
@@ -285,6 +300,10 @@ func (c *Channel) finishReception(rx *Radio, d *delivery) {
 		return
 	}
 	if d.aborted {
+		return
+	}
+	if c.loss != nil && c.loss.Lose(c.sched.Now(), d.frame.From, rx.id) {
+		c.stats.FaultLost++
 		return
 	}
 	c.stats.Deliveries++

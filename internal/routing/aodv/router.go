@@ -98,6 +98,7 @@ type Router struct {
 	discoveries map[phy.NodeID]*discovery
 	helloTimer  *sim.Timer
 	stopped     bool
+	down        bool // fault-injected crash: reversible via Restart
 
 	stats Stats
 }
@@ -178,8 +179,55 @@ func (r *Router) Stop() {
 	}
 }
 
+// Crash wipes the router for a fault-injected node crash: hellos stop,
+// discovery timers are cancelled, and the send buffer, RREQ dedup state
+// and routing table are cleared. The buffered data packets are returned
+// (destination order, as BufferedData) WITHOUT passing through the drop
+// hook — the fault layer reconciles them as a terminal class of their own.
+// Stats and sequence counters survive (the latter so recycled packets
+// never reuse a PacketKey).
+func (r *Router) Crash() []*DataPacket {
+	if r.down {
+		return nil
+	}
+	r.down = true
+	flushed := r.BufferedData()
+	r.Stop()
+	dsts := make([]phy.NodeID, 0, len(r.discoveries))
+	for dst := range r.discoveries {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, dst := range dsts {
+		if d := r.discoveries[dst]; d.timer != nil {
+			d.timer.Cancel()
+		}
+		delete(r.discoveries, dst)
+	}
+	clear(r.buf)
+	clear(r.seenRREQ)
+	r.table = NewTable(r.id)
+	return flushed
+}
+
+// Restart brings a crashed router back up with empty state and resumes the
+// hello schedule.
+func (r *Router) Restart() {
+	if !r.down {
+		return
+	}
+	r.down = false
+	r.stopped = false
+	if r.cfg.HelloInterval > 0 {
+		r.scheduleHello()
+	}
+}
+
 // SendData originates an application packet to dst.
 func (r *Router) SendData(dst phy.NodeID, flowID uint64, payloadBytes int) {
+	if r.down {
+		return
+	}
 	now := r.sched.Now()
 	r.nextPktSeq++
 	pkt := &DataPacket{
@@ -465,6 +513,9 @@ func (r *Router) onRREQ(from phy.NodeID, req *RouteRequest) {
 		jitter = sim.Time(r.rng.Int63n(int64(r.cfg.RebroadcastJitter) + 1))
 	}
 	r.sched.After(jitter, func() {
+		if r.down {
+			return // crashed while the rebroadcast sat in its jitter window
+		}
 		r.stats.RREQSent++
 		r.control(core.ClassRREQ)
 		r.tr.Send(phy.Broadcast, &fwd, nil)

@@ -45,6 +45,16 @@ func (c *Cache) SetInsertCallback(cb func(path []phy.NodeID)) { c.insertCB = cb 
 // Len returns the number of cached routes.
 func (c *Cache) Len() int { return len(c.entries) }
 
+// Clear drops every cached route (node crash: a recovered node restarts
+// with amnesia). Lifetime statistics survive; the insert callback stays
+// installed.
+func (c *Cache) Clear() {
+	for i := range c.entries {
+		c.entries[i] = cacheEntry{}
+	}
+	c.entries = c.entries[:0]
+}
+
 // Stats returns (inserts, evictions, hits, misses).
 func (c *Cache) Stats() (inserts, evictions, hits, misses uint64) {
 	return c.inserts, c.evictions, c.hits, c.misses

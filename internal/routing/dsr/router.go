@@ -120,6 +120,8 @@ type Router struct {
 	nextRREQID uint64
 	nextSeq    uint64
 
+	down bool // fault-injected crash: reversible via Restart
+
 	stats Stats
 }
 
@@ -206,9 +208,47 @@ func (r *Router) BufferedData() []*DataPacket {
 // Stats returns a copy of the router counters.
 func (r *Router) Stats() Stats { return r.stats }
 
+// Crash wipes the router for a fault-injected node crash: discovery timers
+// are cancelled, the send buffer, RREQ dedup state and route cache are
+// cleared, and the router stops originating until Restart. The buffered
+// data packets are returned (destination order, as BufferedData) WITHOUT
+// passing through the drop hook — the fault layer reconciles them as a
+// terminal class of their own. Stats survive: they describe what the node
+// did while it was up.
+func (r *Router) Crash() []*DataPacket {
+	if r.down {
+		return nil
+	}
+	r.down = true
+	flushed := r.BufferedData()
+	dsts := make([]phy.NodeID, 0, len(r.discoveries))
+	for dst := range r.discoveries {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, dst := range dsts {
+		if d := r.discoveries[dst]; d.timer != nil {
+			d.timer.Cancel()
+		}
+		delete(r.discoveries, dst)
+	}
+	clear(r.buf)
+	clear(r.seenRREQ)
+	clear(r.replyCount)
+	r.cache.Clear()
+	return flushed
+}
+
+// Restart brings a crashed router back up with empty state (the sequence
+// counters keep running so recycled packets never reuse a PacketKey).
+func (r *Router) Restart() { r.down = false }
+
 // SendData originates an application packet of payloadBytes to dst,
 // discovering a route first if necessary.
 func (r *Router) SendData(dst phy.NodeID, flowID uint64, payloadBytes int) {
+	if r.down {
+		return
+	}
 	now := r.sched.Now()
 	r.nextSeq++
 	pkt := &DataPacket{
@@ -543,6 +583,9 @@ func (r *Router) onRREQ(from phy.NodeID, req *RouteRequest) {
 		jitter = sim.Time(r.rng.Int63n(int64(r.cfg.RebroadcastJitter) + 1))
 	}
 	r.sched.After(jitter, func() {
+		if r.down {
+			return // crashed while the rebroadcast sat in its jitter window
+		}
 		r.stats.RREQSent++
 		r.control(core.ClassRREQ)
 		r.tr.Send(phy.Broadcast, fwd, nil)

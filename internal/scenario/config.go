@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"rcast/internal/core"
+	"rcast/internal/fault"
 	"rcast/internal/mac"
 	"rcast/internal/routing/aodv"
 	"rcast/internal/routing/dsr"
@@ -155,6 +156,13 @@ type Config struct {
 	// rebroadcast damping with the given expected fanout.
 	GossipFanout float64
 
+	// Faults, when non-nil, enables deterministic fault injection (node
+	// crashes, Gilbert–Elliott burst loss, partitions, battery jitter; see
+	// internal/fault). nil — or a plan whose Enabled() is false — leaves
+	// the run byte-identical to an unfaulted one: no hooks installed, no
+	// RNG streams created, no events scheduled.
+	Faults *fault.Plan
+
 	// Trace, when non-nil, receives structured routing-level events
 	// (origination, delivery, forwarding, drops, control traffic, cache
 	// insertions, battery deaths).
@@ -221,6 +229,11 @@ func (c Config) Validate() error {
 		return errors.New("scenario: traffic start outside the run")
 	case c.TrafficStop != 0 && (c.TrafficStop <= c.TrafficStart || c.TrafficStop > c.Duration):
 		return errors.New("scenario: traffic stop outside (start, duration]")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Nodes); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -55,6 +55,13 @@ type Result struct {
 	FirstDeath sim.Time
 	DeadNodes  int
 
+	// Fault injection (zero in unfaulted runs, so no-fault results stay
+	// byte-identical). CrashFlushedPackets counts data packets flushed from
+	// crashing nodes' buffers (reported as "node-crash" drops).
+	NodeCrashes         int
+	NodeRecoveries      int
+	CrashFlushedPackets uint64
+
 	// Diagnostics.
 	Drops    map[string]uint64
 	Channel  phy.Stats
@@ -168,35 +175,38 @@ func (w *world) result() *Result {
 		}
 	}
 	res := &Result{
-		Scheme:             w.cfg.Scheme,
-		Nodes:              w.cfg.Nodes,
-		Duration:           w.cfg.Duration,
-		Seed:               w.cfg.Seed,
-		PerNodeJoules:      perNode,
-		TotalJoules:        total,
-		MeanJoules:         stats.Mean(perNode),
-		EnergyVariance:     stats.Variance(perNode),
-		Originated:         w.col.Originated(),
-		Delivered:          w.col.Delivered(),
-		PDR:                w.col.PDR(),
-		AvgDelaySec:        w.col.AvgDelaySeconds(),
-		DelayP50Sec:        w.col.DelayPercentile(50),
-		DelayP95Sec:        w.col.DelayPercentile(95),
-		MeanHops:           w.col.MeanHops(),
-		EnergyPerBit:       w.col.EnergyPerBit(total),
-		ControlTx:          ctl,
-		ControlByClass:     byClass,
-		NormalizedOverhead: w.col.NormalizedOverhead(),
-		RoleNumbers:        w.col.RoleNumbers(),
-		Forwards:           w.col.Forwards(),
-		DeathTimes:         deaths,
-		FirstDeath:         firstDeath,
-		DeadNodes:          dead,
-		Drops:              w.col.Drops(),
-		Channel:            w.ch.Stats(),
-		MACTotal:           macTotal,
-		DSRTotal:           dsrTotal,
-		AODVTotal:          aodvTotal,
+		Scheme:              w.cfg.Scheme,
+		Nodes:               w.cfg.Nodes,
+		Duration:            w.cfg.Duration,
+		Seed:                w.cfg.Seed,
+		PerNodeJoules:       perNode,
+		TotalJoules:         total,
+		MeanJoules:          stats.Mean(perNode),
+		EnergyVariance:      stats.Variance(perNode),
+		Originated:          w.col.Originated(),
+		Delivered:           w.col.Delivered(),
+		PDR:                 w.col.PDR(),
+		AvgDelaySec:         w.col.AvgDelaySeconds(),
+		DelayP50Sec:         w.col.DelayPercentile(50),
+		DelayP95Sec:         w.col.DelayPercentile(95),
+		MeanHops:            w.col.MeanHops(),
+		EnergyPerBit:        w.col.EnergyPerBit(total),
+		ControlTx:           ctl,
+		ControlByClass:      byClass,
+		NormalizedOverhead:  w.col.NormalizedOverhead(),
+		RoleNumbers:         w.col.RoleNumbers(),
+		Forwards:            w.col.Forwards(),
+		DeathTimes:          deaths,
+		FirstDeath:          firstDeath,
+		DeadNodes:           dead,
+		NodeCrashes:         w.crashEvents,
+		NodeRecoveries:      w.recoverEvents,
+		CrashFlushedPackets: w.crashFlushed,
+		Drops:               w.col.Drops(),
+		Channel:             w.ch.Stats(),
+		MACTotal:            macTotal,
+		DSRTotal:            dsrTotal,
+		AODVTotal:           aodvTotal,
 	}
 	if w.aud != nil {
 		res.AuditViolations = w.aud.Violations()

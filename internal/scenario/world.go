@@ -6,6 +6,7 @@ import (
 	"rcast/internal/audit"
 	"rcast/internal/core"
 	"rcast/internal/energy"
+	"rcast/internal/fault"
 	"rcast/internal/geom"
 	"rcast/internal/mac"
 	"rcast/internal/metrics"
@@ -54,6 +55,13 @@ type world struct {
 	conns  []traffic.Connection
 	deaths []sim.Time     // per node; 0 = survived the run
 	aud    *audit.Auditor // nil unless Config.Audit
+
+	// Fault injection (inert unless Config.Faults enables something).
+	inj           *fault.Injector
+	down          []bool // per node; true while crash-powered-down
+	crashEvents   int
+	recoverEvents int
+	crashFlushed  uint64 // data packets flushed from crashing nodes
 }
 
 // pktKey builds the auditor's end-to-end packet identity.
@@ -64,6 +72,13 @@ func pktKey(src phy.NodeID, flow, seq uint64) audit.PacketKey {
 // killer is implemented by every MAC flavour (battery depletion).
 type killer interface {
 	Kill()
+}
+
+// powerCycler is implemented by every MAC flavour (fault-injected crash and
+// recovery). PowerDown returns the flushed transmit queue.
+type powerCycler interface {
+	PowerDown() []mac.Packet
+	PowerUp()
 }
 
 // macUpcalls adapts MAC deliveries to the routing layer.
@@ -146,9 +161,20 @@ func newWorld(cfg Config) (*world, error) {
 		col:   metrics.NewCollector(cfg.Nodes),
 	}
 	w.ch = phy.NewChannel(w.sched, cfg.RangeM)
+	w.inj = fault.NewInjector(cfg.Faults, fault.Env{
+		Seed:     cfg.Seed,
+		Nodes:    cfg.Nodes,
+		Duration: cfg.Duration,
+		FieldW:   cfg.FieldW,
+		FieldH:   cfg.FieldH,
+		RangeM:   cfg.RangeM,
+	})
+	// Partition shifts move nodes on top of the scenario's own mobility, so
+	// the channel's declared motion bound must grow by their worst case.
+	extra := w.inj.ExtraMotionBound()
 	if cfg.Pause >= cfg.Duration {
 		// Static scenario: every node is pinned, bins never go stale.
-		w.ch.SetMotionBound(0)
+		w.ch.SetMotionBound(extra)
 	} else {
 		// Mobility clamps the speed floor to 0.1 m/s (see mobility.NewWaypoint),
 		// so the effective maximum can exceed cfg.MaxSpeed when it is tiny.
@@ -156,7 +182,10 @@ func newWorld(cfg Config) (*world, error) {
 		if bound < 0.1 {
 			bound = 0.1
 		}
-		w.ch.SetMotionBound(bound)
+		w.ch.SetMotionBound(bound + extra)
+	}
+	if m := w.inj.LossModel(); m != nil {
+		w.ch.SetLossModel(m)
 	}
 
 	if cfg.Scheme != SchemeAlwaysOn {
@@ -199,9 +228,13 @@ func newWorld(cfg Config) (*world, error) {
 			}, mobRNG)
 		}
 
+		if shifts := w.inj.ShiftsFor(i); len(shifts) > 0 {
+			mob = &mobility.Shifted{Base: mob, Shifts: shifts}
+		}
+
 		n := &node{id: id}
 		n.radio = w.ch.AddRadio(id, mob)
-		n.meter = energy.NewMeter(cfg.AwakeWatts, cfg.SleepWatts, cfg.BatteryJoules)
+		n.meter = energy.NewMeter(cfg.AwakeWatts, cfg.SleepWatts, w.inj.BatteryCapacity(i, cfg.BatteryJoules))
 
 		macRNG := sim.Stream(cfg.Seed, fmt.Sprintf("mac/%d", i))
 		up := macUpcalls{n: n}
@@ -256,12 +289,22 @@ func newWorld(cfg Config) (*world, error) {
 		}
 	}
 
+	w.down = make([]bool, cfg.Nodes)
 	if err := w.startTraffic(); err != nil {
 		return nil, err
 	}
 	w.deaths = make([]sim.Time, cfg.Nodes)
 	if cfg.BatteryJoules > 0 {
 		w.scheduleBatterySweep()
+	}
+	// Wiring happens at t=0 and the schedule is validated non-negative, so
+	// At cannot report time reversal here.
+	for _, cr := range w.inj.Schedule() {
+		id := phy.NodeID(cr.Node)
+		_, _ = w.sched.At(cr.At, func() { w.crashNode(id) })
+		if cr.RecoverAt > 0 {
+			_, _ = w.sched.At(cr.RecoverAt, func() { w.recoverNode(id) })
+		}
 	}
 	if w.aud != nil {
 		meters := make([]*energy.Meter, len(w.nodes))
@@ -358,6 +401,83 @@ func (w *world) scheduleBatterySweep() {
 		w.sched.After(interval, sweep)
 	}
 	w.sched.After(interval, sweep)
+}
+
+// crashNode power-cycles node id off: the routing layer and MAC flush
+// their buffers, the radio goes dark and the meter drops to sleep draw.
+// Every flushed data packet is reconciled — a collector drop under
+// "node-crash" and, when auditing, the crashed terminal class — so packet
+// conservation stays provable with nodes dying mid-flight. Battery-dead
+// and already-down nodes are left alone.
+func (w *world) crashNode(id phy.NodeID) {
+	if w.down[id] || w.deaths[id] != 0 {
+		return
+	}
+	n := w.nodes[id]
+	w.down[id] = true
+	w.crashEvents++
+	now := w.sched.Now()
+
+	// Flush order is deterministic: router buffers (destination order)
+	// first, then the MAC transmit queue (queue order).
+	var keys []audit.PacketKey
+	if n.router != nil {
+		for _, p := range n.router.Crash() {
+			keys = append(keys, pktKey(p.Src, p.FlowID, p.Seq))
+		}
+	}
+	if n.aodvRouter != nil {
+		for _, p := range n.aodvRouter.Crash() {
+			keys = append(keys, pktKey(p.Src, p.FlowID, p.Seq))
+		}
+	}
+	if pc, ok := n.link.(powerCycler); ok {
+		for _, mp := range pc.PowerDown() {
+			switch p := mp.Payload.(type) {
+			case *dsr.DataPacket:
+				keys = append(keys, pktKey(p.Src, p.FlowID, p.Seq))
+			case *aodv.DataPacket:
+				keys = append(keys, pktKey(p.Src, p.FlowID, p.Seq))
+			}
+		}
+	}
+	if n.psm == nil {
+		// AlwaysOn never drives its meter; the crash transition is ours.
+		_ = n.meter.SetState(now, energy.Asleep)
+	}
+	w.crashFlushed += uint64(len(keys))
+	w.trace(id, trace.KindCrash, fmt.Sprintf("flushed=%d", len(keys)))
+	for _, k := range keys {
+		w.col.DataDropped("node-crash")
+		if w.aud != nil {
+			w.aud.PacketCrashed(now, id, k)
+		}
+	}
+}
+
+// recoverNode brings a crashed node back up with empty protocol state. A
+// PSM node rejoins at its next BeaconStart (radio and meter stay asleep
+// until then); an always-on node comes straight back awake.
+func (w *world) recoverNode(id phy.NodeID) {
+	if !w.down[id] || w.deaths[id] != 0 {
+		return
+	}
+	n := w.nodes[id]
+	w.down[id] = false
+	w.recoverEvents++
+	w.trace(id, trace.KindRecover, "")
+	if pc, ok := n.link.(powerCycler); ok {
+		pc.PowerUp()
+	}
+	if n.psm == nil {
+		_ = n.meter.SetState(w.sched.Now(), energy.Awake)
+	}
+	if n.router != nil {
+		n.router.Restart()
+	}
+	if n.aodvRouter != nil {
+		n.aodvRouter.Restart()
+	}
 }
 
 // trace emits a structured event when tracing is configured.
@@ -475,6 +595,9 @@ func (w *world) startTraffic() error {
 			Start:       w.cfg.TrafficStart + stagger,
 			Stop:        w.cfg.trafficStop(),
 		}, c, func(dst phy.NodeID, flowID uint64, bytes int) {
+			if w.down[c.Src] {
+				return // a crashed source originates nothing
+			}
 			src.sendData(dst, flowID, bytes)
 		})
 		if err != nil {

@@ -26,6 +26,8 @@ const (
 	KindControl   Kind = "control"   // routing control transmission (Detail = class)
 	KindCache     Kind = "cache"     // route cache insertion (Detail = route)
 	KindDeath     Kind = "death"     // battery depletion
+	KindCrash     Kind = "crash"     // fault-injected node crash (Detail = flushed count)
+	KindRecover   Kind = "recover"   // fault-injected crash recovery
 )
 
 // Event is one traced occurrence.

@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"rcast/internal/core"
+	"rcast/internal/fault"
 	"rcast/internal/scenario"
 	"rcast/internal/sim"
 	"rcast/internal/trace"
@@ -54,6 +55,17 @@ type Result = scenario.Result
 
 // Aggregate summarizes replications of one configuration.
 type Aggregate = scenario.Aggregate
+
+// FaultPlan describes deterministic fault injection (node crashes,
+// Gilbert–Elliott burst loss, partitions, battery jitter); assign one to
+// Config.Faults. See internal/fault for the determinism contract.
+type FaultPlan = fault.Plan
+
+// FaultPreset resolves a named fault plan ("" returns nil: no faults).
+func FaultPreset(name string) (*FaultPlan, error) { return fault.Preset(name) }
+
+// FaultPresetNames lists the presets FaultPreset accepts, sorted.
+func FaultPresetNames() []string { return fault.PresetNames() }
 
 // Scheme selects the protocol stack under test.
 type Scheme = scenario.Scheme

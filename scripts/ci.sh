@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: vet, shadow lint, build, race-enabled tests, a benchmark smoke
-# run, and an invariant-audited experiment smoke under the race detector.
+# CI gate: vet, shadow lint, build, race-enabled tests, a short fuzz pass
+# over the MAC and route-cache targets, the coverage gate, a benchmark
+# smoke run, and invariant-audited experiment smokes (clean and
+# fault-injected) under the race detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,10 +18,20 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fuzz smoke =="
+go test -run '^$' -fuzz 'FuzzPSMOperations' -fuzztime 10s ./internal/mac
+go test -run '^$' -fuzz 'FuzzCacheOperations' -fuzztime 10s ./internal/routing/dsr
+
+echo "== coverage gate =="
+go run ./tools/covergate
+
 echo "== bench smoke =="
 go test -run '^$' -bench 'BenchmarkFullRunRcast$|BenchmarkChannelTransmit' -benchtime 1x .
 
 echo "== audited smoke (race) =="
 go run -race ./cmd/rcast-bench -profile quick -only table1 -reps 1 -audit > /dev/null
+
+echo "== audited fault-sweep smoke (race) =="
+go run -race ./cmd/rcast-bench -profile quick -only a8 -reps 1 -audit > /dev/null
 
 echo "ci: OK"

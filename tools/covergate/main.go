@@ -1,0 +1,183 @@
+// Command covergate enforces two coverage rules against a committed
+// baseline so test debt cannot creep in silently:
+//
+//   - rcast/internal/fault must stay at or above 85.0% statement coverage
+//     (the fault-injection layer is the subsystem this gate was built for:
+//     its failure modes only surface under rare schedules, so untested
+//     branches there are disproportionately dangerous);
+//   - no package may drop more than 2.0 points below the figure recorded
+//     in coverage_baseline.txt. Small jitter from refactors passes; a
+//     change that orphans a meaningful chunk of a package does not.
+//
+// It runs `go test -cover ./...` itself, parses the per-package summary
+// lines, and exits 1 on any violation. Packages without test files are
+// skipped. A package that is new since the baseline is reported but does
+// not fail the gate — regenerate the baseline to start tracking it.
+//
+// Usage:
+//
+//	go run ./tools/covergate          # enforce against coverage_baseline.txt
+//	go run ./tools/covergate -write   # regenerate the baseline (floor still enforced)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	baselineFile = "coverage_baseline.txt"
+	floorPkg     = "rcast/internal/fault"
+	floorPct     = 85.0
+	maxDrop      = 2.0
+)
+
+// coverLine matches the summary go test prints per covered package, e.g.
+//
+//	ok  	rcast/internal/fault	0.31s	coverage: 92.5% of statements
+var coverLine = regexp.MustCompile(`^ok\s+(\S+)\s+.*coverage:\s+([0-9.]+)% of statements`)
+
+func main() {
+	write := flag.Bool("write", false, "regenerate "+baselineFile+" from the current run instead of comparing")
+	flag.Parse()
+
+	current, err := measure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "covergate: no coverage lines parsed from `go test -cover ./...`")
+		os.Exit(1)
+	}
+
+	failed := false
+	if pct, ok := current[floorPkg]; !ok {
+		fmt.Fprintf(os.Stderr, "covergate: FAIL %s reported no coverage (floor %.1f%%)\n", floorPkg, floorPct)
+		failed = true
+	} else if pct < floorPct {
+		fmt.Fprintf(os.Stderr, "covergate: FAIL %s coverage %.1f%% below floor %.1f%%\n", floorPkg, pct, floorPct)
+		failed = true
+	}
+
+	if *write {
+		if failed {
+			os.Exit(1)
+		}
+		if err := writeBaseline(current); err != nil {
+			fmt.Fprintln(os.Stderr, "covergate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("covergate: wrote %s (%d packages)\n", baselineFile, len(current))
+		return
+	}
+
+	baseline, err := readBaseline()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+	for _, pkg := range sortedKeys(current) {
+		pct := current[pkg]
+		base, known := baseline[pkg]
+		switch {
+		case !known:
+			fmt.Printf("covergate: note: %s (%.1f%%) not in baseline; run -write to track it\n", pkg, pct)
+		case base-pct > maxDrop:
+			fmt.Fprintf(os.Stderr, "covergate: FAIL %s coverage %.1f%% dropped %.1f points from baseline %.1f%% (max %.1f)\n",
+				pkg, pct, base-pct, base, maxDrop)
+			failed = true
+		}
+	}
+	for _, pkg := range sortedKeys(baseline) {
+		if _, ok := current[pkg]; !ok {
+			fmt.Printf("covergate: note: baseline package %s no longer reports coverage\n", pkg)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("covergate: ok (%d packages, %s at %.1f%% >= %.1f%%)\n",
+		len(current), floorPkg, current[floorPkg], floorPct)
+}
+
+// measure runs the coverage build and returns package -> percent. The test
+// output itself streams to stderr so a compile or test failure is visible;
+// only the summary lines are parsed.
+func measure() (map[string]float64, error) {
+	cmd := exec.Command("go", "test", "-cover", "./...")
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Stderr.Write(ee.Stderr)
+		}
+		os.Stderr.Write(out)
+		return nil, fmt.Errorf("go test -cover failed: %w", err)
+	}
+	got := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		m := coverLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		pct, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad coverage %q for %s", m[2], m[1])
+		}
+		got[m[1]] = pct
+	}
+	return got, sc.Err()
+}
+
+func readBaseline() (map[string]float64, error) {
+	f, err := os.Open(baselineFile)
+	if err != nil {
+		return nil, fmt.Errorf("open %s (run `go run ./tools/covergate -write` to create it): %w", baselineFile, err)
+	}
+	defer f.Close()
+	base := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s: malformed line %q", baselineFile, line)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad percent in %q", baselineFile, line)
+		}
+		base[fields[0]] = pct
+	}
+	return base, sc.Err()
+}
+
+func writeBaseline(current map[string]float64) error {
+	var b strings.Builder
+	b.WriteString("# Statement coverage baseline, one `package percent` per line.\n")
+	b.WriteString("# Regenerate with: go run ./tools/covergate -write\n")
+	for _, pkg := range sortedKeys(current) {
+		fmt.Fprintf(&b, "%s %.1f\n", pkg, current[pkg])
+	}
+	return os.WriteFile(baselineFile, []byte(b.String()), 0o644)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
