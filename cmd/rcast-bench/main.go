@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +40,7 @@ func run(args []string) error {
 		workers     = fs.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
 		auditOn     = fs.Bool("audit", false, "run every simulation under the cross-layer invariant audit")
 		faultsName  = fs.String("faults", "", "fault preset applied to every run: "+strings.Join(fault.PresetNames(), ", "))
+		timeout     = fs.Duration("timeout", 0, "wall-clock budget for the whole suite (0 = unlimited); an expired budget aborts mid-simulation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +62,11 @@ func run(args []string) error {
 	s := experiments.NewSuite(p, os.Stdout)
 	s.SetWorkers(*workers)
 	s.SetAudit(*auditOn)
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		s.SetContext(ctx)
+	}
 	if *faultsName != "" {
 		plan, err := fault.Preset(*faultsName)
 		if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -20,5 +21,15 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Error("accepted unknown flag")
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	if err := run([]string{"-only", "table1", "-reps", "1", "-timeout", "1h"}); err != nil {
+		t.Fatalf("ample timeout failed the suite: %v", err)
+	}
+	err := run([]string{"-only", "table1", "-reps", "1", "-timeout", "1ms"})
+	if err == nil || !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("tight timeout err = %v, want canceled suite", err)
 	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +51,7 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "parallel replication workers (0 = all CPUs, 1 = serial)")
 		auditOn    = fs.Bool("audit", false, "run under the cross-layer invariant audit (violations abort the run)")
 		faultsName = fs.String("faults", "", "fault preset: "+strings.Join(rcast.FaultPresetNames(), ", "))
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited); an expired budget aborts mid-simulation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,7 +101,13 @@ func run(args []string) error {
 		cfg.Trace = rcast.NewTraceWriter(f)
 	}
 
-	agg, err := rcast.RunReplicationsWorkers(cfg, *reps, *workers)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	agg, err := rcast.RunReplicationsContext(ctx, cfg, *reps, *workers)
 	if err != nil {
 		return err
 	}

@@ -75,3 +75,13 @@ func TestRunRejectsBadInput(t *testing.T) {
 		t.Error("accepted unwritable trace path")
 	}
 }
+
+func TestRunTimeout(t *testing.T) {
+	if err := run(tinyArgs("-timeout", "5m")); err != nil {
+		t.Fatalf("ample timeout failed the run: %v", err)
+	}
+	err := run([]string{"-nodes", "100", "-duration", "1125s", "-timeout", "1ms"})
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("tight timeout err = %v, want canceled run", err)
+	}
+}

@@ -39,9 +39,10 @@ type RunSpec struct {
 // Run executes every replication of every spec across the worker pool and
 // returns one aggregate per spec, in input order. The first simulation
 // error stops the dispatch of further cells (in-flight runs finish) and is
-// returned; likewise a cancelled ctx stops dispatch and its error is
-// returned. A spec with a Trace sink forces Workers = 1, because sinks are
-// not safe for concurrent emission.
+// returned; a cancelled ctx additionally stops in-flight runs mid-event-loop
+// (scenario.RunContext's cooperative stop check) and its error is returned.
+// A spec with a Trace sink forces Workers = 1, because sinks are not safe
+// for concurrent emission.
 func (r Runner) Run(ctx context.Context, specs []RunSpec) ([]*scenario.Aggregate, error) {
 	workers := r.Workers
 	if workers <= 0 {
@@ -74,7 +75,7 @@ func (r Runner) Run(ctx context.Context, specs []RunSpec) ([]*scenario.Aggregate
 	runCell := func(cl cell) error {
 		cfg := specs[cl.spec].Cfg
 		cfg.Seed += int64(cl.rep)
-		res, err := scenario.Run(cfg)
+		res, err := scenario.RunContext(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("experiments: %v rate=%.1f seed=%d: %w",
 				cfg.Scheme, cfg.PacketRate, cfg.Seed, err)

@@ -1,0 +1,309 @@
+// Package promtext is a dependency-free Prometheus text-format (version
+// 0.0.4) exposition library for the serving layer: counters, gauges,
+// labelled counter vectors and histograms registered in a Registry that
+// writes a deterministic /metrics page — metrics sorted by name, label
+// values sorted within a metric — so scrapes and tests see a stable
+// ordering. All instruments are safe for concurrent use.
+//
+// It intentionally implements only what rcast-serve exposes; it is not a
+// general Prometheus client.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is anything the registry can expose.
+type metric interface {
+	name() string
+	write(w io.Writer) error
+}
+
+// Registry holds registered metrics and renders the exposition page.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// register adds m, panicking on a duplicate name — metric names are
+// compile-time decisions and a collision is always a programming error.
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name()]; dup {
+		panic(fmt.Sprintf("promtext: duplicate metric %q", m.name()))
+	}
+	r.metrics[m.name()] = m
+}
+
+// Write renders every registered metric in name order.
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ms := make([]metric, len(names))
+	for i, n := range names {
+		ms[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	for _, m := range ms {
+		if err := m.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	nm, help string
+	v        atomic.Uint64
+}
+
+// NewCounter registers a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{nm: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) name() string { return c.nm }
+
+func (c *Counter) write(w io.Writer) error {
+	if err := writeHeader(w, c.nm, c.help, "counter"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", c.nm, c.v.Load())
+	return err
+}
+
+// Gauge is a settable int64.
+type Gauge struct {
+	nm, help string
+	v        atomic.Int64
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{nm: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) name() string { return g.nm }
+
+func (g *Gauge) write(w io.Writer) error {
+	if err := writeHeader(w, g.nm, g.help, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", g.nm, g.v.Load())
+	return err
+}
+
+// GaugeFunc samples a gauge from a callback at scrape time (queue depths
+// and other values that already live elsewhere).
+type GaugeFunc struct {
+	nm, help string
+	fn       func() int64
+}
+
+// NewGaugeFunc registers a callback-backed gauge. fn must be safe for
+// concurrent use.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	g := &GaugeFunc{nm: name, help: help, fn: fn}
+	r.register(g)
+	return g
+}
+
+func (g *GaugeFunc) name() string { return g.nm }
+
+func (g *GaugeFunc) write(w io.Writer) error {
+	if err := writeHeader(w, g.nm, g.help, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", g.nm, g.fn())
+	return err
+}
+
+// CounterVec is a counter family partitioned by one label.
+type CounterVec struct {
+	nm, help, label string
+
+	mu sync.Mutex
+	m  map[string]*atomic.Uint64
+}
+
+// NewCounterVec registers a one-label counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	cv := &CounterVec{nm: name, help: help, label: label, m: make(map[string]*atomic.Uint64)}
+	r.register(cv)
+	return cv
+}
+
+// Inc adds one to the child for the given label value.
+func (cv *CounterVec) Inc(value string) {
+	cv.mu.Lock()
+	c, ok := cv.m[value]
+	if !ok {
+		c = new(atomic.Uint64)
+		cv.m[value] = c
+	}
+	cv.mu.Unlock()
+	c.Add(1)
+}
+
+// Value returns the count for one label value (0 if never incremented).
+func (cv *CounterVec) Value(value string) uint64 {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if c, ok := cv.m[value]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+func (cv *CounterVec) name() string { return cv.nm }
+
+func (cv *CounterVec) write(w io.Writer) error {
+	if err := writeHeader(w, cv.nm, cv.help, "counter"); err != nil {
+		return err
+	}
+	cv.mu.Lock()
+	values := make([]string, 0, len(cv.m))
+	for v := range cv.m {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	counts := make([]uint64, len(values))
+	for i, v := range values {
+		counts[i] = cv.m[v].Load()
+	}
+	cv.mu.Unlock()
+	for i, v := range values {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", cv.nm, cv.label, v, counts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Histogram is a cumulative-bucket histogram of float64 observations.
+type Histogram struct {
+	nm, help string
+	bounds   []float64 // upper bounds, ascending; +Inf implicit
+
+	mu     sync.Mutex
+	counts []uint64 // one per bound, plus the +Inf overflow at the end
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram registers a histogram with the given ascending upper
+// bounds (the +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("promtext: histogram %q bounds not ascending", name))
+	}
+	h := &Histogram{
+		nm: name, help: help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.register(h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+func (h *Histogram) name() string { return h.nm }
+
+func (h *Histogram) write(w io.Writer) error {
+	if err := writeHeader(w, h.nm, h.help, "histogram"); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.nm, formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.nm, total)
+	return err
+}

@@ -1,0 +1,133 @@
+package promtext
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_requests_total", "Requests handled.")
+	g := r.NewGauge("test_depth", "Queue depth.")
+	r.NewGaugeFunc("test_capacity", "Queue capacity.", func() int64 { return 8 })
+	cv := r.NewCounterVec("test_jobs_total", "Jobs by state.", "state")
+	h := r.NewHistogram("test_latency_seconds", "Run latency.", []float64{0.1, 1, 10})
+
+	c.Add(3)
+	g.Set(5)
+	cv.Inc("done")
+	cv.Inc("done")
+	cv.Inc("canceled")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	got := render(t, r)
+	want := `# HELP test_capacity Queue capacity.
+# TYPE test_capacity gauge
+test_capacity 8
+# HELP test_depth Queue depth.
+# TYPE test_depth gauge
+test_depth 5
+# HELP test_jobs_total Jobs by state.
+# TYPE test_jobs_total counter
+test_jobs_total{state="canceled"} 1
+test_jobs_total{state="done"} 2
+# HELP test_latency_seconds Run latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 2
+test_latency_seconds_bucket{le="10"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 100.55
+test_latency_seconds_count 3
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total 3
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("x_total", "x", "k")
+	for _, v := range []string{"b", "a", "c"} {
+		cv.Inc(v)
+	}
+	r.NewCounter("a_total", "a")
+	r.NewGauge("z", "z")
+	first := render(t, r)
+	for i := 0; i < 5; i++ {
+		if got := render(t, r); got != first {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	if !strings.Contains(first, "x_total{k=\"a\"} 1\nx_total{k=\"b\"} 1\nx_total{k=\"c\"} 1") {
+		t.Errorf("label values not sorted:\n%s", first)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "h", []float64{1, 2})
+	// A sample exactly on a bound lands in that bound's bucket (le is <=).
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	got := render(t, r)
+	for _, want := range []string{`h_bucket{le="1"} 1`, `h_bucket{le="2"} 2`, `h_bucket{le="+Inf"} 3`, "h_sum 6", "h_count 3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup", "second")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	g := r.NewGauge("g", "g")
+	cv := r.NewCounterVec("v_total", "v", "s")
+	h := r.NewHistogram("h_seconds", "h", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				cv.Inc("a")
+				h.Observe(0.5)
+				var b strings.Builder
+				_ = r.Write(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || cv.Value("a") != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d g=%d v=%d h=%d", c.Value(), g.Value(), cv.Value("a"), h.Count())
+	}
+}

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rcast/internal/sim"
+)
+
+// TestRunContextCancelMidFlight pins the cooperative cancellation contract:
+// a context cancelled while the simulation is in its event loop stops the
+// run promptly and reports the distinct ErrCanceled terminal state instead
+// of executing to completion.
+func TestRunContextCancelMidFlight(t *testing.T) {
+	cfg := quickConfig(SchemeRcast)
+	cfg.Duration = 3600 * sim.Second // hours of simulated time: must not finish
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var (
+		res *Result
+		err error
+	)
+	go func() {
+		defer close(done)
+		res, err = RunContext(ctx, cfg)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the run get mid-flight
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run did not stop within 5s")
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error %v does not wrap ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap the context cause", err)
+	}
+}
+
+// TestRunContextDeadline checks that an expired deadline is reported as
+// ErrCanceled wrapping DeadlineExceeded, distinguishing it from a user
+// cancel.
+func TestRunContextDeadline(t *testing.T) {
+	cfg := quickConfig(SchemeRcast)
+	cfg.Duration = 3600 * sim.Second
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := RunContext(ctx, cfg)
+	if res != nil {
+		t.Fatal("timed-out run returned a result")
+	}
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v should wrap ErrCanceled and DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextUncancelledIsIdentical checks the determinism half of the
+// contract: running under a cancellable context that never cancels yields
+// exactly the plain Run result.
+func TestRunContextUncancelledIsIdentical(t *testing.T) {
+	cfg := quickConfig(SchemeRcast)
+	cfg.Duration = 20 * sim.Second
+
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := RunContext(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Originated != got.Originated || base.Delivered != got.Delivered ||
+		base.TotalJoules != got.TotalJoules || base.ControlTx != got.ControlTx {
+		t.Fatalf("context-wrapped run diverged: %+v vs %+v", base, got)
+	}
+}
+
+// TestRunReplicationsContextCancel checks cancellation propagates through
+// the replication fan-out.
+func TestRunReplicationsContextCancel(t *testing.T) {
+	cfg := quickConfig(SchemeRcast)
+	cfg.Duration = 3600 * sim.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunReplicationsContext(ctx, cfg, 3, 2)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("error %v does not wrap ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled replication batch did not stop within 5s")
+	}
+}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+
+	"rcast/internal/core"
+	"rcast/internal/fault"
+	"rcast/internal/sim"
+	"rcast/internal/trace"
+)
+
+// Golden canonical encodings. These bytes are load-bearing: result caches
+// (internal/serve) key on their hash, so ANY change here — a new field, a
+// reorder, a rename — silently splits every deployed cache. If this test
+// fails because you changed Config, that is the alarm working: bump
+// CanonicalVersion, regenerate the strings, and say so in the changelog.
+const (
+	goldenDefault = `{"v":1,"scheme":"Rcast","routing":"DSR","nodes":100,"field_w":1500,"field_h":300,"range_m":250,"connections":20,"packet_rate":0.4,"packet_bytes":512,"traffic_start_us":5000000,"traffic_stop_us":0,"min_speed":1,"max_speed":20,"pause_us":600000000,"duration_us":1125000000,"seed":1,"mac":{"slot_time_us":20,"sifs_us":10,"difs_us":50,"cw_min":31,"cw_max":1023,"retry_limit":7,"data_rate_mbps":2,"data_header_bytes":34,"ack_bytes":14,"rts_bytes":20,"cts_bytes":14,"rts_threshold_bytes":0,"beacon_interval_us":250000,"atim_window_us":50000,"max_announcements":64,"atim_contention":false,"atim_slots":64,"atim_retry_limit":3},"dsr":{"cache_capacity":64,"cache_lifetime_us":0,"non_propagating_first":true,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"send_buffer_cap":64,"send_buffer_timeout_us":30000000,"cache_replies":true,"max_replies_per_request":3,"max_salvage":1,"rebroadcast_jitter_us":10000},"aodv":{"active_route_timeout_us":3000000,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"non_propagating_first":true,"hello_interval_us":1000000,"send_buffer_cap":64,"rebroadcast_jitter_us":10000,"intermediate_replies":true},"odpm_rrep_keepalive_us":0,"odpm_data_keepalive_us":0,"odpm_promiscuous_refresh":false,"awake_watts":0,"sleep_watts":0,"battery_joules":0,"gossip_fanout":0,"faults":null,"audit":false}`
+
+	goldenFaulted = `{"v":1,"scheme":"Rcast","routing":"DSR","nodes":100,"field_w":1500,"field_h":300,"range_m":250,"connections":20,"packet_rate":0.4,"packet_bytes":512,"traffic_start_us":5000000,"traffic_stop_us":0,"min_speed":1,"max_speed":20,"pause_us":600000000,"duration_us":1125000000,"seed":1,"mac":{"slot_time_us":20,"sifs_us":10,"difs_us":50,"cw_min":31,"cw_max":1023,"retry_limit":7,"data_rate_mbps":2,"data_header_bytes":34,"ack_bytes":14,"rts_bytes":20,"cts_bytes":14,"rts_threshold_bytes":0,"beacon_interval_us":250000,"atim_window_us":50000,"max_announcements":64,"atim_contention":false,"atim_slots":64,"atim_retry_limit":3},"dsr":{"cache_capacity":64,"cache_lifetime_us":0,"non_propagating_first":true,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"send_buffer_cap":64,"send_buffer_timeout_us":30000000,"cache_replies":true,"max_replies_per_request":3,"max_salvage":1,"rebroadcast_jitter_us":10000},"aodv":{"active_route_timeout_us":3000000,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"non_propagating_first":true,"hello_interval_us":1000000,"send_buffer_cap":64,"rebroadcast_jitter_us":10000,"intermediate_replies":true},"odpm_rrep_keepalive_us":0,"odpm_data_keepalive_us":0,"odpm_promiscuous_refresh":false,"awake_watts":0,"sleep_watts":0,"battery_joules":0,"gossip_fanout":0,"faults":{"crashes":[{"node":3,"at_us":10000000,"recover_at_us":40000000}],"crash_fraction":0.2,"downtime_us":30000000,"loss":{"p_good":0.02,"p_bad":0.6,"mean_good_us":10000000,"mean_bad_us":1000000,"per_link":true},"partitions":[{"start_frac":0.4,"stop_frac":0.7,"ramp_us":10000000}],"battery_jitter":0.5},"audit":true}`
+)
+
+func faultedGoldenConfig() Config {
+	cfg := PaperDefaults()
+	cfg.Faults = &fault.Plan{
+		Crashes:       []fault.Crash{{Node: 3, At: 10 * sim.Second, RecoverAt: 40 * sim.Second}},
+		CrashFraction: 0.2,
+		Downtime:      30 * sim.Second,
+		Loss:          fault.LossConfig{PGood: 0.02, PBad: 0.6, MeanGood: 10 * sim.Second, MeanBad: sim.Second, PerLink: true},
+		Partitions:    []fault.Partition{{StartFrac: 0.4, StopFrac: 0.7, Ramp: 10 * sim.Second}},
+		BatteryJitter: 0.5,
+	}
+	cfg.Audit = true
+	return cfg
+}
+
+func TestCanonicalJSONGolden(t *testing.T) {
+	b, err := PaperDefaults().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != goldenDefault {
+		t.Errorf("canonical encoding of PaperDefaults drifted:\n got %s\nwant %s", b, goldenDefault)
+	}
+	b, err = faultedGoldenConfig().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != goldenFaulted {
+		t.Errorf("canonical encoding of faulted config drifted:\n got %s\nwant %s", b, goldenFaulted)
+	}
+}
+
+func TestCanonicalJSONStable(t *testing.T) {
+	a, err := faultedGoldenConfig().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := faultedGoldenConfig().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("two encodings of the same config differ")
+	}
+}
+
+// TestCanonicalJSONEmptyFaultSlicesNormalize: a plan with nil slices and a
+// plan with empty slices behave identically, so they must encode (and
+// hash) identically.
+func TestCanonicalJSONEmptyFaultSlicesNormalize(t *testing.T) {
+	a := PaperDefaults()
+	a.Faults = &fault.Plan{CrashFraction: 0.1}
+	b := PaperDefaults()
+	b.Faults = &fault.Plan{CrashFraction: 0.1, Crashes: []fault.Crash{}, Partitions: []fault.Partition{}}
+	ea, err := a.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ea) != string(eb) {
+		t.Fatalf("nil-slice and empty-slice plans encode differently:\n%s\n%s", ea, eb)
+	}
+}
+
+func TestCanonicalJSONRejectsRuntimeFields(t *testing.T) {
+	cases := map[string]func(*Config){
+		"policy": func(c *Config) { c.Policy = core.Rcast{} },
+		"trace":  func(c *Config) { c.Trace = trace.NewRing(4) },
+		"gossip": func(c *Config) { c.DSR.Gossip = &core.BroadcastGossip{Fanout: 3} },
+	}
+	for name, mutate := range cases {
+		cfg := PaperDefaults()
+		mutate(&cfg)
+		if _, err := cfg.CanonicalJSON(); !errors.Is(err, ErrNotCanonical) {
+			t.Errorf("%s: got %v, want ErrNotCanonical", name, err)
+		}
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	base := PaperDefaults()
+	k1, err := base.CanonicalKey(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not hex sha256", k1)
+	}
+	k2, _ := base.CanonicalKey(3)
+	if k1 != k2 {
+		t.Fatal("same (config, reps) hashed differently")
+	}
+	if k3, _ := base.CanonicalKey(4); k3 == k1 {
+		t.Fatal("reps not part of the key")
+	}
+	other := base
+	other.Seed = 2
+	if k4, _ := other.CanonicalKey(3); k4 == k1 {
+		t.Fatal("seed not part of the key")
+	}
+	faulted := faultedGoldenConfig()
+	if k5, _ := faulted.CanonicalKey(3); k5 == k1 {
+		t.Fatal("fault plan not part of the key")
+	}
+}

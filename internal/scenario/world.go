@@ -608,11 +608,17 @@ func (w *world) startTraffic() error {
 }
 
 // run executes the simulation to completion and finalizes energy metering.
+// A triggered stop check (see Scheduler.SetStopCheck) abandons the run
+// mid-flight: metering is left unfinalized because the partial world is
+// never turned into a Result.
 func (w *world) run() {
 	if w.coord != nil {
 		w.coord.Start()
 	}
 	w.sched.RunUntil(w.cfg.Duration)
+	if w.sched.Stopped() {
+		return
+	}
 	for _, n := range w.nodes {
 		_ = n.meter.ObserveAt(w.cfg.Duration)
 	}

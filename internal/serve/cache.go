@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded, content-addressed LRU of marshaled job
+// results. Keys are canonical config hashes (scenario.CanonicalKey), so a
+// hit is by construction the byte-identical result of re-running the
+// submission. Values are immutable byte slices; callers must not mutate
+// what Get returns.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key   string
+	value []byte
+}
+
+// newResultCache returns a cache holding at most capacity entries
+// (capacity < 1 selects 1).
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the cached bytes for key, refreshing its recency.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put stores bytes under key, evicting the least recently used entry on
+// overflow. Re-putting an existing key refreshes it.
+func (c *resultCache) Put(key string, value []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, value: value})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

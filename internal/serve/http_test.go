@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rcast/internal/scenario"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		shutdownServer(t, s)
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, Status) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /api/v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("decode submit response %q: %v", raw, err)
+		}
+	}
+	return resp, st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status: %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	return st
+}
+
+func waitHTTPTerminal(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not terminate", id)
+	return Status{}
+}
+
+const quickBody = `{"scheme":"Rcast","nodes":12,"connections":3,"duration_sec":10,"static":true,"reps":1}`
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+
+	resp, st := postJob(t, ts, quickBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if st.ID == "" || len(st.Key) != 64 {
+		t.Fatalf("submit response %+v", st)
+	}
+
+	// Result before completion may 409; after terminal it must be 200.
+	final := waitHTTPTerminal(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET result status = %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Rcast-Key"); got != st.Key {
+		t.Fatalf("result key header %q, want %q", got, st.Key)
+	}
+	var jr JobResult
+	if err := json.NewDecoder(resp2.Body).Decode(&jr); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if jr.V != scenario.CanonicalVersion || jr.Key != st.Key || jr.Reps != 1 || len(jr.Results) != 1 {
+		t.Fatalf("result envelope v=%d key=%s reps=%d n=%d", jr.V, jr.Key, jr.Reps, len(jr.Results))
+	}
+	if jr.Summary.PDRMean <= 0 || jr.Summary.PDRMean > 1 {
+		t.Fatalf("implausible PDR %v", jr.Summary.PDRMean)
+	}
+
+	// Listing contains the job.
+	resp3, err := http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatalf("GET list: %v", err)
+	}
+	defer resp3.Body.Close()
+	var all []Status
+	if err := json.NewDecoder(resp3.Body).Decode(&all); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(all) != 1 || all[0].ID != st.ID {
+		t.Fatalf("list %+v", all)
+	}
+}
+
+// TestHTTPParityWithCLIPath is the server-vs-CLI determinism pin over the
+// real wire: bytes fetched from /result equal MarshalResult of a direct
+// RunReplicationsContext call with the same resolved config.
+func TestHTTPParityWithCLIPath(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8, SimWorkers: 2})
+
+	body := `{"scheme":"ODPM","nodes":12,"connections":3,"duration_sec":10,"static":true,"reps":2,"seed":7}`
+	resp, st := postJob(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if fin := waitHTTPTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("job ended %s: %s", fin.State, fin.Error)
+	}
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp2.Body.Close()
+	got, _ := io.ReadAll(resp2.Body)
+
+	req, err := ParseJobRequest(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("ParseJobRequest: %v", err)
+	}
+	cfg, reps, err := req.Config()
+	if err != nil {
+		t.Fatalf("Config: %v", err)
+	}
+	agg, err := scenario.RunReplicationsContext(context.Background(), cfg, reps, 1)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	want, err := MarshalResult(st.Key, reps, agg)
+	if err != nil {
+		t.Fatalf("MarshalResult: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HTTP result bytes diverge from CLI-path engine run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+
+	for name, body := range map[string]string{
+		"malformed":     `{`,
+		"unknown field": `{"scheme":"Rcast","warp":9}`,
+		"bad scheme":    `{"scheme":"warp"}`,
+		"bad routing":   `{"scheme":"Rcast","routing":"OSPF"}`,
+	} {
+		resp, _ := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/jobs/nope/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1, RetryAfter: 3 * time.Second})
+	release := make(chan struct{})
+	s.runFn = func(ctx context.Context, cfg scenario.Config, reps, workers int) (*scenario.Aggregate, error) {
+		select {
+		case <-release:
+			return scenario.RunReplicationsContext(ctx, cfg, reps, workers)
+		case <-ctx.Done():
+			return nil, fmt.Errorf("stub: %w", scenario.ErrCanceled)
+		}
+	}
+	defer close(release)
+
+	_, stA := postJob(t, ts, quickBody)
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, ts, stA.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("A never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	respB, _ := postJob(t, ts, `{"scheme":"Rcast","nodes":12,"connections":3,"duration_sec":10,"static":true,"seed":91}`)
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("B status = %d", respB.StatusCode)
+	}
+	respC, _ := postJob(t, ts, `{"scheme":"Rcast","nodes":12,"connections":3,"duration_sec":10,"static":true,"seed":92}`)
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("C status = %d, want 429", respC.StatusCode)
+	}
+	if got := respC.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+}
+
+func TestHTTPCacheHitSecondSubmit(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	_, st := postJob(t, ts, quickBody)
+	if fin := waitHTTPTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("first job ended %s", fin.State)
+	}
+	runs := s.mRuns.Value()
+	resp2, st2 := postJob(t, ts, quickBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cache-hit submit status = %d, want 200", resp2.StatusCode)
+	}
+	if !st2.CacheHit || st2.State != StateDone {
+		t.Fatalf("cache-hit status %+v", st2)
+	}
+	if s.mRuns.Value() != runs {
+		t.Fatal("cache hit triggered a re-run")
+	}
+	respR, err := http.Get(ts.URL + "/api/v1/jobs/" + st2.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respR.Body.Close()
+	if got := respR.Header.Get("X-Rcast-Cache"); got != "hit" {
+		t.Fatalf("X-Rcast-Cache = %q, want hit", got)
+	}
+}
+
+func TestHTTPCancelFlow(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+
+	longBody := `{"scheme":"Rcast","nodes":30,"connections":5,"duration_sec":3600,"reps":1}`
+	_, st := postJob(t, ts, longBody)
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, ts, st.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs/"+st.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+	fin := waitHTTPTerminal(t, ts, st.ID)
+	if fin.State != StateCanceled {
+		t.Fatalf("state after cancel = %s (%s)", fin.State, fin.Error)
+	}
+	// Result of a canceled job is a conflict, not a 200.
+	respR, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respR.Body.Close()
+	if respR.StatusCode != http.StatusConflict {
+		t.Fatalf("result of canceled job = %d, want 409", respR.StatusCode)
+	}
+	// Cancel of a terminal job is a conflict too.
+	resp2, err := http.Post(ts.URL+"/api/v1/jobs/"+st.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel status = %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestHTTPEventsStreamToTerminal(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+
+	_, st := postJob(t, ts, quickBody)
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	var states []State
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Status
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("decode event %q: %v", line, err)
+		}
+		states = append(states, ev.State)
+	}
+	// The stream must close on its own after the terminal event.
+	if len(states) == 0 {
+		t.Fatal("no events received")
+	}
+	if last := states[len(states)-1]; last != StateDone {
+		t.Fatalf("last streamed state = %s, want done (saw %v)", last, states)
+	}
+}
+
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var hb healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	if hb.Status != "ok" || hb.QueueCapacity != 2 {
+		t.Fatalf("healthz body %+v", hb)
+	}
+
+	_, st := postJob(t, ts, quickBody)
+	waitHTTPTerminal(t, ts, st.ID)
+
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	page, _ := io.ReadAll(resp2.Body)
+	for _, want := range []string{
+		"rcast_serve_jobs_submitted_total 1",
+		"rcast_serve_runs_total 1",
+		`rcast_serve_jobs_total{state="done"} 1`,
+		"rcast_serve_queue_capacity 2",
+		"rcast_serve_run_seconds_count 1",
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+
+	// pprof index answers.
+	resp3, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d", resp3.StatusCode)
+	}
+
+	// Draining flips healthz to 503. Use a separate server so the
+	// cleanup shutdown stays valid.
+	s2 := New(Options{Workers: 1, QueueDepth: 1})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s2.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	resp4, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	if resp4.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp4.StatusCode)
+	}
+	_ = s
+}

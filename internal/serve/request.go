@@ -1,0 +1,167 @@
+// Package serve turns the simulator into a long-lived
+// simulation-as-a-service daemon: jobs arrive as JSON over HTTP, pass
+// through a bounded admission queue with backpressure, execute on the
+// existing scenario/experiments machinery with per-job deadlines and
+// cooperative cancellation, and memoize their results in a
+// content-addressed cache keyed by the canonical Config encoding
+// (scenario.CanonicalKey), so identical submissions are served without
+// recompute. Determinism is the contract throughout: a job executed
+// through the server produces byte-identical results to the same config
+// run through the CLI tools.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rcast/internal/fault"
+	"rcast/internal/scenario"
+	"rcast/internal/sim"
+)
+
+// JobRequest is the submission body for POST /api/v1/jobs: the
+// paper-facing subset of scenario.Config, mirroring rcast-sim's flags.
+// Zero-valued fields keep the paper defaults (scenario.PaperDefaults);
+// fields whose zero value is itself meaningful are pointers. Unknown
+// fields are rejected so a typo cannot silently submit — and cache — the
+// wrong experiment.
+type JobRequest struct {
+	Scheme  string `json:"scheme"`
+	Routing string `json:"routing,omitempty"` // "DSR" (default) or "AODV"
+
+	Nodes       int     `json:"nodes,omitempty"`
+	FieldW      float64 `json:"field_w,omitempty"`
+	FieldH      float64 `json:"field_h,omitempty"`
+	RangeM      float64 `json:"range_m,omitempty"`
+	Connections int     `json:"connections,omitempty"`
+	PacketRate  float64 `json:"packet_rate,omitempty"`
+	PacketBytes int     `json:"packet_bytes,omitempty"`
+
+	DurationSec float64  `json:"duration_sec,omitempty"`
+	PauseSec    *float64 `json:"pause_sec,omitempty"`
+	Static      bool     `json:"static,omitempty"`
+	MinSpeed    *float64 `json:"min_speed,omitempty"`
+	MaxSpeed    *float64 `json:"max_speed,omitempty"`
+
+	Seed *int64 `json:"seed,omitempty"`
+	Reps int    `json:"reps,omitempty"`
+
+	GossipFanout  float64 `json:"gossip_fanout,omitempty"`
+	BatteryJoules float64 `json:"battery_joules,omitempty"`
+	Audit         bool    `json:"audit,omitempty"`
+	FaultPreset   string  `json:"fault_preset,omitempty"`
+
+	// TimeoutSec bounds the job's wall-clock execution; 0 selects the
+	// server default. It is an execution parameter, not part of the
+	// simulation, so it is deliberately excluded from the cache key.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// ParseJobRequest decodes a submission body strictly: unknown fields and
+// trailing garbage are errors.
+func ParseJobRequest(r io.Reader) (JobRequest, error) {
+	var req JobRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("serve: bad job request: %w", err)
+	}
+	if dec.More() {
+		return req, fmt.Errorf("serve: bad job request: trailing data after JSON object")
+	}
+	return req, nil
+}
+
+// Config resolves the request against the paper defaults and validates
+// it, returning the runnable scenario.Config and the replication count.
+func (jr JobRequest) Config() (scenario.Config, int, error) {
+	cfg := scenario.PaperDefaults()
+	scheme, err := scenario.ParseScheme(jr.Scheme)
+	if err != nil {
+		return cfg, 0, err
+	}
+	cfg.Scheme = scheme
+	switch jr.Routing {
+	case "", "DSR":
+		cfg.Routing = scenario.RoutingDSR
+	case "AODV":
+		cfg.Routing = scenario.RoutingAODV
+	default:
+		return cfg, 0, fmt.Errorf("serve: unknown routing %q (want DSR or AODV)", jr.Routing)
+	}
+	if jr.Nodes != 0 {
+		cfg.Nodes = jr.Nodes
+	}
+	if jr.FieldW != 0 {
+		cfg.FieldW = jr.FieldW
+	}
+	if jr.FieldH != 0 {
+		cfg.FieldH = jr.FieldH
+	}
+	if jr.RangeM != 0 {
+		cfg.RangeM = jr.RangeM
+	}
+	if jr.Connections != 0 {
+		cfg.Connections = jr.Connections
+	}
+	if jr.PacketRate != 0 {
+		cfg.PacketRate = jr.PacketRate
+	}
+	if jr.PacketBytes != 0 {
+		cfg.PacketBytes = jr.PacketBytes
+	}
+	if jr.DurationSec != 0 {
+		cfg.Duration = sim.FromSeconds(jr.DurationSec)
+	}
+	if jr.PauseSec != nil {
+		cfg.Pause = sim.FromSeconds(*jr.PauseSec)
+	}
+	if jr.MinSpeed != nil {
+		cfg.MinSpeed = *jr.MinSpeed
+	}
+	if jr.MaxSpeed != nil {
+		cfg.MaxSpeed = *jr.MaxSpeed
+	}
+	if jr.Static {
+		cfg.Pause = cfg.Duration
+	}
+	if jr.Seed != nil {
+		cfg.Seed = *jr.Seed
+	}
+	cfg.GossipFanout = jr.GossipFanout
+	cfg.BatteryJoules = jr.BatteryJoules
+	cfg.Audit = jr.Audit
+	if jr.FaultPreset != "" {
+		plan, err := fault.Preset(jr.FaultPreset)
+		if err != nil {
+			return cfg, 0, err
+		}
+		cfg.Faults = plan
+	}
+	reps := jr.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	if jr.TimeoutSec < 0 {
+		return cfg, 0, fmt.Errorf("serve: negative timeout_sec %v", jr.TimeoutSec)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, 0, err
+	}
+	return cfg, reps, nil
+}
+
+// Timeout resolves the job's execution deadline against the server's
+// default and ceiling.
+func (jr JobRequest) Timeout(def, max time.Duration) time.Duration {
+	d := def
+	if jr.TimeoutSec > 0 {
+		d = time.Duration(jr.TimeoutSec * float64(time.Second))
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"encoding/json"
+
+	"rcast/internal/scenario"
+)
+
+// Summary carries the across-replication headline metrics (mean and 95%
+// CI half-width), mirroring what rcast-sim prints.
+type Summary struct {
+	PDRMean                float64 `json:"pdr_mean"`
+	PDRCI95                float64 `json:"pdr_ci95"`
+	TotalJoulesMean        float64 `json:"total_joules_mean"`
+	TotalJoulesCI95        float64 `json:"total_joules_ci95"`
+	EnergyVarianceMean     float64 `json:"energy_variance_mean"`
+	AvgDelaySecMean        float64 `json:"avg_delay_sec_mean"`
+	EnergyPerBitMean       float64 `json:"energy_per_bit_mean"`
+	NormalizedOverheadMean float64 `json:"normalized_overhead_mean"`
+}
+
+// JobResult is the response body of GET /api/v1/jobs/{id}/result: the
+// canonical-version stamp, the cache key the result is addressed by, the
+// per-replication Results and their aggregate summary. Marshaling is
+// deterministic (struct field order plus encoding/json's sorted map
+// keys), so the stored bytes ARE the result identity: a cache hit replays
+// them verbatim, and the parity contract with the CLI path is byte
+// equality.
+type JobResult struct {
+	V                int                `json:"v"`
+	Key              string             `json:"key"`
+	Reps             int                `json:"reps"`
+	Summary          Summary            `json:"summary"`
+	MeanSortedJoules []float64          `json:"mean_sorted_joules"`
+	Results          []*scenario.Result `json:"results"`
+}
+
+// MarshalResult renders an aggregate into the canonical result bytes.
+func MarshalResult(key string, reps int, agg *scenario.Aggregate) ([]byte, error) {
+	return json.Marshal(JobResult{
+		V:    scenario.CanonicalVersion,
+		Key:  key,
+		Reps: reps,
+		Summary: Summary{
+			PDRMean:                agg.PDR.Mean(),
+			PDRCI95:                agg.PDR.CI95(),
+			TotalJoulesMean:        agg.TotalJoules.Mean(),
+			TotalJoulesCI95:        agg.TotalJoules.CI95(),
+			EnergyVarianceMean:     agg.EnergyVariance.Mean(),
+			AvgDelaySecMean:        agg.AvgDelaySec.Mean(),
+			EnergyPerBitMean:       agg.EnergyPerBit.Mean(),
+			NormalizedOverheadMean: agg.NormalizedOverhead.Mean(),
+		},
+		MeanSortedJoules: agg.MeanSortedJoules,
+		Results:          agg.Results,
+	})
+}

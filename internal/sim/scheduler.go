@@ -55,11 +55,33 @@ type Scheduler struct {
 
 	executed uint64
 	hook     ExecHook
+
+	stopEvery uint64
+	stopFn    func() bool
+	stopped   bool
 }
 
 // SetExecHook installs the execution observer (nil disables it). The hook
 // only observes; it must not schedule or cancel timers.
 func (s *Scheduler) SetExecHook(h ExecHook) { s.hook = h }
+
+// SetStopCheck installs a cooperative stop condition, polled once every
+// `every` executed events (0 selects 1). When the check reports true the
+// scheduler latches into the stopped state: no further events fire, Step
+// returns false, and RunUntil returns without advancing the clock to its
+// deadline. A check that never reports true leaves the run byte-identical
+// to one with no check installed — the poll only reads. nil uninstalls.
+func (s *Scheduler) SetStopCheck(every uint64, fn func() bool) {
+	if every == 0 {
+		every = 1
+	}
+	s.stopEvery = every
+	s.stopFn = fn
+	s.stopped = false
+}
+
+// Stopped reports whether the stop check ended the run early.
+func (s *Scheduler) Stopped() bool { return s.stopped }
 
 // NewScheduler returns a scheduler with the clock at zero.
 func NewScheduler() *Scheduler {
@@ -100,8 +122,11 @@ func (s *Scheduler) After(d Time, fn func()) *Timer {
 }
 
 // Step fires the earliest pending event, advancing the clock to its instant.
-// It returns false when no events remain.
+// It returns false when no events remain or the stop check has triggered.
 func (s *Scheduler) Step() bool {
+	if s.stopped {
+		return false
+	}
 	for len(s.heap) > 0 {
 		tm, ok := heap.Pop(&s.heap).(*Timer)
 		if !ok {
@@ -118,6 +143,9 @@ func (s *Scheduler) Step() bool {
 		tm.fn = nil
 		s.executed++
 		fn()
+		if s.stopFn != nil && s.executed%s.stopEvery == 0 && s.stopFn() {
+			s.stopped = true
+		}
 		return true
 	}
 	return false
@@ -125,9 +153,11 @@ func (s *Scheduler) Step() bool {
 
 // RunUntil fires events in order until the clock would pass the deadline,
 // then sets the clock to exactly the deadline. Events scheduled at the
-// deadline itself are fired.
+// deadline itself are fired. A triggered stop check ends the loop early
+// and leaves the clock at the last executed instant, so Now reports how
+// far the run got.
 func (s *Scheduler) RunUntil(deadline Time) {
-	for len(s.heap) > 0 {
+	for len(s.heap) > 0 && !s.stopped {
 		next := s.peek()
 		if next == nil {
 			break
@@ -136,6 +166,9 @@ func (s *Scheduler) RunUntil(deadline Time) {
 			break
 		}
 		s.Step()
+	}
+	if s.stopped {
+		return
 	}
 	if s.now < deadline {
 		s.now = deadline

@@ -248,3 +248,83 @@ func TestStreamIndependence(t *testing.T) {
 		t.Error("distinct streams produced identical output")
 	}
 }
+
+func TestStopCheckLatchesAndHalts(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	for i := 0; i < 100; i++ {
+		s.After(Time(i)*Millisecond, func() { fired++ })
+	}
+	// Stop after 10 polls at every=1: exactly 10 events fire.
+	polls := 0
+	s.SetStopCheck(1, func() bool {
+		polls++
+		return polls >= 10
+	})
+	s.RunUntil(Second)
+	if fired != 10 {
+		t.Fatalf("fired %d events, want 10", fired)
+	}
+	if !s.Stopped() {
+		t.Fatal("scheduler not stopped")
+	}
+	if s.Now() != 9*Millisecond {
+		t.Fatalf("clock at %v, want last executed instant 9ms (not the deadline)", s.Now())
+	}
+	if s.Pending() != 90 {
+		t.Fatalf("pending %d, want 90", s.Pending())
+	}
+	// Latched: further Step/RunUntil calls fire nothing.
+	if s.Step() {
+		t.Fatal("Step fired after stop")
+	}
+	s.RunUntil(Second)
+	if fired != 10 {
+		t.Fatalf("RunUntil fired events after stop: %d", fired)
+	}
+}
+
+func TestStopCheckPollInterval(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 20; i++ {
+		s.After(Time(i)*Millisecond, func() {})
+	}
+	polls := 0
+	s.SetStopCheck(8, func() bool { polls++; return false })
+	s.Run()
+	// 20 executed events polled every 8: after events 8 and 16.
+	if polls != 2 {
+		t.Fatalf("polled %d times, want 2", polls)
+	}
+	if s.Stopped() {
+		t.Fatal("inert check stopped the run")
+	}
+	if s.Executed() != 20 {
+		t.Fatalf("executed %d, want 20", s.Executed())
+	}
+}
+
+func TestStopCheckInertIsIdentical(t *testing.T) {
+	run := func(check bool) (uint64, Time) {
+		s := NewScheduler()
+		var chain func()
+		n := 0
+		chain = func() {
+			n++
+			if n < 500 {
+				s.After(Millisecond, chain)
+			}
+		}
+		s.After(0, chain)
+		if check {
+			s.SetStopCheck(4, func() bool { return false })
+		}
+		s.RunUntil(Second)
+		return s.Executed(), s.Now()
+	}
+	e1, t1 := run(false)
+	e2, t2 := run(true)
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("inert stop check perturbed the run: (%d, %v) vs (%d, %v)", e1, t1, e2, t2)
+	}
+}

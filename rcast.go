@@ -23,6 +23,7 @@
 package rcast
 
 import (
+	"context"
 	"io"
 
 	"rcast/internal/core"
@@ -171,8 +172,22 @@ func NewTraceWriter(w io.Writer) TraceSink { return trace.NewWriter(w) }
 // beacon intervals with 50 ms ATIM windows.
 func PaperDefaults() Config { return scenario.PaperDefaults() }
 
+// ErrCanceled marks a run stopped before completion through its context
+// (cooperative cancellation). Distinguish a user cancel from an expired
+// deadline with errors.Is(err, context.Canceled) /
+// errors.Is(err, context.DeadlineExceeded).
+var ErrCanceled = scenario.ErrCanceled
+
 // Run executes one simulation and returns its metrics.
 func Run(cfg Config) (*Result, error) { return scenario.Run(cfg) }
+
+// RunContext is Run under a cancellation context: the event loop polls
+// ctx cooperatively (every few thousand events) and a canceled run
+// returns an error wrapping ErrCanceled instead of partial metrics.
+// Runs whose context never fires are byte-identical to Run.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return scenario.RunContext(ctx, cfg)
+}
 
 // RunReplications runs cfg with seeds cfg.Seed, cfg.Seed+1, … and
 // aggregates the headline metrics across replications.
@@ -186,4 +201,10 @@ func RunReplications(cfg Config, reps int) (*Aggregate, error) {
 // so the aggregate is identical for every worker count.
 func RunReplicationsWorkers(cfg Config, reps, workers int) (*Aggregate, error) {
 	return scenario.RunReplicationsWorkers(cfg, reps, workers)
+}
+
+// RunReplicationsContext is RunReplicationsWorkers under a cancellation
+// context; see RunContext for the cancellation semantics.
+func RunReplicationsContext(ctx context.Context, cfg Config, reps, workers int) (*Aggregate, error) {
+	return scenario.RunReplicationsContext(ctx, cfg, reps, workers)
 }

@@ -1,6 +1,8 @@
 package rcast_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -108,5 +110,34 @@ func TestPublicBuiltinPolicies(t *testing.T) {
 	}
 	if rcast.PolicyRcast.AdvertiseLevel(rcast.ClassRERR) != rcast.LevelUnconditional {
 		t.Fatal("re-exported levels/classes disagree")
+	}
+}
+
+func TestPublicRunContextCancel(t *testing.T) {
+	cfg := smallConfig(rcast.SchemeRcast)
+	cfg.Duration = 3600 * rcast.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := rcast.RunContext(ctx, cfg)
+	if res != nil || err == nil {
+		t.Fatalf("canceled run returned res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, rcast.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not expose ErrCanceled + context.Canceled", err)
+	}
+}
+
+func TestPublicRunReplicationsContext(t *testing.T) {
+	cfg := smallConfig(rcast.SchemeODPM)
+	want, err := rcast.RunReplications(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rcast.RunReplicationsContext(context.Background(), cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PDR.Mean() != want.PDR.Mean() || got.TotalJoules.Mean() != want.TotalJoules.Mean() {
+		t.Fatal("context path diverges from RunReplications")
 	}
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: vet, shadow lint, build, race-enabled tests, a short fuzz pass
 # over the MAC and route-cache targets, the coverage gate, a benchmark
-# smoke run, and invariant-audited experiment smokes (clean and
-# fault-injected) under the race detector.
+# smoke run, invariant-audited experiment smokes (clean and
+# fault-injected) under the race detector, and the end-to-end rcast-serve
+# smoke (race-built daemon: submit/poll/parity/cache/429/drain).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,5 +34,8 @@ go run -race ./cmd/rcast-bench -profile quick -only table1 -reps 1 -audit > /dev
 
 echo "== audited fault-sweep smoke (race) =="
 go run -race ./cmd/rcast-bench -profile quick -only a8 -reps 1 -audit > /dev/null
+
+echo "== serve smoke (race) =="
+go run ./tools/servesmoke
 
 echo "ci: OK"
