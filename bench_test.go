@@ -313,6 +313,33 @@ func BenchmarkFullRunRcast(b *testing.B) {
 	benchmarkFullRun(b, rcast.SchemeRcast)
 }
 
+// BenchmarkFullRunRcastTraced is BenchmarkFullRunRcast with a packet-
+// lifecycle trace streaming to a discarded NDJSON writer — the worst-case
+// cost of enabling tracing. Compare against BenchmarkFullRunRcast for the
+// overhead figure quoted in DESIGN.md §11.
+func BenchmarkFullRunRcastTraced(b *testing.B) {
+	cfg := rcast.PaperDefaults()
+	cfg.Scheme = rcast.SchemeRcast
+	cfg.Nodes = 25
+	cfg.FieldW = 750
+	cfg.Connections = 5
+	cfg.Duration = 40 * rcast.Second
+	cfg.Pause = 20 * rcast.Second
+	cfg.Trace = rcast.NewTraceWriter(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := rcast.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Originated == 0 {
+			b.Fatal("no traffic")
+		}
+	}
+}
+
 // BenchmarkFullRunAlwaysOn measures one complete small 802.11 simulation
 // per iteration.
 func BenchmarkFullRunAlwaysOn(b *testing.B) {

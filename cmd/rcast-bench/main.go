@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 
 	"rcast/internal/experiments"
 	"rcast/internal/fault"
+	"rcast/internal/trace"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func run(args []string) error {
 		workers     = fs.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
 		auditOn     = fs.Bool("audit", false, "run every simulation under the cross-layer invariant audit")
 		faultsName  = fs.String("faults", "", "fault preset applied to every run: "+strings.Join(fault.PresetNames(), ", "))
+		traceFile   = fs.String("trace", "", "write packet-lifecycle events for every run as NDJSON to this file (forces serial execution)")
 		timeout     = fs.Duration("timeout", 0, "wall-clock budget for the whole suite (0 = unlimited); an expired budget aborts mid-simulation")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +76,19 @@ func run(args []string) error {
 			return err
 		}
 		s.SetFaults(plan)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		// Buffer the NDJSON stream: a full suite emits hundreds of
+		// thousands of events and one write syscall per line dominates
+		// the tracing overhead otherwise.
+		bw := bufio.NewWriterSize(f, 1<<20)
+		defer bw.Flush()
+		s.SetTrace(trace.NewWriter(bw))
 	}
 	start := time.Now()
 	if err := runFigures(s, *only); err != nil {

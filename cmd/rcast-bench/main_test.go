@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"rcast/internal/trace"
 )
 
 func TestRunSelectedQuickFigure(t *testing.T) {
@@ -31,5 +35,26 @@ func TestRunTimeout(t *testing.T) {
 	err := run([]string{"-only", "table1", "-reps", "1", "-timeout", "1ms"})
 	if err == nil || !strings.Contains(err.Error(), "cancel") {
 		t.Fatalf("tight timeout err = %v, want canceled suite", err)
+	}
+}
+
+// TestRunWritesTraceArtifact exercises the -trace flag end to end: the
+// suite must leave a parseable, non-empty NDJSON artifact behind.
+func TestRunWritesTraceArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.jsonl")
+	if err := run([]string{"-only", "table1", "-reps", "1", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := trace.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("traced suite produced an empty artifact")
 	}
 }

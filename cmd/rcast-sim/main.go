@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -42,7 +43,7 @@ func run(args []string) error {
 		static     = fs.Bool("static", false, "static scenario (pause = duration)")
 		speed      = fs.Float64("speed", 20, "maximum node speed (m/s)")
 		seed       = fs.Int64("seed", 1, "random seed")
-		reps       = fs.Int("reps", 1, "replications (seed, seed+1, ...)")
+		reps       = fs.Int("reps", 1, "replications (per-rep seeds mixed from -seed)")
 		gossip     = fs.Float64("gossip", 0, "broadcast-Rcast fanout (0 disables)")
 		perNode    = fs.Bool("per-node", false, "dump per-node energy and role numbers")
 		routing    = fs.String("routing", "DSR", "routing protocol: DSR or AODV")
@@ -98,7 +99,11 @@ func run(args []string) error {
 			return err
 		}
 		defer f.Close()
-		cfg.Trace = rcast.NewTraceWriter(f)
+		// Buffered: one write syscall per traced event would dominate the
+		// run otherwise.
+		bw := bufio.NewWriterSize(f, 1<<20)
+		defer bw.Flush()
+		cfg.Trace = rcast.NewTraceWriter(bw)
 	}
 
 	ctx := context.Background()

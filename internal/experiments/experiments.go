@@ -17,6 +17,7 @@ import (
 	"rcast/internal/fault"
 	"rcast/internal/scenario"
 	"rcast/internal/sim"
+	"rcast/internal/trace"
 )
 
 // Profile scales the experiment suite. Paper() is the §4.1 setup; Quick()
@@ -97,14 +98,15 @@ type runKey struct {
 // cells fan out across a worker pool (see Runner); the reports and series a
 // suite produces are byte-identical for every worker count.
 type Suite struct {
-	p       Profile
-	out     io.Writer
-	cache   map[runKey]*scenario.Aggregate
-	workers int
-	audit   bool
-	faults  *fault.Plan
-	ctx     context.Context
-	simRuns atomic.Int64
+	p         Profile
+	out       io.Writer
+	cache     map[runKey]*scenario.Aggregate
+	workers   int
+	audit     bool
+	faults    *fault.Plan
+	traceSink trace.Sink
+	ctx       context.Context
+	simRuns   atomic.Int64
 }
 
 // NewSuite creates a suite writing its reports to out. Runs fan out across
@@ -134,6 +136,17 @@ func (s *Suite) SetAudit(on bool) { s.audit = on }
 // cleared; call SetFaults before running any generator.
 func (s *Suite) SetFaults(plan *fault.Plan) {
 	s.faults = plan
+	s.cache = make(map[runKey]*scenario.Aggregate)
+}
+
+// SetTrace installs a packet-lifecycle trace sink (scenario.Config.Trace)
+// on every simulation the suite runs. A non-nil sink forces the runner
+// serial (sinks are not safe for concurrent emission), so expect the
+// suite to slow accordingly. Cached aggregates were produced without the
+// sink's events, so the cache is cleared; call SetTrace before running
+// any generator.
+func (s *Suite) SetTrace(sink trace.Sink) {
+	s.traceSink = sink
 	s.cache = make(map[runKey]*scenario.Aggregate)
 }
 
@@ -179,6 +192,7 @@ func (s *Suite) config(k runKey) scenario.Config {
 	}
 	cfg.Audit = s.audit
 	cfg.Faults = s.faults
+	cfg.Trace = s.traceSink
 	return cfg
 }
 
@@ -233,6 +247,9 @@ func (s *Suite) runConfigs(cfgs []scenario.Config) ([]*scenario.Aggregate, error
 	specs := make([]RunSpec, len(cfgs))
 	for i, cfg := range cfgs {
 		cfg.Audit = cfg.Audit || s.audit
+		if cfg.Trace == nil {
+			cfg.Trace = s.traceSink
+		}
 		specs[i] = RunSpec{Cfg: cfg, Reps: s.p.Reps}
 	}
 	return s.runner().Run(s.context(), specs)

@@ -8,12 +8,13 @@ import (
 	"sync/atomic"
 
 	"rcast/internal/scenario"
+	"rcast/internal/sim"
 )
 
 // Runner fans independent simulation runs across a bounded pool of
 // goroutines. Each (config, replication) cell is one unit of work carrying
-// its own deterministically derived seed (the spec's seed plus the
-// replication index — worlds share no RNG or scheduler state), so cells can
+// its own deterministically derived seed (sim.ReplicationSeed of the
+// spec's seed — worlds share no RNG or scheduler state), so cells can
 // execute in any order on any number of workers and still produce the exact
 // results of the serial path. Results are slotted by (spec, replication)
 // index and merged in order after all cells finish, which makes the
@@ -29,8 +30,8 @@ type Runner struct {
 }
 
 // RunSpec is one batch of replications of a single configuration.
-// Replication i runs with seed Cfg.Seed + i, exactly as
-// scenario.RunReplications seeds the serial path.
+// Replication i runs with seed sim.ReplicationSeed(Cfg.Seed, i), exactly
+// as scenario.RunReplications seeds the serial path.
 type RunSpec struct {
 	Cfg  scenario.Config
 	Reps int // < 1 means 1
@@ -74,7 +75,7 @@ func (r Runner) Run(ctx context.Context, specs []RunSpec) ([]*scenario.Aggregate
 
 	runCell := func(cl cell) error {
 		cfg := specs[cl.spec].Cfg
-		cfg.Seed += int64(cl.rep)
+		cfg.Seed = sim.ReplicationSeed(cfg.Seed, cl.rep)
 		res, err := scenario.RunContext(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("experiments: %v rate=%.1f seed=%d: %w",

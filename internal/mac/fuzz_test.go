@@ -54,9 +54,9 @@ func TestBroadcastEnqueueDuringAirtimeCompletesOnce(t *testing.T) {
 //     and accrued energy is non-negative.
 //   - The state machine never panics, whatever the interleaving.
 func FuzzPSMOperations(f *testing.F) {
-	f.Add([]byte{0x00, 0x01, 0x02, 0x40, 0x13, 0x00, 0x02, 0x40})      // send, run, crash, run
-	f.Add([]byte{0x00, 0x01, 0x10, 0x02, 0x02, 0xff, 0x14, 0x00})      // two senders, long run, recover
-	f.Add([]byte{0x05, 0x20, 0x00, 0x01, 0x02, 0x30, 0x16, 0x00})     // extend AM, send, run, kill
+	f.Add([]byte{0x00, 0x01, 0x02, 0x40, 0x13, 0x00, 0x02, 0x40}) // send, run, crash, run
+	f.Add([]byte{0x00, 0x01, 0x10, 0x02, 0x02, 0xff, 0x14, 0x00}) // two senders, long run, recover
+	f.Add([]byte{0x05, 0x20, 0x00, 0x01, 0x02, 0x30, 0x16, 0x00}) // extend AM, send, run, kill
 	f.Add([]byte{0x07, 0x01, 0x01, 0x00, 0x02, 0x80, 0x03, 0x02,
 		0x02, 0x40, 0x04, 0x00, 0x02, 0x40}) // RERR, broadcast, crash+recover cycle
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -50,6 +50,7 @@ type PSM struct {
 	churnInit     bool     // a baseline neighbor set has been recorded
 
 	audit Audit // nil = no invariant instrumentation
+	trc   Trace // nil = no lifecycle tracing
 
 	// ATIM-contention admission state (Params.ATIMContention).
 	lastAnnounced []annKey
@@ -112,6 +113,9 @@ func (m *PSM) SetFastPath(f func(dst phy.NodeID) bool) { m.fastPath = f }
 // SetAudit installs the invariant observer (nil disables instrumentation).
 func (m *PSM) SetAudit(a Audit) { m.audit = a }
 
+// SetTrace installs the lifecycle trace observer (nil disables tracing).
+func (m *PSM) SetTrace(t Trace) { m.trc = t }
+
 // setWindow forwards to the DCF and reports the change to the auditor.
 func (m *PSM) setWindow(enabled bool, end sim.Time) {
 	m.dcf.setWindow(enabled, end)
@@ -163,6 +167,9 @@ func (m *PSM) Send(p Packet) {
 		p.Level = m.policy.AdvertiseLevel(p.Class)
 	}
 	now := m.sched.Now()
+	if m.trc != nil {
+		m.trc.PacketEnqueued(now, m.radio.ID(), p)
+	}
 	if m.fastPath != nil && p.Dst != phy.Broadcast && m.InAM(now) && m.fastPath(p.Dst) {
 		m.dcf.enqueue(p)
 		return
@@ -260,6 +267,9 @@ func (m *PSM) BeaconStart(now sim.Time) []Announcement {
 	if m.audit != nil {
 		m.audit.BeaconStarted(now, m.radio.ID())
 	}
+	if m.trc != nil {
+		m.trc.StationWoke(now, m.radio.ID())
+	}
 	m.setWindow(false, 0)
 	m.updateChurn(now)
 
@@ -280,6 +290,9 @@ func (m *PSM) BeaconStart(now sim.Time) []Announcement {
 		}
 		seen[k] = struct{}{}
 		anns = append(anns, Announcement{From: m.radio.ID(), To: p.Dst, Level: p.Level})
+		if m.trc != nil {
+			m.trc.ATIMAdvertised(now, m.radio.ID(), anns[len(anns)-1])
+		}
 		m.lastAnnounced = append(m.lastAnnounced, k)
 		if len(anns) >= m.p.MaxAnnouncements {
 			break
@@ -353,6 +366,9 @@ func (m *PSM) ATIMEnd(now sim.Time, heard []Announcement, nextBeacon sim.Time) {
 	if m.audit != nil {
 		m.audit.NodeSlept(now, m.radio.ID())
 	}
+	if m.trc != nil {
+		m.trc.StationSlept(now, m.radio.ID())
+	}
 	m.radio.SetAwake(false)
 	_ = m.meter.SetState(now, energy.Asleep)
 }
@@ -384,7 +400,11 @@ func (m *PSM) shouldStayAwake(now sim.Time, heard []Announcement) bool {
 		}
 		last, ok := m.lastHeard[a.From]
 		ctx.SenderRecentlyHeard = ok && now-last <= senderRecencyWindow
-		if m.policy.ShouldOverhear(m.rng, a.Level, ctx) {
+		stay := m.policy.ShouldOverhear(m.rng, a.Level, ctx)
+		if m.trc != nil {
+			m.trc.OverhearingDecision(now, me, a, stay)
+		}
+		if stay {
 			return true
 		}
 	}

@@ -1,0 +1,34 @@
+package mac
+
+import (
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// Trace observes the MAC-level leg of a packet's lifecycle: queueing, the
+// ATIM advertisement that announces it, the overhearing lottery that
+// decides which non-addressed neighbors hear it, and the sleep/wake
+// transitions framing the data phase. Like Audit, the interface lives in
+// this package so the MAC never depends on its consumer (the scenario
+// wiring adapts it onto a trace.Sink). All methods are called
+// synchronously from scheduler events; a nil Trace disables
+// instrumentation entirely — the hot path then pays one nil check per
+// transition, keeping untraced runs byte-identical.
+type Trace interface {
+	// PacketEnqueued fires when Send accepts a packet (whether it waits
+	// for the next ATIM window or takes the ODPM fast path).
+	PacketEnqueued(now sim.Time, node phy.NodeID, p Packet)
+	// ATIMAdvertised fires once per advertisement a station includes in a
+	// beacon's ATIM window.
+	ATIMAdvertised(now sim.Time, node phy.NodeID, a Announcement)
+	// OverhearingDecision fires once per overhearing-policy consultation:
+	// the station heard an advertisement not addressed to it carrying an
+	// overhearing level, and the policy (the lottery, for randomized
+	// levels) decided stayAwake. Addressed wakes are not reported here —
+	// they involve no decision.
+	OverhearingDecision(now sim.Time, node phy.NodeID, a Announcement, stayAwake bool)
+	// StationWoke fires when a station wakes for a beacon's ATIM window.
+	StationWoke(now sim.Time, node phy.NodeID)
+	// StationSlept fires when a station dozes for a data phase.
+	StationSlept(now sim.Time, node phy.NodeID)
+}

@@ -1,0 +1,64 @@
+package mac
+
+import (
+	"testing"
+
+	"rcast/internal/core"
+	"rcast/internal/phy"
+	"rcast/internal/sim"
+)
+
+// traceLog records which Trace callbacks fired, per kind.
+type traceLog struct {
+	enqueued  int
+	atims     int
+	lotteries int
+	wakes     int
+	sleeps    int
+	stayAwake int
+}
+
+func (l *traceLog) PacketEnqueued(sim.Time, phy.NodeID, Packet)       { l.enqueued++ }
+func (l *traceLog) ATIMAdvertised(sim.Time, phy.NodeID, Announcement) { l.atims++ }
+func (l *traceLog) OverhearingDecision(_ sim.Time, _ phy.NodeID, _ Announcement, stay bool) {
+	l.lotteries++
+	if stay {
+		l.stayAwake++
+	}
+}
+func (l *traceLog) StationWoke(sim.Time, phy.NodeID)  { l.wakes++ }
+func (l *traceLog) StationSlept(sim.Time, phy.NodeID) { l.sleeps++ }
+
+// TestPSMTraceCallbacks pins the MAC-level trace hooks in isolation: a
+// traced PSM cluster reports the enqueue, the ATIM advertisement, the
+// third station's overhearing lottery, and the sleep/wake transitions
+// framing every beacon interval.
+func TestPSMTraceCallbacks(t *testing.T) {
+	r := newRig(t, 3, 100)
+	log := &traceLog{}
+	macs := make([]*PSM, 3)
+	for i := range macs {
+		macs[i] = r.psm(i, core.Rcast{})
+		macs[i].SetTrace(log)
+	}
+	r.sched.After(10*sim.Millisecond, func() {
+		macs[0].Send(Packet{Dst: 1, Class: core.ClassData, Bytes: 512, Payload: "traced"})
+	})
+	r.run(2 * sim.Second)
+
+	if log.enqueued != 1 {
+		t.Fatalf("enqueued = %d, want 1", log.enqueued)
+	}
+	if log.atims == 0 {
+		t.Fatal("no ATIM advertisement traced")
+	}
+	if log.lotteries == 0 {
+		t.Fatal("no overhearing lottery traced (node 2 overheard nothing)")
+	}
+	if log.wakes == 0 || log.sleeps == 0 {
+		t.Fatalf("wakes = %d, sleeps = %d; want both > 0", log.wakes, log.sleeps)
+	}
+	if len(r.recs[1].received) != 1 {
+		t.Fatalf("destination received %d packets, want 1", len(r.recs[1].received))
+	}
+}

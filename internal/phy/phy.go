@@ -12,8 +12,8 @@
 package phy
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 
 	"rcast/internal/geom"
 	"rcast/internal/mobility"
@@ -26,12 +26,13 @@ type NodeID int
 // Broadcast is the link-layer broadcast address.
 const Broadcast NodeID = -1
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Built without fmt: node IDs are
+// rendered once per traced MAC/PHY event.
 func (id NodeID) String() string {
 	if id == Broadcast {
 		return "bcast"
 	}
-	return fmt.Sprintf("n%d", int(id))
+	return "n" + strconv.Itoa(int(id))
 }
 
 // PreambleTime is the PHY preamble + PLCP header duration (802.11 DSSS long
@@ -92,6 +93,21 @@ type DeliveryObserver interface {
 	FrameDelivered(now sim.Time, rx NodeID, awake bool, f Frame)
 }
 
+// Frame-loss reasons reported to a DropObserver, matching the Stats
+// counters the channel increments alongside each report.
+const (
+	LossCollision    = "collision"     // overlap or half-duplex corruption
+	LossMissedAsleep = "missed-asleep" // receiving radio was (or fell) asleep
+	LossFault        = "fault-lost"    // injected by the LossModel
+)
+
+// DropObserver is notified of every per-receiver frame loss the channel
+// classifies, at the instant the matching Stats counter increments
+// (lifecycle tracing). A nil observer costs one pointer check per loss.
+type DropObserver interface {
+	FrameLost(now sim.Time, rx NodeID, f Frame, reason string)
+}
+
 // Stats counts channel-level events.
 type Stats struct {
 	Transmissions uint64 // frames put on the air
@@ -126,12 +142,24 @@ type Channel struct {
 	grid           grid
 	scratch        []int32
 
-	obs  DeliveryObserver // nil = no delivery instrumentation
-	loss LossModel        // nil = clean channel
+	obs     DeliveryObserver // nil = no delivery instrumentation
+	dropObs DropObserver     // nil = no loss instrumentation
+	loss    LossModel        // nil = clean channel
 }
 
 // SetDeliveryObserver installs the delivery observer (nil disables it).
 func (c *Channel) SetDeliveryObserver(o DeliveryObserver) { c.obs = o }
+
+// SetDropObserver installs the frame-loss observer (nil disables it).
+func (c *Channel) SetDropObserver(o DropObserver) { c.dropObs = o }
+
+// frameLost reports a loss to the drop observer. Call sites mirror the
+// Stats loss counters exactly: one frameLost per counted loss.
+func (c *Channel) frameLost(rx *Radio, f Frame, now sim.Time, reason string) {
+	if c.dropObs != nil {
+		c.dropObs.FrameLost(now, rx.id, f, reason)
+	}
+}
 
 // SetLossModel installs the fault-injection loss model (nil restores the
 // clean channel).
@@ -262,11 +290,13 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 func (c *Channel) beginReception(rx *Radio, f Frame, now, end sim.Time) {
 	if !rx.awake {
 		c.stats.MissedAsleep++
+		c.frameLost(rx, f, now, LossMissedAsleep)
 		return
 	}
 	if rx.txUntil > now {
 		// Half duplex: a transmitting radio cannot decode.
 		c.stats.Collisions++
+		c.frameLost(rx, f, now, LossCollision)
 		return
 	}
 	d := &delivery{frame: f, end: end}
@@ -275,6 +305,7 @@ func (c *Channel) beginReception(rx *Radio, f Frame, now, end sim.Time) {
 		rx.current.collided = true
 		d.collided = true
 		c.stats.Collisions++
+		c.frameLost(rx, f, now, LossCollision)
 		// Track the longer of the two as the in-progress (corrupted)
 		// reception so a third overlapping frame also collides.
 		if end > rx.current.end {
@@ -297,6 +328,7 @@ func (c *Channel) finishReception(rx *Radio, d *delivery) {
 	if !rx.awake {
 		// Receiver fell asleep mid-frame.
 		c.stats.MissedAsleep++
+		c.frameLost(rx, d.frame, c.sched.Now(), LossMissedAsleep)
 		return
 	}
 	if d.aborted {
@@ -304,6 +336,7 @@ func (c *Channel) finishReception(rx *Radio, d *delivery) {
 	}
 	if c.loss != nil && c.loss.Lose(c.sched.Now(), d.frame.From, rx.id) {
 		c.stats.FaultLost++
+		c.frameLost(rx, d.frame, c.sched.Now(), LossFault)
 		return
 	}
 	c.stats.Deliveries++

@@ -267,3 +267,44 @@ func TestMovingReceiverRangeCheckedAtStart(t *testing.T) {
 		t.Fatalf("moving receiver got %d frames, want 1", len(cap1.frames))
 	}
 }
+
+type dropCapture struct {
+	losses []string
+}
+
+func (d *dropCapture) FrameLost(_ sim.Time, rx NodeID, f Frame, reason string) {
+	d.losses = append(d.losses, reason)
+}
+
+// TestDropObserverSeesClassifiedLosses pins the DropObserver hook: a
+// sleeping receiver produces a missed-asleep notification and a
+// collision at a common receiver produces collision notifications, each
+// mirroring the Stats counters.
+func TestDropObserverSeesClassifiedLosses(t *testing.T) {
+	sched, ch, radios, _ := lineup(t, 2, 100, 250)
+	obs := &dropCapture{}
+	ch.SetDropObserver(obs)
+	radios[1].SetAwake(false)
+	ch.Transmit(radios[0], Frame{From: 0, To: 1, Bytes: 64}, 2)
+	sched.Run()
+	if len(obs.losses) != 1 || obs.losses[0] != LossMissedAsleep {
+		t.Fatalf("losses = %v, want [%s]", obs.losses, LossMissedAsleep)
+	}
+
+	sched2, ch2, radios2, _ := lineup(t, 3, 100, 250)
+	obs2 := &dropCapture{}
+	ch2.SetDropObserver(obs2)
+	ch2.Transmit(radios2[0], Frame{From: 0, To: 1, Bytes: 512}, 2)
+	ch2.Transmit(radios2[2], Frame{From: 2, To: 1, Bytes: 512}, 2)
+	sched2.Run()
+	want := int(ch2.Stats().Collisions)
+	got := 0
+	for _, r := range obs2.losses {
+		if r == LossCollision {
+			got++
+		}
+	}
+	if want == 0 || got != want {
+		t.Fatalf("collision notifications = %d, Stats.Collisions = %d", got, want)
+	}
+}

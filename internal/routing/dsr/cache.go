@@ -16,6 +16,7 @@ type Cache struct {
 	lifetime sim.Time // 0 disables timeouts
 	entries  []cacheEntry
 	insertCB func(path []phy.NodeID)
+	evictCB  func(path []phy.NodeID)
 
 	inserts   uint64
 	evictions uint64
@@ -41,6 +42,11 @@ func NewCache(owner phy.NodeID, capacity int, lifetime sim.Time) *Cache {
 // the paper's role-number metric counts intermediate nodes of inserted
 // routes (§4.2).
 func (c *Cache) SetInsertCallback(cb func(path []phy.NodeID)) { c.insertCB = cb }
+
+// SetEvictCallback registers a hook fired for every capacity eviction
+// with the evicted path. Timeout expiry is not reported — only FIFO
+// pressure, the signal lifecycle tracing cares about.
+func (c *Cache) SetEvictCallback(cb func(path []phy.NodeID)) { c.evictCB = cb }
 
 // Len returns the number of cached routes.
 func (c *Cache) Len() int { return len(c.entries) }
@@ -82,8 +88,12 @@ func (c *Cache) Add(now sim.Time, path []phy.NodeID) bool {
 		c.insertCB(cp)
 	}
 	for len(c.entries) > c.capacity {
+		evicted := c.entries[0].path
 		c.entries = c.entries[1:]
 		c.evictions++
+		if c.evictCB != nil {
+			c.evictCB(evicted)
+		}
 	}
 	return true
 }

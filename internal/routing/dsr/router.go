@@ -25,8 +25,13 @@ type Hooks struct {
 	DataDropped    func(p *DataPacket, reason string)
 	// ControlSent fires once per control-packet transmission (every hop).
 	ControlSent func(c core.Class)
+	// DataSalvaged fires when a link failure is repaired from cache: p is
+	// the re-routed copy (Salvaged already incremented, Route the new path).
+	DataSalvaged func(p *DataPacket)
 	// CacheInserted fires for every accepted route-cache insertion.
 	CacheInserted func(path []phy.NodeID)
+	// CacheEvicted fires for every capacity eviction from the route cache.
+	CacheEvicted func(path []phy.NodeID)
 	// RREPReceived / DataActivity drive ODPM active-mode timers.
 	RREPReceived func()
 	DataActivity func()
@@ -178,6 +183,11 @@ func New(id phy.NodeID, sched *sim.Scheduler, rng *rand.Rand, tr Transport, cfg 
 		// A fresh route may unblock buffered traffic.
 		r.flushBuffer(path[len(path)-1])
 	})
+	r.cache.SetEvictCallback(func(path []phy.NodeID) {
+		if r.hooks.CacheEvicted != nil {
+			r.hooks.CacheEvicted(path)
+		}
+	})
 	return r
 }
 
@@ -325,6 +335,9 @@ func (r *Router) handleLinkFailure(pkt *DataPacket, nh phy.NodeID) {
 			sp.Route = alt
 			sp.Salvaged = pkt.Salvaged + 1
 			r.stats.Salvages++
+			if r.hooks.DataSalvaged != nil {
+				r.hooks.DataSalvaged(&sp)
+			}
 			r.transmitData(&sp)
 			return
 		}

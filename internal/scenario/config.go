@@ -163,9 +163,14 @@ type Config struct {
 	// RNG streams created, no events scheduled.
 	Faults *fault.Plan
 
-	// Trace, when non-nil, receives structured routing-level events
-	// (origination, delivery, forwarding, drops, control traffic, cache
-	// insertions, battery deaths).
+	// Trace, when non-nil, receives the packet-lifecycle event stream:
+	// routing events (origination, forwarding, salvage, delivery, drops,
+	// control traffic, cache insertions and evictions), MAC events
+	// (enqueue, ATIM advertisements, the overhearing lottery, sleep/wake)
+	// and PHY loss classifications, plus node lifecycle (battery deaths,
+	// crashes, recoveries). Events carry a run-local sequence number and,
+	// where applicable, the packet UID "src:flow:seq". A nil Trace keeps
+	// the run byte-identical to an untraced one.
 	Trace trace.Sink
 
 	// Audit enables the cross-layer invariant checker (internal/audit):

@@ -296,8 +296,8 @@ func AggregateResults(results []*Result) *Aggregate {
 	return agg
 }
 
-// RunReplications runs cfg reps times with seeds cfg.Seed, cfg.Seed+1, …
-// and aggregates the headline metrics.
+// RunReplications runs cfg reps times with per-replication seeds derived
+// by sim.ReplicationSeed and aggregates the headline metrics.
 func RunReplications(cfg Config, reps int) (*Aggregate, error) {
 	return RunReplicationsWorkers(cfg, reps, 1)
 }
@@ -310,7 +310,7 @@ func RunReplicationsWorkers(cfg Config, reps, workers int) (*Aggregate, error) {
 
 // RunReplicationsContext fans the replications across at most workers
 // goroutines under a cancellation context. Each replication derives its own
-// seed (cfg.Seed + replication index) and builds a private world, so runs
+// seed (sim.ReplicationSeed(cfg.Seed, i)) and builds a private world, so runs
 // share no RNG or scheduler state; results merge in replication order,
 // making the aggregate identical for every worker count. workers <= 0
 // selects runtime.GOMAXPROCS(0). A non-nil cfg.Trace forces workers = 1:
@@ -333,7 +333,7 @@ func RunReplicationsContext(ctx context.Context, cfg Config, reps, workers int) 
 	results := make([]*Result, reps)
 	runRep := func(i int) error {
 		c := cfg
-		c.Seed = cfg.Seed + int64(i)
+		c.Seed = sim.ReplicationSeed(cfg.Seed, i)
 		res, err := RunContext(ctx, c)
 		if err != nil {
 			return err

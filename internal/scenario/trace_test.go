@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rcast/internal/sim"
+	"rcast/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// TestTraceOnIsObservationOnly is the tracing metamorphic oracle: a run
+// with a trace sink attached must produce the same Result, field for
+// field, as the same config with tracing disabled. Tracing observes the
+// simulation; it must never perturb it.
+func TestTraceOnIsObservationOnly(t *testing.T) {
+	cfg := quickConfig(SchemeRcast)
+	off, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	on, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, off, on)
+	if len(rec.Events()) == 0 {
+		t.Fatal("trace sink attached but no events recorded")
+	}
+}
+
+// TestTraceLifecycleKinds checks that the full event vocabulary the
+// tracing subsystem promises — routing lifecycle, MAC ATIM/overhearing
+// decisions, sleep-wake transitions and PHY losses — actually shows up
+// in a PSM-family run, with monotonically increasing sequence numbers
+// and timestamps.
+func TestTraceLifecycleKinds(t *testing.T) {
+	rec := trace.NewRecorder()
+	cfg := quickConfig(SchemeRcast)
+	cfg.Trace = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+
+	counts := map[trace.Kind]int{}
+	for _, e := range evs {
+		counts[e.Kind]++
+	}
+	for _, k := range []trace.Kind{
+		trace.KindOriginate, trace.KindDeliver, trace.KindForward,
+		trace.KindEnqueue, trace.KindAtim, trace.KindLottery,
+		trace.KindWake, trace.KindSleep, trace.KindControl, trace.KindCache,
+	} {
+		if counts[k] == 0 {
+			t.Errorf("no %q events in a Rcast run", k)
+		}
+	}
+
+	var lastSeq uint64
+	var lastAt sim.Time
+	for i, e := range evs {
+		if e.Seq <= lastSeq {
+			t.Fatalf("event %d: seq %d not increasing (prev %d)", i, e.Seq, lastSeq)
+		}
+		if e.At < lastAt {
+			t.Fatalf("event %d: time went backwards: %v after %v", i, e.At, lastAt)
+		}
+		lastSeq, lastAt = e.Seq, e.At
+	}
+}
+
+// goldenTraceConfig is a 3-node static chain small enough that its whole
+// trace fits in testdata and stable enough to pin byte for byte.
+func goldenTraceConfig() Config {
+	cfg := PaperDefaults()
+	cfg.Scheme = SchemeRcast
+	cfg.Nodes = 3
+	cfg.FieldW = 500
+	cfg.FieldH = 100
+	cfg.Connections = 1
+	cfg.PacketRate = 0.5
+	cfg.Duration = 10 * sim.Second
+	cfg.Pause = cfg.Duration // static
+	cfg.TrafficStart = 2 * sim.Second
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestTraceGoldenThreeNode pins the NDJSON trace of a tiny deterministic
+// scenario byte for byte. This is the schema's regression anchor: any
+// change to event ordering, field names, or formatting shows up as a
+// diff against testdata/trace_3node.jsonl. Regenerate deliberately with
+//
+//	go test ./internal/scenario -run TestTraceGoldenThreeNode -update
+//
+// and mention the schema change in the changelog.
+func TestTraceGoldenThreeNode(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := goldenTraceConfig()
+	cfg.Trace = trace.NewWriter(&buf)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("golden scenario traced nothing")
+	}
+
+	golden := filepath.Join("testdata", "trace_3node.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		gotLines := bytes.Split(buf.Bytes(), []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Fatalf("trace diverges from golden at line %d:\n got  %s\n want %s",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("trace length differs from golden: got %d lines, want %d",
+			len(gotLines), len(wantLines))
+	}
+
+	// The stream must round-trip through the reader.
+	evs, err := trace.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("golden trace does not parse: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("golden trace parsed to zero events")
+	}
+}

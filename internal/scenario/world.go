@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"rcast/internal/audit"
 	"rcast/internal/core"
@@ -62,6 +64,10 @@ type world struct {
 	crashEvents   int
 	recoverEvents int
 	crashFlushed  uint64 // data packets flushed from crashing nodes
+
+	traceSeq     uint64            // per-run trace sequence counter (see emit)
+	nodeNames    []string          // interned NodeID strings, built only when tracing
+	traceDetails map[uint64]string // memoized detail strings (see detailKey)
 }
 
 // pktKey builds the auditor's end-to-end packet identity.
@@ -204,6 +210,17 @@ func newWorld(cfg Config) (*world, error) {
 		w.sched.SetExecHook(w.aud.SchedulerEvent)
 		w.ch.SetDeliveryObserver(w.aud)
 	}
+	if cfg.Trace != nil {
+		w.ch.SetDropObserver(phyTraceAdapter{w: w})
+		// Intern the node-ID strings the adapters render into almost every
+		// event: thousands of detail strings per run reuse these instead of
+		// re-allocating "n%d".
+		w.nodeNames = make([]string, cfg.Nodes)
+		for i := range w.nodeNames {
+			w.nodeNames[i] = phy.NodeID(i).String()
+		}
+		w.traceDetails = make(map[uint64]string)
+	}
 	policy := cfg.Policy
 	if policy == nil {
 		policy = cfg.Scheme.defaultPolicy()
@@ -247,6 +264,9 @@ func newWorld(cfg Config) (*world, error) {
 			n.link = psm
 			if w.aud != nil {
 				psm.SetAudit(w.aud)
+			}
+			if cfg.Trace != nil {
+				psm.SetTrace(macTraceAdapter{w: w})
 			}
 			w.coord.AddStation(psm)
 			if cfg.Scheme == SchemeODPM {
@@ -482,13 +502,179 @@ func (w *world) recoverNode(id phy.NodeID) {
 
 // trace emits a structured event when tracing is configured.
 func (w *world) trace(node phy.NodeID, kind trace.Kind, detail string) {
+	w.tracePkt(node, kind, "", detail)
+}
+
+// tracePkt is trace with the packet UID attached. It stamps the event
+// with the run-local sequence number and scheduler time and hands it to
+// the configured sink. The world is the single emission point for every
+// layer's events, so Seq orders the whole trace and two traces of the
+// same configuration align event-for-event.
+func (w *world) tracePkt(node phy.NodeID, kind trace.Kind, pkt, detail string) {
 	if w.cfg.Trace == nil {
 		return
 	}
-	w.cfg.Trace.Emit(trace.Event{At: w.sched.Now(), Node: node, Kind: kind, Detail: detail})
+	w.traceSeq++
+	w.cfg.Trace.Emit(trace.Event{
+		Seq:    w.traceSeq,
+		At:     w.sched.Now(),
+		Node:   node,
+		Kind:   kind,
+		Pkt:    pkt,
+		Detail: detail,
+	})
+}
+
+// nodeName returns the interned rendering of a node ID ("n7", "bcast"),
+// falling back to NodeID.String for IDs outside the scenario.
+func (w *world) nodeName(id phy.NodeID) string {
+	if i := int(id); i >= 0 && i < len(w.nodeNames) {
+		return w.nodeNames[i]
+	}
+	return id.String()
+}
+
+// dataUID extracts the application-packet UID from a MAC payload, or ""
+// for control traffic.
+func dataUID(payload any) string {
+	switch p := payload.(type) {
+	case *dsr.DataPacket:
+		return trace.PacketUID(p.Src, p.FlowID, p.Seq)
+	case *aodv.DataPacket:
+		return trace.PacketUID(p.Src, p.FlowID, p.Seq)
+	}
+	return ""
+}
+
+// macTraceAdapter forwards MAC lifecycle callbacks (mac.Trace) into the
+// world's trace stream. Installed only when tracing is configured.
+type macTraceAdapter struct {
+	w *world
+}
+
+var _ mac.Trace = macTraceAdapter{}
+
+// The high-volume detail strings (ATIM, lottery, PHY loss, enqueue) come
+// from small finite alphabets — a node pair, a level, a reason — so they
+// are memoized in w.traceDetails: after the first rendering of a given
+// combination every later event reuses the interned string. This, not the
+// sink, was the dominant enabled-tracing cost (allocation + GC churn).
+// The rendered bytes must stay identical to the former %v formatting (the
+// golden-trace test pins them).
+
+// Tags namespacing the memoization keys (see world.detailKey).
+const (
+	detEnqueue = iota + 1
+	detAtim
+	detLottery
+	detPhyDrop
+)
+
+// detailKey packs a detail identity: which adapter (tag), a small variant
+// (level/class/reason/verdict), and up to two node IDs shifted by one so
+// Broadcast (-1) packs cleanly.
+func detailKey(tag, sub int, a, b phy.NodeID) uint64 {
+	return uint64(tag)<<56 | uint64(sub)<<48 | uint64(uint32(a+1))<<24 | uint64(uint32(b+1))
+}
+
+func (a macTraceAdapter) PacketEnqueued(_ sim.Time, node phy.NodeID, p mac.Packet) {
+	w := a.w
+	key := detailKey(detEnqueue, int(p.Class), p.Dst, 0)
+	detail, ok := w.traceDetails[key]
+	if !ok {
+		detail = "dst=" + w.nodeName(p.Dst) + " class=" + p.Class.String()
+		w.traceDetails[key] = detail
+	}
+	w.tracePkt(node, trace.KindEnqueue, dataUID(p.Payload), detail)
+}
+
+func (a macTraceAdapter) ATIMAdvertised(_ sim.Time, node phy.NodeID, an mac.Announcement) {
+	w := a.w
+	key := detailKey(detAtim, int(an.Level), an.To, 0)
+	detail, ok := w.traceDetails[key]
+	if !ok {
+		detail = "to=" + w.nodeName(an.To) + " level=" + an.Level.String()
+		w.traceDetails[key] = detail
+	}
+	w.trace(node, trace.KindAtim, detail)
+}
+
+func (a macTraceAdapter) OverhearingDecision(_ sim.Time, node phy.NodeID, an mac.Announcement, stayAwake bool) {
+	w := a.w
+	sub := int(an.Level) << 1
+	verdict := " sleep"
+	if stayAwake {
+		sub |= 1
+		verdict = " stay-awake"
+	}
+	key := detailKey(detLottery, sub, an.From, 0)
+	detail, ok := w.traceDetails[key]
+	if !ok {
+		detail = "from=" + w.nodeName(an.From) + " level=" + an.Level.String() + verdict
+		w.traceDetails[key] = detail
+	}
+	w.trace(node, trace.KindLottery, detail)
+}
+
+func (a macTraceAdapter) StationWoke(_ sim.Time, node phy.NodeID) {
+	a.w.trace(node, trace.KindWake, "")
+}
+
+func (a macTraceAdapter) StationSlept(_ sim.Time, node phy.NodeID) {
+	a.w.trace(node, trace.KindSleep, "")
+}
+
+// phyTraceAdapter forwards channel losses (phy.DropObserver) into the
+// trace stream. Frame payloads are MAC-internal, so these events carry
+// the endpoints and loss reason, not a packet UID.
+type phyTraceAdapter struct {
+	w *world
+}
+
+var _ phy.DropObserver = phyTraceAdapter{}
+
+func (a phyTraceAdapter) FrameLost(_ sim.Time, rx phy.NodeID, f phy.Frame, reason string) {
+	w := a.w
+	var sub int
+	switch reason {
+	case phy.LossCollision:
+		sub = 1
+	case phy.LossMissedAsleep:
+		sub = 2
+	case phy.LossFault:
+		sub = 3
+	default:
+		// Unknown reason: the key can't distinguish it, so skip the cache.
+		w.trace(rx, trace.KindPhyDrop, reason+" from="+w.nodeName(f.From)+" to="+w.nodeName(f.To))
+		return
+	}
+	key := detailKey(detPhyDrop, sub, f.From, f.To)
+	detail, ok := w.traceDetails[key]
+	if !ok {
+		detail = reason + " from=" + w.nodeName(f.From) + " to=" + w.nodeName(f.To)
+		w.traceDetails[key] = detail
+	}
+	w.trace(rx, trace.KindPhyDrop, detail)
+}
+
+// pathString renders a route the way fmt's %v does ("[n0 n3 n7]") without
+// fmt's reflection — cache events are frequent in traced runs.
+func (w *world) pathString(path []phy.NodeID) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, id := range path {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(w.nodeName(id))
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // hooksFor wires one node's routing events into metrics, tracing and ODPM.
+// Trace emissions are gated on w.cfg.Trace so untraced runs skip the
+// formatting work entirely, not just the sink call.
 func (w *world) hooksFor(n *node) dsr.Hooks {
 	h := dsr.Hooks{
 		DataOriginated: func(p *dsr.DataPacket) {
@@ -496,7 +682,10 @@ func (w *world) hooksFor(n *node) dsr.Hooks {
 			if w.aud != nil {
 				w.aud.PacketOriginated(w.sched.Now(), pktKey(p.Src, p.FlowID, p.Seq))
 			}
-			w.trace(n.id, trace.KindOriginate, fmt.Sprintf("dst=%v", p.Dst))
+			if w.cfg.Trace != nil {
+				w.tracePkt(n.id, trace.KindOriginate, trace.PacketUID(p.Src, p.FlowID, p.Seq),
+					"dst="+w.nodeName(p.Dst))
+			}
 		},
 		DataDelivered: func(p *dsr.DataPacket, _ phy.NodeID) {
 			hops := len(p.Route) - 1
@@ -504,18 +693,31 @@ func (w *world) hooksFor(n *node) dsr.Hooks {
 			if w.aud != nil {
 				w.aud.PacketDelivered(w.sched.Now(), n.id, pktKey(p.Src, p.FlowID, p.Seq))
 			}
-			w.trace(n.id, trace.KindDeliver, fmt.Sprintf("src=%v hops=%d", p.Src, hops))
+			if w.cfg.Trace != nil {
+				w.tracePkt(n.id, trace.KindDeliver, trace.PacketUID(p.Src, p.FlowID, p.Seq),
+					"src="+w.nodeName(p.Src)+" hops="+strconv.Itoa(hops))
+			}
 		},
 		DataDropped: func(p *dsr.DataPacket, reason string) {
 			w.col.DataDropped(reason)
 			if w.aud != nil {
 				w.aud.PacketDropped(w.sched.Now(), n.id, pktKey(p.Src, p.FlowID, p.Seq), reason)
 			}
-			w.trace(n.id, trace.KindDrop, reason)
+			if w.cfg.Trace != nil {
+				w.tracePkt(n.id, trace.KindDrop, trace.PacketUID(p.Src, p.FlowID, p.Seq), reason)
+			}
 		},
-		DataForwarded: func(*dsr.DataPacket) {
+		DataForwarded: func(p *dsr.DataPacket) {
 			w.col.DataForwarded(n.id)
-			w.trace(n.id, trace.KindForward, "")
+			if w.cfg.Trace != nil {
+				w.tracePkt(n.id, trace.KindForward, trace.PacketUID(p.Src, p.FlowID, p.Seq), "")
+			}
+		},
+		DataSalvaged: func(p *dsr.DataPacket) {
+			if w.cfg.Trace != nil {
+				w.tracePkt(n.id, trace.KindSalvage, trace.PacketUID(p.Src, p.FlowID, p.Seq),
+					fmt.Sprintf("attempt=%d route=%v", p.Salvaged, p.Route))
+			}
 		},
 		ControlSent: func(c core.Class) {
 			w.col.ControlSent(c)
@@ -523,7 +725,14 @@ func (w *world) hooksFor(n *node) dsr.Hooks {
 		},
 		CacheInserted: func(path []phy.NodeID) {
 			w.col.RouteCached(path)
-			w.trace(n.id, trace.KindCache, fmt.Sprintf("%v", path))
+			if w.cfg.Trace != nil {
+				w.trace(n.id, trace.KindCache, w.pathString(path))
+			}
+		},
+		CacheEvicted: func(path []phy.NodeID) {
+			if w.cfg.Trace != nil {
+				w.trace(n.id, trace.KindCacheEvict, w.pathString(path))
+			}
 		},
 	}
 	if w.cfg.Scheme == SchemeODPM {
@@ -542,25 +751,35 @@ func (w *world) aodvHooksFor(n *node) aodv.Hooks {
 			if w.aud != nil {
 				w.aud.PacketOriginated(w.sched.Now(), pktKey(p.Src, p.FlowID, p.Seq))
 			}
-			w.trace(n.id, trace.KindOriginate, fmt.Sprintf("dst=%v", p.Dst))
+			if w.cfg.Trace != nil {
+				w.tracePkt(n.id, trace.KindOriginate, trace.PacketUID(p.Src, p.FlowID, p.Seq),
+					"dst="+w.nodeName(p.Dst))
+			}
 		},
 		DataDelivered: func(p *aodv.DataPacket, _ phy.NodeID) {
 			w.col.DataDelivered(w.sched.Now()-p.OriginatedAt, p.PayloadBytes, p.HopsTaken+1)
 			if w.aud != nil {
 				w.aud.PacketDelivered(w.sched.Now(), n.id, pktKey(p.Src, p.FlowID, p.Seq))
 			}
-			w.trace(n.id, trace.KindDeliver, fmt.Sprintf("src=%v hops=%d", p.Src, p.HopsTaken+1))
+			if w.cfg.Trace != nil {
+				w.tracePkt(n.id, trace.KindDeliver, trace.PacketUID(p.Src, p.FlowID, p.Seq),
+					"src="+w.nodeName(p.Src)+" hops="+strconv.Itoa(p.HopsTaken+1))
+			}
 		},
 		DataDropped: func(p *aodv.DataPacket, reason string) {
 			w.col.DataDropped(reason)
 			if w.aud != nil {
 				w.aud.PacketDropped(w.sched.Now(), n.id, pktKey(p.Src, p.FlowID, p.Seq), reason)
 			}
-			w.trace(n.id, trace.KindDrop, reason)
+			if w.cfg.Trace != nil {
+				w.tracePkt(n.id, trace.KindDrop, trace.PacketUID(p.Src, p.FlowID, p.Seq), reason)
+			}
 		},
-		DataForwarded: func(*aodv.DataPacket) {
+		DataForwarded: func(p *aodv.DataPacket) {
 			w.col.DataForwarded(n.id)
-			w.trace(n.id, trace.KindForward, "")
+			if w.cfg.Trace != nil {
+				w.tracePkt(n.id, trace.KindForward, trace.PacketUID(p.Src, p.FlowID, p.Seq), "")
+			}
 		},
 		ControlSent: func(c core.Class) {
 			w.col.ControlSent(c)

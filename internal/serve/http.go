@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -14,6 +15,7 @@ import (
 //	GET  /api/v1/jobs             list job statuses
 //	GET  /api/v1/jobs/{id}        poll one job's status
 //	GET  /api/v1/jobs/{id}/result fetch the stored result bytes
+//	GET  /api/v1/jobs/{id}/trace  fetch the NDJSON trace artifact (traced jobs)
 //	GET  /api/v1/jobs/{id}/events live status stream (server-sent events)
 //	POST /api/v1/jobs/{id}/cancel request cancellation
 //	GET  /healthz                 liveness (503 while draining)
@@ -25,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -53,6 +56,18 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// retryAfterSeconds renders a Retry-After hint: whole seconds, rounded
+// up, never below 1. Truncation used to turn a sub-second hint into
+// "Retry-After: 0", which well-behaved clients read as "retry
+// immediately" — the opposite of backpressure.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req, err := ParseJobRequest(r.Body)
 	if err != nil {
@@ -65,7 +80,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case OutcomeInvalid:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	case OutcomeQueueFull:
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
 		writeError(w, http.StatusTooManyRequests, "job queue full (capacity %d); retry later", cap(s.queue))
 	case OutcomeDraining:
 		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
@@ -118,6 +133,31 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(job.Result())
+	}
+}
+
+// handleTrace serves the packet-lifecycle trace artifact of a traced,
+// completed job as NDJSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	if !job.TraceRequested() {
+		writeError(w, http.StatusNotFound, "job %s was not submitted with trace=true", job.ID)
+		return
+	}
+	st := job.status()
+	switch {
+	case !st.State.Terminal():
+		writeError(w, http.StatusConflict, "job %s is %s; trace not ready", job.ID, st.State)
+	case st.State != StateDone:
+		writeError(w, http.StatusConflict, "job %s is %s: %s", job.ID, st.State, st.Error)
+	default:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Rcast-Key", job.Key)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(job.Trace())
 	}
 }
 

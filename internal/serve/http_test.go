@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rcast/internal/scenario"
+	"rcast/internal/trace"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
@@ -238,6 +239,65 @@ func TestHTTPQueueFull429(t *testing.T) {
 	}
 }
 
+// TestRetryAfterSeconds pins the backpressure hint rendering: whole
+// seconds, rounded up, never 0. A sub-second RetryAfter used to truncate
+// to "Retry-After: 0", which clients read as "retry immediately".
+func TestRetryAfterSeconds(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{500 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+		{90 * time.Second, 90},
+	}
+	for _, tt := range tests {
+		if got := retryAfterSeconds(tt.d); got != tt.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+}
+
+// TestHTTPSubSecondRetryAfterNeverZero exercises the clamp end to end: a
+// server configured with a 100 ms hint must still answer 429 with a
+// positive whole-second Retry-After.
+func TestHTTPSubSecondRetryAfterNeverZero(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1, RetryAfter: 100 * time.Millisecond})
+	release := make(chan struct{})
+	s.runFn = func(ctx context.Context, cfg scenario.Config, reps, workers int) (*scenario.Aggregate, error) {
+		select {
+		case <-release:
+			return scenario.RunReplicationsContext(ctx, cfg, reps, workers)
+		case <-ctx.Done():
+			return nil, fmt.Errorf("stub: %w", scenario.ErrCanceled)
+		}
+	}
+	defer close(release)
+
+	_, stA := postJob(t, ts, quickBody)
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, ts, stA.ID).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("A never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	postJob(t, ts, `{"scheme":"Rcast","nodes":12,"connections":3,"duration_sec":10,"static":true,"seed":81}`)
+	resp, _ := postJob(t, ts, `{"scheme":"Rcast","nodes":12,"connections":3,"duration_sec":10,"static":true,"seed":82}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+}
+
 func TestHTTPCacheHitSecondSubmit(t *testing.T) {
 	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
 
@@ -413,4 +473,74 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("draining healthz = %d, want 503", resp4.StatusCode)
 	}
 	_ = s
+}
+
+// TestHTTPTraceArtifact exercises the trace option end to end: a traced
+// submission bypasses the result cache, executes, serves a parseable
+// NDJSON artifact from /trace, and produces result bytes identical to
+// the untraced run of the same config.
+func TestHTTPTraceArtifact(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	// Warm the cache with the untraced twin.
+	_, plain := postJob(t, ts, quickBody)
+	if fin := waitHTTPTerminal(t, ts, plain.ID); fin.State != StateDone {
+		t.Fatalf("untraced job ended %s: %s", fin.State, fin.Error)
+	}
+	plainResult := getBody(t, ts, "/api/v1/jobs/"+plain.ID+"/result", http.StatusOK)
+
+	// The traced twin must execute despite the warm cache.
+	tracedBody := strings.TrimSuffix(quickBody, "}") + `,"trace":true}`
+	resp, traced := postJob(t, ts, tracedBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("traced submit status = %d, want 202 (must not be served from cache)", resp.StatusCode)
+	}
+	if traced.CacheHit || !traced.Trace {
+		t.Fatalf("traced submit status %+v", traced)
+	}
+	if fin := waitHTTPTerminal(t, ts, traced.ID); fin.State != StateDone {
+		t.Fatalf("traced job ended %s: %s", fin.State, fin.Error)
+	}
+
+	tracedResult := getBody(t, ts, "/api/v1/jobs/"+traced.ID+"/result", http.StatusOK)
+	if !bytes.Equal(plainResult, tracedResult) {
+		t.Fatal("traced run's result differs from the untraced run — tracing perturbed the simulation")
+	}
+
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + traced.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace status = %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Fatalf("trace content type %q", got)
+	}
+	evs, err := trace.ReadEvents(resp2.Body)
+	if err != nil {
+		t.Fatalf("parse trace artifact: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("trace artifact is empty")
+	}
+
+	// The untraced job has no artifact to serve.
+	getBody(t, ts, "/api/v1/jobs/"+plain.ID+"/trace", http.StatusNotFound)
+}
+
+// getBody fetches a path and asserts the status code, returning the body.
+func getBody(t *testing.T, ts *httptest.Server, path string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s status = %d, want %d (body %q)", path, resp.StatusCode, wantCode, body)
+	}
+	return body
 }

@@ -33,9 +33,10 @@ type Job struct {
 	ID  string
 	Key string
 
-	cfg     scenario.Config
-	reps    int
-	timeout time.Duration
+	cfg            scenario.Config
+	reps           int
+	timeout        time.Duration
+	traceRequested bool
 
 	mu        sync.Mutex
 	state     State
@@ -45,6 +46,7 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	result    []byte
+	traceData []byte // captured NDJSON trace (traced jobs only)
 	cancel    context.CancelCauseFunc
 	subs      map[int]chan Status
 	nextSub   int
@@ -57,6 +59,7 @@ type Status struct {
 	Key         string    `json:"key"`
 	Reps        int       `json:"reps"`
 	CacheHit    bool      `json:"cache_hit"`
+	Trace       bool      `json:"trace,omitempty"` // trace artifact requested
 	Error       string    `json:"error,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
@@ -77,6 +80,7 @@ func (j *Job) statusLocked() Status {
 		Key:         j.Key,
 		Reps:        j.reps,
 		CacheHit:    j.cacheHit,
+		Trace:       j.traceRequested,
 		Error:       j.err,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
@@ -96,6 +100,18 @@ func (j *Job) Result() []byte {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result
+}
+
+// TraceRequested reports whether the submission asked for a trace
+// artifact (identity field; set once at admission).
+func (j *Job) TraceRequested() bool { return j.traceRequested }
+
+// Trace returns the captured NDJSON trace bytes (nil unless the job was
+// traced and finished executing).
+func (j *Job) Trace() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceData
 }
 
 // setState transitions the job and broadcasts the new status to

@@ -57,6 +57,16 @@ type JobRequest struct {
 	// server default. It is an execution parameter, not part of the
 	// simulation, so it is deliberately excluded from the cache key.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+
+	// Trace requests a packet-lifecycle trace artifact alongside the
+	// result, downloadable from GET /api/v1/jobs/{id}/trace once the job
+	// is done. Like TimeoutSec it is an execution parameter outside the
+	// cache key, but a traced submission always executes — it bypasses
+	// both the result cache and in-flight coalescing, because a cached or
+	// coalesced answer would have no trace to download. Tracing does not
+	// perturb the simulation: the result stays byte-identical and is
+	// still stored in the cache for later untraced submissions.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ParseJobRequest decodes a submission body strictly: unknown fields and

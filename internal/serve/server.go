@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"rcast/internal/metrics/promtext"
 	"rcast/internal/scenario"
+	"rcast/internal/trace"
 )
 
 // Cancellation causes, distinguishable via context.Cause so a user cancel,
@@ -184,24 +186,30 @@ func (s *Server) Submit(req JobRequest) (*Job, Outcome, error) {
 		s.mRejected.Inc("draining")
 		return nil, OutcomeDraining, nil
 	}
-	if cached, ok := s.cache.Get(key); ok {
-		job := s.newJobLocked(key, cfg, reps, timeout)
-		job.state = StateDone
-		job.cacheHit = true
-		job.result = cached
-		job.finished = job.submitted
-		s.registerLocked(job)
-		s.mSubmitted.Inc()
-		s.mCacheHits.Inc()
-		s.mJobsTerminal.Inc(string(StateDone))
-		return job, OutcomeCacheHit, nil
-	}
-	if prior, ok := s.byKey[key]; ok {
-		s.mSubmitted.Inc()
-		s.mCoalesced.Inc()
-		return prior, OutcomeCoalesced, nil
+	// A traced submission must actually execute to produce its trace
+	// artifact, so it skips both the result cache and coalescing onto an
+	// in-flight (untraced) twin. Its result is still cached afterwards.
+	if !req.Trace {
+		if cached, ok := s.cache.Get(key); ok {
+			job := s.newJobLocked(key, cfg, reps, timeout)
+			job.state = StateDone
+			job.cacheHit = true
+			job.result = cached
+			job.finished = job.submitted
+			s.registerLocked(job)
+			s.mSubmitted.Inc()
+			s.mCacheHits.Inc()
+			s.mJobsTerminal.Inc(string(StateDone))
+			return job, OutcomeCacheHit, nil
+		}
+		if prior, ok := s.byKey[key]; ok {
+			s.mSubmitted.Inc()
+			s.mCoalesced.Inc()
+			return prior, OutcomeCoalesced, nil
+		}
 	}
 	job := s.newJobLocked(key, cfg, reps, timeout)
+	job.traceRequested = req.Trace
 	job.state = StateQueued
 	select {
 	case s.queue <- job:
@@ -210,7 +218,9 @@ func (s *Server) Submit(req JobRequest) (*Job, Outcome, error) {
 		return nil, OutcomeQueueFull, nil
 	}
 	s.registerLocked(job)
-	s.byKey[key] = job
+	if _, ok := s.byKey[key]; !ok {
+		s.byKey[key] = job
+	}
 	s.mSubmitted.Inc()
 	s.mCacheMisses.Inc()
 	return job, OutcomeAccepted, nil
@@ -345,9 +355,20 @@ func (s *Server) execute(job *Job) {
 	}) {
 		return // canceled while queued; already terminal
 	}
+	// A traced job runs a private cfg copy with an NDJSON sink attached;
+	// job.cfg stays untouched (its canonical key was computed without a
+	// sink, and tracing must not leak into identity). The sink forces the
+	// replication fan-out serial inside RunReplicationsContext, and the
+	// metrics it feeds are byte-identical to an untraced run.
+	cfg := job.cfg
+	var traceBuf *bytes.Buffer
+	if job.traceRequested {
+		traceBuf = &bytes.Buffer{}
+		cfg.Trace = trace.NewWriter(traceBuf)
+	}
 	s.mRunning.Inc()
 	start := time.Now()
-	agg, err := s.runFn(tctx, job.cfg, job.reps, s.opts.SimWorkers)
+	agg, err := s.runFn(tctx, cfg, job.reps, s.opts.SimWorkers)
 	s.mRunSeconds.Observe(time.Since(start).Seconds())
 	s.mRunning.Dec()
 	s.mRuns.Inc()
@@ -361,6 +382,11 @@ func (s *Server) execute(job *Job) {
 	if err != nil {
 		s.finishJob(job, StateFailed, fmt.Sprintf("marshal result: %v", err), nil)
 		return
+	}
+	if traceBuf != nil {
+		job.mu.Lock()
+		job.traceData = traceBuf.Bytes()
+		job.mu.Unlock()
 	}
 	s.cache.Put(job.Key, body)
 	s.finishJob(job, StateDone, "", body)

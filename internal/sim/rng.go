@@ -22,3 +22,20 @@ func DeriveSeed(base int64, name string) int64 {
 func Stream(base int64, name string) *rand.Rand {
 	return rand.New(rand.NewSource(DeriveSeed(base, name))) //nolint:gosec // simulation, not crypto
 }
+
+// ReplicationSeed derives the seed for replication rep of a batch rooted
+// at base. Replication 0 runs on the base seed itself, so a single
+// replication is exactly Run(cfg); later replications mix (base, rep)
+// through a splitmix64 finalizer. Plain base+rep derivation would make
+// adjacent base seeds share replication seeds (base 1 rep 1 == base 2
+// rep 0), silently correlating experiment rows; the mixed seeds are
+// spread over the whole 64-bit space instead.
+func ReplicationSeed(base int64, rep int) int64 {
+	if rep == 0 {
+		return base
+	}
+	z := uint64(base) + uint64(rep)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31)) //nolint:gosec // deliberate wraparound
+}

@@ -44,6 +44,27 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// SampleVariance returns the unbiased sample variance of xs (Bessel's
+// correction: divide by n-1; 0 for fewer than two samples). Use it when xs
+// is a sample standing in for a larger population — across-replication
+// error bars, not the paper's per-node Fig. 6 variance.
+func SampleVariance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// SampleStdDev returns the sample standard deviation of xs.
+func SampleStdDev(xs []float64) float64 { return math.Sqrt(SampleVariance(xs)) }
+
 // Min returns the smallest value (0 for empty input).
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -73,10 +94,15 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
-// interpolation between closest ranks. It does not mutate xs.
+// interpolation between closest ranks. Degenerate inputs are guarded
+// explicitly: empty input returns 0, a single element is every percentile
+// of itself. It does not mutate xs.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if len(xs) == 1 {
+		return xs[0]
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
@@ -141,8 +167,10 @@ func (r *Replications) N() int { return len(r.samples) }
 // Mean returns the across-replication mean.
 func (r *Replications) Mean() float64 { return Mean(r.samples) }
 
-// StdDev returns the across-replication standard deviation.
-func (r *Replications) StdDev() float64 { return StdDev(r.samples) }
+// StdDev returns the across-replication sample standard deviation
+// (Bessel's correction): the replications are a sample of the seed
+// population, so population variance would understate the error bars.
+func (r *Replications) StdDev() float64 { return SampleStdDev(r.samples) }
 
 // CI95 returns the half-width of a normal-approximation 95% confidence
 // interval for the mean (0 for fewer than two samples).
@@ -151,13 +179,5 @@ func (r *Replications) CI95() float64 {
 	if n < 2 {
 		return 0
 	}
-	// Sample standard deviation (n-1) for the CI.
-	m := Mean(r.samples)
-	s := 0.0
-	for _, x := range r.samples {
-		d := x - m
-		s += d * d
-	}
-	sd := math.Sqrt(s / float64(n-1))
-	return 1.96 * sd / math.Sqrt(float64(n))
+	return 1.96 * SampleStdDev(r.samples) / math.Sqrt(float64(n))
 }

@@ -31,8 +31,48 @@ func TestEmptyAndSingleton(t *testing.T) {
 	if Variance([]float64{7}) != 0 {
 		t.Error("singleton variance should be 0")
 	}
+	if SampleVariance(nil) != 0 || SampleVariance([]float64{7}) != 0 {
+		t.Error("sample variance of fewer than two samples should be 0")
+	}
 	if Percentile(nil, 50) != 0 {
 		t.Error("empty percentile should be 0")
+	}
+	for _, p := range []float64{-10, 0, 37, 50, 100, 250} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Errorf("Percentile([7], %v) = %v, want 7 (a single element is every percentile of itself)", p, got)
+		}
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // population variance 4, n = 8
+	if got, want := SampleVariance(xs), 4.0*8/7; !close2(got, want) {
+		t.Errorf("SampleVariance = %v, want %v", got, want)
+	}
+	if got := SampleStdDev(xs); !close2(got, math.Sqrt(4.0*8/7)) {
+		t.Errorf("SampleStdDev = %v", got)
+	}
+	// Bessel's correction: the sample estimate always exceeds the
+	// population one for spread data.
+	if SampleVariance(xs) <= Variance(xs) {
+		t.Error("sample variance should exceed population variance")
+	}
+}
+
+// TestReplicationsUseSampleStdDev pins the across-replication aggregator
+// to the n-1 estimator: replications sample the seed population, so the
+// population formula would understate the error bars.
+func TestReplicationsUseSampleStdDev(t *testing.T) {
+	var r Replications
+	samples := []float64{10, 12, 8, 10}
+	for _, v := range samples {
+		r.Add(v)
+	}
+	if got, want := r.StdDev(), SampleStdDev(samples); !close2(got, want) {
+		t.Errorf("Replications.StdDev = %v, want sample estimate %v", got, want)
+	}
+	if got, want := r.CI95(), 1.96*SampleStdDev(samples)/2; !close2(got, want) {
+		t.Errorf("Replications.CI95 = %v, want %v", got, want)
 	}
 }
 

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkWriterEmit measures the per-event cost of the NDJSON encoder —
+// the dominant term of enabled-tracing overhead (DESIGN.md §11).
+func BenchmarkWriterEmit(b *testing.B) {
+	w := NewWriter(io.Discard)
+	e := Event{Seq: 123456, At: 987654321, Node: 17, Kind: KindPhyDrop,
+		Detail: "collision from=n3 to=n9"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Seq = uint64(i)
+		w.Emit(e)
+	}
+}
+
+// BenchmarkWriterEmitBare is the detail-free variant (wake/sleep events).
+func BenchmarkWriterEmitBare(b *testing.B) {
+	w := NewWriter(io.Discard)
+	e := Event{Seq: 1, At: 987654321, Node: 17, Kind: KindWake}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Seq = uint64(i)
+		w.Emit(e)
+	}
+}

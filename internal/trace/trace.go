@@ -1,49 +1,97 @@
-// Package trace provides structured event tracing for simulations: a
-// compact event type, composable sinks (ring buffer, NDJSON writer,
-// filters, fan-out), and counters. The scenario package emits
-// routing-level events into a configured sink; tooling (cmd/rcast-sim
-// -trace) renders them for debugging protocol behaviour.
+// Package trace provides packet-lifecycle tracing for simulations: a
+// compact event type keyed by packet UID and node ID, composable sinks
+// (ring buffer, NDJSON writer, in-memory recorder, filters, fan-out) and
+// counters. The scenario package threads a configured sink through every
+// layer — routing (originate/forward/deliver/drop/salvage, cache
+// insert/evict), MAC (enqueue, ATIM advertisements, the overhearing
+// lottery, sleep/wake transitions) and PHY (loss classification) — so a
+// packet's whole life can be reconstructed. Tooling (cmd/rcast-sim
+// -trace, cmd/rcast-bench -trace, tools/tracediff) renders and diffs the
+// streams for debugging protocol behaviour.
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"rcast/internal/phy"
 	"rcast/internal/sim"
 )
 
-// Kind classifies an event.
+// Kind classifies an event. Custom kinds must be plain printable ASCII
+// without quotes or backslashes: Writer emits them unescaped.
 type Kind string
 
 // Event kinds emitted by the scenario wiring.
 const (
-	KindOriginate Kind = "originate" // application packet enters the network
-	KindDeliver   Kind = "deliver"   // end-to-end delivery
-	KindForward   Kind = "forward"   // data packet relayed
-	KindDrop      Kind = "drop"      // data packet lost (Detail = reason)
-	KindControl   Kind = "control"   // routing control transmission (Detail = class)
-	KindCache     Kind = "cache"     // route cache insertion (Detail = route)
-	KindDeath     Kind = "death"     // battery depletion
-	KindCrash     Kind = "crash"     // fault-injected node crash (Detail = flushed count)
-	KindRecover   Kind = "recover"   // fault-injected crash recovery
+	// Routing-level lifecycle.
+	KindOriginate  Kind = "originate"   // application packet enters the network
+	KindDeliver    Kind = "deliver"     // end-to-end delivery
+	KindForward    Kind = "forward"     // data packet relayed
+	KindDrop       Kind = "drop"        // data packet lost (Detail = reason)
+	KindSalvage    Kind = "salvage"     // data packet re-routed after a link failure
+	KindControl    Kind = "control"     // routing control transmission (Detail = class)
+	KindCache      Kind = "cache"       // route cache insertion (Detail = route)
+	KindCacheEvict Kind = "cache-evict" // route cache capacity eviction (Detail = route)
+
+	// MAC-level lifecycle (PSM family).
+	KindEnqueue Kind = "enqueue" // packet queued at the MAC (Detail = dst/class)
+	KindAtim    Kind = "atim"    // ATIM advertisement sent (Detail = dst/level)
+	KindLottery Kind = "lottery" // overhearing lottery outcome (Detail = from/level/verdict)
+	KindWake    Kind = "wake"    // station woke for a beacon's ATIM window
+	KindSleep   Kind = "sleep"   // station dozed for a data phase
+
+	// PHY-level loss classification.
+	KindPhyDrop Kind = "phy-drop" // frame lost at a receiver (Detail = reason + endpoints)
+
+	// Node lifecycle.
+	KindDeath   Kind = "death"   // battery depletion
+	KindCrash   Kind = "crash"   // fault-injected node crash (Detail = flushed count)
+	KindRecover Kind = "recover" // fault-injected crash recovery
 )
 
-// Event is one traced occurrence.
+// Event is one traced occurrence. Seq is a per-run sequence number
+// assigned by the emitting world in scheduler order, so two traces of the
+// same configuration align event-for-event and the first differing Seq is
+// the first divergence. Pkt, when the event concerns one application data
+// packet, is its UID "src:flow:seq" — the same identity the invariant
+// auditor uses — so one grep reconstructs a packet's life.
 type Event struct {
+	Seq    uint64     `json:"seq"`
 	At     sim.Time   `json:"atMicros"`
 	Node   phy.NodeID `json:"node"`
 	Kind   Kind       `json:"kind"`
+	Pkt    string     `json:"pkt,omitempty"`
 	Detail string     `json:"detail,omitempty"`
+}
+
+// PacketUID renders the end-to-end identity of an application data packet
+// (source node, flow, per-source sequence number). Built with strconv
+// rather than fmt: this runs once per traced routing event and sits on
+// the enabled-tracing hot path.
+func PacketUID(src phy.NodeID, flow, seq uint64) string {
+	b := make([]byte, 0, 24)
+	b = strconv.AppendInt(b, int64(src), 10)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, flow, 10)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, seq, 10)
+	return string(b)
 }
 
 // String renders the event for humans.
 func (e Event) String() string {
-	if e.Detail == "" {
-		return fmt.Sprintf("%12.6fs %-5v %s", e.At.Seconds(), e.Node, e.Kind)
+	s := fmt.Sprintf("%12.6fs %-5v %-9s", e.At.Seconds(), e.Node, e.Kind)
+	if e.Pkt != "" {
+		s += " pkt=" + e.Pkt
 	}
-	return fmt.Sprintf("%12.6fs %-5v %-9s %s", e.At.Seconds(), e.Node, e.Kind, e.Detail)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
 }
 
 // Sink consumes events.
@@ -99,22 +147,123 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
-// Writer streams events as newline-delimited JSON.
+// Recorder retains every emitted event in order — the sink tracediff and
+// the golden-trace tests run simulations into. Unlike Ring it is
+// unbounded; use it only for runs whose volume is known to fit in memory.
+type Recorder struct {
+	events []Event
+}
+
+var _ Sink = (*Recorder)(nil)
+
+// NewRecorder creates an unbounded recording sink.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Sink.
+func (r *Recorder) Emit(e Event) { r.events = append(r.events, e) }
+
+// Events returns the recorded events in emission order. The returned
+// slice is the recorder's backing store; do not mutate it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Writer streams events as newline-delimited JSON. The encoder is
+// hand-rolled over a reused buffer instead of encoding/json: a full-rate
+// trace emits one line per MAC/PHY event and reflective marshalling
+// dominated the enabled-tracing overhead. The output is byte-identical
+// to what encoding/json produced for these events (ReadEvents accepts
+// both, and the golden-trace test pins the bytes).
 type Writer struct {
 	w   io.Writer
-	enc *json.Encoder
+	buf []byte
+
+	// Timestamp render cache: consecutive events frequently share a
+	// scheduler instant (every station waking at one beacon tick), so the
+	// decimal rendering of At is reused until the clock moves.
+	lastAt    sim.Time
+	lastAtBuf []byte
 }
 
 var _ Sink = (*Writer)(nil)
 
 // NewWriter creates an NDJSON sink.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: w, enc: json.NewEncoder(w)}
+	return &Writer{w: w, buf: make([]byte, 0, 256), lastAt: -1}
 }
 
 // Emit implements Sink. Encoding errors are deliberately swallowed: a
 // tracing sink must never perturb the simulation.
-func (t *Writer) Emit(e Event) { _ = t.enc.Encode(e) }
+func (t *Writer) Emit(e Event) {
+	if e.At != t.lastAt {
+		t.lastAt = e.At
+		t.lastAtBuf = strconv.AppendInt(t.lastAtBuf[:0], int64(e.At), 10)
+	}
+	b := t.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"atMicros":`...)
+	b = append(b, t.lastAtBuf...)
+	b = append(b, `,"node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	// Kinds are package constants and never need escaping.
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind...)
+	b = append(b, '"')
+	if e.Pkt != "" {
+		b = append(b, `,"pkt":`...)
+		b = appendJSONString(b, e.Pkt)
+	}
+	if e.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = appendJSONString(b, e.Detail)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	_, _ = t.w.Write(b)
+}
+
+// appendJSONString appends s as a JSON string. Every string the tracer
+// emits is plain ASCII without quotes or backslashes, so the fast path is
+// a straight copy; anything else (including <, > and & so the bytes match
+// encoding/json's HTML-escaping default) defers to encoding/json.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c > 0x7E || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			enc, err := json.Marshal(s)
+			if err != nil {
+				return append(b, `""`...)
+			}
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// ReadEvents parses an NDJSON stream as produced by Writer. Blank lines
+// are skipped; the first malformed line aborts with its line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}
 
 // Filter passes only events the predicate accepts.
 type Filter struct {

@@ -93,3 +93,99 @@ func TestEventString(t *testing.T) {
 		t.Fatalf("String = %q", bare.String())
 	}
 }
+
+func TestRecorderWriterReadEventsRoundTrip(t *testing.T) {
+	want := []Event{
+		{Seq: 1, At: 100, Node: 0, Kind: KindOriginate, Pkt: "0:1:1"},
+		{Seq: 2, At: 250, Node: 2, Kind: KindAtim, Detail: "to=3 level=randomized"},
+		{Seq: 3, At: 900, Node: 3, Kind: KindDeliver, Pkt: "0:1:1", Detail: "hops=2"},
+	}
+	rec := NewRecorder()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range want {
+		rec.Emit(e)
+		w.Emit(e)
+	}
+	if got := rec.Events(); len(got) != len(want) {
+		t.Fatalf("recorder kept %d events, want %d", len(got), len(want))
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d round-tripped as %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("{\"seq\":1}\nnot json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not locate the bad line: %v", err)
+	}
+	// Blank lines are tolerated (trailing newline from the writer).
+	evs, err := ReadEvents(strings.NewReader("\n{\"seq\":1}\n\n"))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("blank-line handling: %v, %d events", err, len(evs))
+	}
+}
+
+func TestPacketUID(t *testing.T) {
+	if got := PacketUID(4, 2, 17); got != "4:2:17" {
+		t.Fatalf("PacketUID = %q", got)
+	}
+}
+
+// TestNopEmit pins that the discard sink accepts events directly (not
+// just through Multi's interface dispatch).
+func TestNopEmit(t *testing.T) {
+	var n Nop
+	n.Emit(Event{Kind: KindWake})
+}
+
+// TestEventStringWithPkt covers the packet-UID branch of the human
+// rendering.
+func TestEventStringWithPkt(t *testing.T) {
+	e := Event{At: 2000000, Node: 1, Kind: KindDeliver, Pkt: "0:1:2", Detail: "src=n0 hops=3"}
+	s := e.String()
+	if !strings.Contains(s, "pkt=0:1:2") || !strings.Contains(s, "hops=3") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// TestWriterMatchesEncodingJSON pins the hand-rolled encoder against
+// encoding/json for strings that need escaping: quotes, backslashes,
+// control characters, non-ASCII, and the HTML-escaped set. The NDJSON
+// stream must stay byte-identical to what a json.Encoder produces.
+func TestWriterMatchesEncodingJSON(t *testing.T) {
+	details := []string{
+		"plain ascii",
+		`has "quotes"`,
+		`back\slash`,
+		"tab\tand\nnewline",
+		"non-ascii \u00e9\u4e16",
+		"html <b>&</b>",
+		"",
+	}
+	for _, d := range details {
+		e := Event{Seq: 9, At: 1234567, Node: 4, Kind: KindDrop, Pkt: d, Detail: d}
+		var got bytes.Buffer
+		w := NewWriter(&got)
+		w.Emit(e)
+
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(e); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("detail %q:\n writer  %s encoder %s", d, got.String(), want.String())
+		}
+	}
+}

@@ -150,7 +150,10 @@ var (
 	PolicyCombined Policy = core.Combined{}
 )
 
-// Tracing: set Config.Trace to observe structured routing-level events.
+// Tracing: set Config.Trace to observe the packet-lifecycle event stream
+// — routing, MAC (ATIM/overhearing/sleep-wake) and PHY-loss events, each
+// carrying a run-local sequence number and, where applicable, the packet
+// UID "src:flow:seq". See tools/tracediff for diffing two runs' streams.
 type (
 	// TraceEvent is one traced occurrence.
 	TraceEvent = trace.Event
@@ -158,6 +161,10 @@ type (
 	TraceSink = trace.Sink
 	// TraceRing retains the most recent events in memory.
 	TraceRing = trace.Ring
+	// TraceRecorder retains every event in memory, in order.
+	TraceRecorder = trace.Recorder
+	// TraceMulti fans events out to several sinks.
+	TraceMulti = trace.Multi
 )
 
 // NewTraceRing returns a sink retaining the most recent capacity events.
@@ -165,6 +172,12 @@ func NewTraceRing(capacity int) *TraceRing { return trace.NewRing(capacity) }
 
 // NewTraceWriter returns a sink streaming events as NDJSON to w.
 func NewTraceWriter(w io.Writer) TraceSink { return trace.NewWriter(w) }
+
+// NewTraceRecorder returns an unbounded in-memory sink (see trace.Recorder).
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// ReadTraceEvents parses an NDJSON trace stream as written by NewTraceWriter.
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return trace.ReadEvents(r) }
 
 // PaperDefaults returns the paper's evaluation configuration (§4.1):
 // 100 nodes on 1500 m × 300 m, 250 m range at 2 Mbps, 20 CBR connections
@@ -189,8 +202,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return scenario.RunContext(ctx, cfg)
 }
 
-// RunReplications runs cfg with seeds cfg.Seed, cfg.Seed+1, … and
-// aggregates the headline metrics across replications.
+// RunReplications runs cfg reps times — replication i with the seed
+// sim.ReplicationSeed(cfg.Seed, i), a splitmix64-style mix keeping the
+// per-replication RNG streams disjoint across base seeds — and aggregates
+// the headline metrics across replications. Replication 0 runs with
+// cfg.Seed itself, so a single-replication call is byte-identical to Run.
 func RunReplications(cfg Config, reps int) (*Aggregate, error) {
 	return scenario.RunReplications(cfg, reps)
 }

@@ -1,6 +1,7 @@
 package rcast_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"math/rand"
@@ -139,5 +140,43 @@ func TestPublicRunReplicationsContext(t *testing.T) {
 	}
 	if got.PDR.Mean() != want.PDR.Mean() || got.TotalJoules.Mean() != want.TotalJoules.Mean() {
 		t.Fatal("context path diverges from RunReplications")
+	}
+}
+
+// TestPublicTracing drives the trace surface through the public API: a
+// writer-backed run streams NDJSON that parses back, a ring and a
+// recorder capture the same run without changing its results, and the
+// traced results match an untraced run of the identical config.
+func TestPublicTracing(t *testing.T) {
+	cfg := smallConfig(rcast.SchemeRcast)
+	plain, err := rcast.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	ring := rcast.NewTraceRing(64)
+	rec := rcast.NewTraceRecorder()
+	cfg.Trace = rcast.TraceMulti{rcast.NewTraceWriter(&buf), ring, rec}
+	traced, err := rcast.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Delivered != plain.Delivered || traced.TotalJoules != plain.TotalJoules {
+		t.Fatalf("tracing perturbed the run: %+v vs %+v", traced, plain)
+	}
+
+	evs, err := rcast.ReadTraceEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 || len(evs) != len(rec.Events()) {
+		t.Fatalf("writer carried %d events, recorder %d", len(evs), len(rec.Events()))
+	}
+	if ring.Total() != uint64(len(evs)) {
+		t.Fatalf("ring saw %d events, writer %d", ring.Total(), len(evs))
+	}
+	if got := len(ring.Events()); got != 64 {
+		t.Fatalf("ring retained %d events, want its capacity 64", got)
 	}
 }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: vet, shadow lint, build, race-enabled tests, a short fuzz pass
 # over the MAC and route-cache targets, the coverage gate, a benchmark
-# smoke run, invariant-audited experiment smokes (clean and
-# fault-injected) under the race detector, and the end-to-end rcast-serve
-# smoke (race-built daemon: submit/poll/parity/cache/429/drain).
+# smoke run, a tracediff smoke (audit inert / seeds diverge), invariant-
+# audited experiment smokes (clean and fault-injected) under the race
+# detector, and the end-to-end rcast-serve smoke (race-built daemon:
+# submit/poll/parity/cache/429/drain).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +29,19 @@ go run ./tools/covergate
 
 echo "== bench smoke =="
 go test -run '^$' -bench 'BenchmarkFullRunRcast$|BenchmarkChannelTransmit' -benchtime 1x .
+
+echo "== tracediff smoke =="
+# The audit must be observation-only: trace A (plain) against B (audited)
+# and require byte-for-byte identical event streams (exit 0).
+go run ./tools/tracediff -nodes 25 -duration 30s -connections 5 -audit-b
+# Two seeds of one config must diverge, and tracediff must say so with
+# exit status 1 (2 would mean it errored instead of diffing).
+rc=0
+go run ./tools/tracediff -nodes 25 -duration 30s -connections 5 -seed-b 2 > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "tracediff: want exit 1 for diverging seeds, got $rc" >&2
+  exit 1
+fi
 
 echo "== audited smoke (race) =="
 go run -race ./cmd/rcast-bench -profile quick -only table1 -reps 1 -audit > /dev/null

@@ -1,0 +1,173 @@
+// Command tracediff locates the first behavioural divergence between two
+// simulation runs by diffing their packet-lifecycle traces.
+//
+// It has two modes. In run mode it builds two configs — side A from the
+// base flags, side B from the same base with any `-*-b` override applied —
+// runs both with an in-memory trace recorder, and reports the first event
+// where the traces differ:
+//
+//	tracediff -seed 1 -seed-b 2          # two seeds of one config
+//	tracediff -scheme PSM -scheme-b Rcast
+//	tracediff -audit-b                   # audit-on vs audit-off (should be identical)
+//
+// In file mode it diffs two NDJSON traces captured earlier with
+// `rcast-sim -trace` or downloaded from `rcast-serve`:
+//
+//	tracediff -a run1.jsonl -b run2.jsonl
+//
+// Exit status: 0 when the traces are identical, 1 on divergence, 2 on
+// usage or execution errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rcast/internal/scenario"
+	"rcast/internal/sim"
+	"rcast/internal/trace"
+)
+
+func main() {
+	diverged, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracediff:", err)
+		os.Exit(2)
+	}
+	if diverged {
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("tracediff", flag.ContinueOnError)
+	var (
+		aFile = fs.String("a", "", "side A: NDJSON trace file (file mode; requires -b)")
+		bFile = fs.String("b", "", "side B: NDJSON trace file (file mode; requires -a)")
+
+		schemeName = fs.String("scheme", "Rcast", "scheme: 802.11, PSM, PSM-no-overhear, ODPM, Rcast")
+		nodes      = fs.Int("nodes", 40, "number of nodes")
+		fieldW     = fs.Float64("field-w", 900, "field width (m)")
+		fieldH     = fs.Float64("field-h", 300, "field height (m)")
+		conns      = fs.Int("connections", 8, "CBR connections")
+		rate       = fs.Float64("rate", 0.4, "packets per second per connection")
+		duration   = fs.Duration("duration", 60*time.Second, "simulated time")
+		pause      = fs.Duration("pause", 30*time.Second, "random waypoint pause time")
+		static     = fs.Bool("static", false, "static scenario (pause = duration)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		gossip     = fs.Float64("gossip", 0, "broadcast-Rcast fanout (0 disables)")
+		audit      = fs.Bool("audit", false, "run under the cross-layer invariant audit")
+
+		schemeB = fs.String("scheme-b", "", "side B scheme override")
+		rateB   = fs.Float64("rate-b", 0, "side B packet rate override")
+		seedB   = fs.Int64("seed-b", 0, "side B seed override")
+		gossipB = fs.Float64("gossip-b", 0, "side B gossip fanout override")
+		auditB  = fs.Bool("audit-b", false, "side B audit override")
+
+		context = fs.Int("context", 3, "common events to print before the divergence")
+	)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if (*aFile == "") != (*bFile == "") {
+		return false, fmt.Errorf("file mode needs both -a and -b")
+	}
+
+	var evA, evB []trace.Event
+	if *aFile != "" {
+		var err error
+		if evA, err = readFile(*aFile); err != nil {
+			return false, err
+		}
+		if evB, err = readFile(*bFile); err != nil {
+			return false, err
+		}
+	} else {
+		cfgA := scenario.PaperDefaults()
+		scheme, err := scenario.ParseScheme(*schemeName)
+		if err != nil {
+			return false, err
+		}
+		cfgA.Scheme = scheme
+		cfgA.Nodes = *nodes
+		cfgA.FieldW, cfgA.FieldH = *fieldW, *fieldH
+		cfgA.Connections = *conns
+		cfgA.PacketRate = *rate
+		cfgA.Duration = sim.FromSeconds(duration.Seconds())
+		cfgA.Pause = sim.FromSeconds(pause.Seconds())
+		if *static {
+			cfgA.Pause = cfgA.Duration
+		}
+		cfgA.Seed = *seed
+		cfgA.GossipFanout = *gossip
+		cfgA.Audit = *audit
+
+		// Side B starts as a copy of A; only explicitly passed -*-b flags
+		// override it, so `tracediff -seed-b 2` compares seeds and nothing
+		// else.
+		cfgB := cfgA
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["scheme-b"] {
+			s, err := scenario.ParseScheme(*schemeB)
+			if err != nil {
+				return false, err
+			}
+			cfgB.Scheme = s
+		}
+		if set["rate-b"] {
+			cfgB.PacketRate = *rateB
+		}
+		if set["seed-b"] {
+			cfgB.Seed = *seedB
+		}
+		if set["gossip-b"] {
+			cfgB.GossipFanout = *gossipB
+		}
+		if set["audit-b"] {
+			cfgB.Audit = *auditB
+		}
+
+		if evA, err = record(cfgA); err != nil {
+			return false, fmt.Errorf("side A: %w", err)
+		}
+		if evB, err = record(cfgB); err != nil {
+			return false, fmt.Errorf("side B: %w", err)
+		}
+	}
+
+	d, diverged := diffEvents(evA, evB)
+	if !diverged {
+		fmt.Fprintf(out, "traces identical: %d events\n", len(evA))
+		return false, nil
+	}
+	report(out, evA, evB, d, *context)
+	return true, nil
+}
+
+// record runs one simulation with an in-memory trace recorder attached
+// and returns its event stream.
+func record(cfg scenario.Config) ([]trace.Event, error) {
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	if _, err := scenario.Run(cfg); err != nil {
+		return nil, err
+	}
+	return rec.Events(), nil
+}
+
+func readFile(path string) ([]trace.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	evs, err := trace.ReadEvents(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return evs, nil
+}
