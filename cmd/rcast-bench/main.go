@@ -22,6 +22,7 @@ import (
 
 	"rcast/internal/experiments"
 	"rcast/internal/fault"
+	"rcast/internal/profiling"
 	"rcast/internal/trace"
 )
 
@@ -44,10 +45,22 @@ func run(args []string) error {
 		faultsName  = fs.String("faults", "", "fault preset applied to every run: "+strings.Join(fault.PresetNames(), ", "))
 		traceFile   = fs.String("trace", "", "write packet-lifecycle events for every run as NDJSON to this file (forces serial execution)")
 		timeout     = fs.Duration("timeout", 0, "wall-clock budget for the whole suite (0 = unlimited); an expired budget aborts mid-simulation")
+		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile of the suite to this file")
+		memProfile  = fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopCPU, err := profiling.StartCPU(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "rcast-bench:", err)
+		}
+	}()
 
 	var p experiments.Profile
 	switch *profileName {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"rcast"
+	"rcast/internal/profiling"
 )
 
 func main() {
@@ -53,10 +54,22 @@ func run(args []string) error {
 		auditOn    = fs.Bool("audit", false, "run under the cross-layer invariant audit (violations abort the run)")
 		faultsName = fs.String("faults", "", "fault preset: "+strings.Join(rcast.FaultPresetNames(), ", "))
 		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited); an expired budget aborts mid-simulation")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopCPU, err := profiling.StartCPU(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "rcast-sim:", err)
+		}
+	}()
 
 	scheme, err := rcast.ParseScheme(*schemeName)
 	if err != nil {

@@ -19,7 +19,9 @@ type Announcement struct {
 // Station is a PSM participant driven by the Coordinator.
 type Station interface {
 	// BeaconStart fires at each beacon boundary: the station wakes for the
-	// ATIM window and returns its advertisements for this interval.
+	// ATIM window and returns its advertisements for this interval. The
+	// returned slice is only valid until the station's next BeaconStart
+	// (stations may reuse the backing array).
 	BeaconStart(now sim.Time) []Announcement
 	// ATIMEnd fires when the ATIM window closes, carrying the
 	// advertisements this station decoded (already filtered for radio
@@ -34,12 +36,26 @@ type Station interface {
 	Radio() *phy.Radio
 }
 
+// taggedAnn is one gathered advertisement with its sender index, contention
+// slot draw, and (contention mode) whether its destination decoded it.
+type taggedAnn struct {
+	ann        Announcement
+	sender     int
+	slot       int
+	dstDecoded bool
+}
+
 // Coordinator drives the synchronized beacon cycle shared by all PSM
 // stations, resolves which advertisements each station can decode (range
 // always; slot collisions under ATIM contention), and reports admission
 // outcomes back to senders. The paper assumes stations are
 // clock-synchronized (§2.2, citing Tseng et al.; see internal/clocksync);
 // the coordinator is that assumption made concrete.
+//
+// The per-beacon working set (gathered announcements, per-receiver heard
+// and admitted lists, slot-collision counts) lives in scratch buffers reused
+// across beacons, and the beacon/ATIM-end callbacks are prebound once, so a
+// beacon cycle performs no steady-state allocation.
 type Coordinator struct {
 	sched    *sim.Scheduler
 	ch       *phy.Channel
@@ -52,6 +68,17 @@ type Coordinator struct {
 
 	beacons        uint64
 	atimCollisions uint64
+
+	beaconFn  func() // prebound beacon callback
+	atimEndFn func() // prebound ATIM-window-close callback
+
+	anns       []taggedAnn // this interval's advertisements
+	nextBeacon sim.Time
+	heard      [][]Announcement // per-receiver decoded announcements
+	admitted   [][]Announcement // per-sender admitted announcements
+	recvIdx    []int            // scratch: receivable announcement indices
+	keptIdx    []int            // scratch: receivable indices surviving slot collisions
+	slotCount  []int            // scratch: per-slot reception counts
 }
 
 // NewCoordinator creates a beacon coordinator over the given channel.
@@ -66,7 +93,7 @@ func NewCoordinator(sched *sim.Scheduler, ch *phy.Channel, p Params, rng *rand.R
 	if p.ATIMSlots < 1 {
 		p.ATIMSlots = 64
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		sched:    sched,
 		ch:       ch,
 		p:        p,
@@ -75,6 +102,9 @@ func NewCoordinator(sched *sim.Scheduler, ch *phy.Channel, p Params, rng *rand.R
 		atim:     atim,
 		stopAt:   stopAt,
 	}
+	c.beaconFn = c.beacon
+	c.atimEndFn = c.atimEnd
+	return c
 }
 
 // AddStation registers a PSM station. All stations must be registered
@@ -99,7 +129,7 @@ func (c *Coordinator) ATIMCollisions() uint64 { return c.atimCollisions }
 
 // Start schedules the first beacon at t=0 (i.e. immediately).
 func (c *Coordinator) Start() {
-	c.sched.After(0, c.beacon)
+	c.sched.After(0, c.beaconFn)
 }
 
 func (c *Coordinator) beacon() {
@@ -109,88 +139,99 @@ func (c *Coordinator) beacon() {
 	}
 	c.beacons++
 	// Gather advertisements from every station, in deterministic order.
-	type tagged struct {
-		ann    Announcement
-		sender int
-		slot   int
-	}
-	var anns []tagged
+	c.anns = c.anns[:0]
 	for si, s := range c.stations {
 		for _, a := range s.BeaconStart(now) {
-			t := tagged{ann: a, sender: si}
+			t := taggedAnn{ann: a, sender: si}
 			if c.p.ATIMContention {
 				t.slot = c.rng.Intn(c.p.ATIMSlots)
 			}
-			anns = append(anns, t)
+			c.anns = append(c.anns, t)
 		}
 	}
-	next := now + c.interval
-	c.sched.After(c.atim, func() {
-		at := c.sched.Now()
-		// Resolve what each station decodes.
-		heard := make([][]Announcement, len(c.stations))
-		heardIdx := make([]map[int]struct{}, len(c.stations))
-		for ri, r := range c.stations {
-			rr := r.Radio()
-			// Indices of announcements receivable at r (sender in range).
-			var receivable []int
-			for gi, t := range anns {
-				if t.sender == ri {
-					continue
-				}
-				if c.ch.InRange(rr, c.stations[t.sender].Radio(), at) {
-					receivable = append(receivable, gi)
-				}
+	c.nextBeacon = now + c.interval
+	c.sched.After(c.atim, c.atimEndFn)
+	c.sched.After(c.interval, c.beaconFn)
+}
+
+// atimEnd closes the ATIM window: resolve what each station decodes, report
+// admission outcomes (contention mode), and let stations pick a power state.
+func (c *Coordinator) atimEnd() {
+	at := c.sched.Now()
+	if cap(c.heard) < len(c.stations) {
+		c.heard = make([][]Announcement, len(c.stations))
+	}
+	c.heard = c.heard[:len(c.stations)]
+	for ri, r := range c.stations {
+		c.heard[ri] = c.heard[ri][:0]
+		rr := r.Radio()
+		// Indices of announcements receivable at r (sender in range).
+		receivable := c.recvIdx[:0]
+		for gi := range c.anns {
+			t := &c.anns[gi]
+			if t.sender == ri {
+				continue
 			}
-			if c.p.ATIMContention {
-				// Same-slot announcements collide at this receiver.
-				bySlot := make(map[int]int, len(receivable))
-				for _, gi := range receivable {
-					bySlot[anns[gi].slot]++
-				}
-				kept := receivable[:0]
-				for _, gi := range receivable {
-					if bySlot[anns[gi].slot] == 1 {
-						kept = append(kept, gi)
-					} else {
-						c.atimCollisions++
-					}
-				}
-				receivable = kept
-			}
-			heardIdx[ri] = make(map[int]struct{}, len(receivable))
-			for _, gi := range receivable {
-				heardIdx[ri][gi] = struct{}{}
-				heard[ri] = append(heard[ri], anns[gi].ann)
+			if c.ch.InRange(rr, c.stations[t.sender].Radio(), at) {
+				receivable = append(receivable, gi)
 			}
 		}
-		// Admission outcomes for senders (contention mode): a unicast
-		// advertisement is admitted iff its destination decoded it;
-		// broadcasts are always admitted (no ATIM-ACK in 802.11).
+		c.recvIdx = receivable[:0] // retain grown capacity for the next receiver
 		if c.p.ATIMContention {
-			dstIndex := make(map[phy.NodeID]int, len(c.stations))
-			for si, s := range c.stations {
-				dstIndex[s.Radio().ID()] = si
+			// Same-slot announcements collide at this receiver. The counts
+			// are zeroed again below (only the touched slots), so slotCount
+			// stays clean across receivers without a full clear.
+			if len(c.slotCount) < c.p.ATIMSlots {
+				c.slotCount = make([]int, c.p.ATIMSlots)
 			}
-			admitted := make([][]Announcement, len(c.stations))
-			for gi, t := range anns {
-				ok := t.ann.To == phy.Broadcast
-				if !ok {
-					if di, present := dstIndex[t.ann.To]; present {
-						_, ok = heardIdx[di][gi]
-					}
-				}
-				if ok {
-					admitted[t.sender] = append(admitted[t.sender], t.ann)
+			for _, gi := range receivable {
+				c.slotCount[c.anns[gi].slot]++
+			}
+			kept := c.keptIdx[:0]
+			for _, gi := range receivable {
+				if c.slotCount[c.anns[gi].slot] == 1 {
+					kept = append(kept, gi)
+				} else {
+					c.atimCollisions++
 				}
 			}
-			for si, s := range c.stations {
-				s.ATIMOutcome(at, admitted[si])
+			for _, gi := range receivable {
+				c.slotCount[c.anns[gi].slot] = 0
+			}
+			c.keptIdx = kept
+			receivable = kept
+		}
+		myID := rr.ID()
+		for _, gi := range receivable {
+			t := &c.anns[gi]
+			if t.ann.To == myID {
+				t.dstDecoded = true
+			}
+			c.heard[ri] = append(c.heard[ri], t.ann)
+		}
+	}
+	// Admission outcomes for senders (contention mode): a unicast
+	// advertisement is admitted iff its destination decoded it;
+	// broadcasts are always admitted (no ATIM-ACK in 802.11).
+	if c.p.ATIMContention {
+		if cap(c.admitted) < len(c.stations) {
+			c.admitted = make([][]Announcement, len(c.stations))
+		}
+		c.admitted = c.admitted[:len(c.stations)]
+		for si := range c.admitted {
+			c.admitted[si] = c.admitted[si][:0]
+		}
+		for gi := range c.anns {
+			t := &c.anns[gi]
+			if t.ann.To == phy.Broadcast || t.dstDecoded {
+				c.admitted[t.sender] = append(c.admitted[t.sender], t.ann)
 			}
 		}
-		for ri, s := range c.stations {
-			s.ATIMEnd(at, heard[ri], next)
+		for si, s := range c.stations {
+			s.ATIMOutcome(at, c.admitted[si])
 		}
-	})
-	c.sched.After(c.interval, c.beacon)
+	}
+	for ri, s := range c.stations {
+		s.ATIMEnd(at, c.heard[ri], c.nextBeacon)
+	}
 }

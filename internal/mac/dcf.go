@@ -15,6 +15,44 @@ type txJob struct {
 	cw      int
 }
 
+// sifsResp is a pooled SIFS-delayed control-frame response (CTS or ACK).
+// Each pool entry owns one prebound fire closure, so responding to an RTS or
+// data frame allocates nothing in steady state; pooling individual entries
+// (rather than a single in-flight slot) keeps overlapping responses correct
+// under arbitrary Params, where SIFS may exceed the inter-frame spacing.
+type sifsResp struct {
+	d    *dcf
+	next *sifsResp
+	to   phy.NodeID
+	seq  uint64
+	dur  sim.Time
+	cts  bool
+	fire func()
+}
+
+func (r *sifsResp) send() {
+	d := r.d
+	if r.cts {
+		d.stats.CtsTx++
+		d.ch.Transmit(d.radio, phy.Frame{
+			From:    d.radio.ID(),
+			To:      r.to,
+			Bytes:   d.p.CTSBytes,
+			Payload: &ctsFrame{Seq: r.seq, Dur: r.dur},
+		}, d.p.DataRateMbps)
+	} else {
+		d.stats.AckTx++
+		d.ch.Transmit(d.radio, phy.Frame{
+			From:    d.radio.ID(),
+			To:      r.to,
+			Bytes:   d.p.AckBytes,
+			Payload: &ackFrame{Seq: r.seq},
+		}, d.p.DataRateMbps)
+	}
+	r.next = d.sifsFree
+	d.sifsFree = r
+}
+
 // dcf is the 802.11 distributed coordination function engine: a FIFO
 // transmit queue drained head-of-line with physical and virtual (NAV)
 // carrier sense, DIFS spacing, slotted binary-exponential backoff, an
@@ -42,24 +80,36 @@ type dcf struct {
 	// the current window (PSM admission control under ATIM contention).
 	eligible func(Packet) bool
 
-	attemptTimer *sim.Timer
-	ctsTimer     *sim.Timer
-	ackTimer     *sim.Timer
+	attemptTimer sim.Timer
+	ctsTimer     sim.Timer
+	ackTimer     sim.Timer
 	// doneTimer tracks a broadcast frame's on-air completion. It gates
 	// kick() exactly like the unicast awaiting* flags: without it, an
 	// enqueue or window reset during the broadcast's airtime would re-serve
 	// the in-flight job — a duplicate transmission whose second completion
 	// fires OnResult twice.
-	doneTimer   *sim.Timer
+	doneTimer   sim.Timer
 	awaitingCTS bool
 	awaitingAck bool
+
+	// Latest scheduled event per exchange-timer role, tracked alongside the
+	// timer handle so cancellation can recycle the event (see timerEvt).
+	attemptEvt *timerEvt
+	ctsEvt     *timerEvt
+	ackEvt     *timerEvt
+	doneEvt    *timerEvt
+	evtFree    *timerEvt
+
+	sifsFree *sifsResp
 
 	// navUntil is the virtual carrier-sense reservation learned from
 	// overheard RTS/CTS frames.
 	navUntil sim.Time
 
-	nextSeq  uint64
-	lastSeen map[phy.NodeID]uint64
+	nextSeq uint64
+	// lastSeen is the per-sender duplicate filter, indexed by NodeID
+	// (sequence numbers start at 1, so 0 means "nothing heard yet").
+	lastSeen []uint64
 
 	// deliver is the owner upcall for every decoded data frame. toMe is
 	// true for frames addressed to this node or broadcast.
@@ -92,17 +142,124 @@ func newDCF(
 	deliver func(from phy.NodeID, pkt Packet, toMe bool),
 ) *dcf {
 	d := &dcf{
-		sched:    sched,
-		ch:       ch,
-		radio:    radio,
-		rng:      rng,
-		p:        p,
-		lastSeen: make(map[phy.NodeID]uint64),
-		deliver:  deliver,
-		stats:    stats,
+		sched:   sched,
+		ch:      ch,
+		radio:   radio,
+		rng:     rng,
+		p:       p,
+		deliver: deliver,
+		stats:   stats,
 	}
 	radio.SetReceiver(d)
 	return d
+}
+
+// timerEvt is a pooled one-shot timer callback bound to a specific job.
+// The exchange timers (backoff attempt, CTS/ACK timeout, broadcast done,
+// SIFS-delayed data) must capture the job they were scheduled for: the
+// transmit window can be torn down and re-opened at arbitrary instants
+// (ODPM power-cycles mid-interval, unconstrained by PSM's window sizing),
+// which can leave an old timer pending while a new job enters service.
+// Dispatching such an orphan on d.current would act on the wrong job — or
+// on nil. Each pool entry owns one prebound fire closure; entries recycle
+// on fire and on cancellation, so scheduling allocates nothing in steady
+// state.
+type timerEvt struct {
+	d    *dcf
+	next *timerEvt
+	job  *txJob
+	kind uint8
+	fire func()
+}
+
+const (
+	evtAttempt uint8 = iota // backoff expired: fire the exchange
+	evtCTS                  // CTS timeout: retry
+	evtAck                  // ACK timeout: retry
+	evtDone                 // broadcast airtime complete
+	evtSend                 // SIFS after CTS: transmit the data frame
+)
+
+func (e *timerEvt) run() {
+	d, job, kind := e.d, e.job, e.kind
+	e.job = nil
+	e.next = d.evtFree
+	d.evtFree = e
+	switch kind {
+	case evtAttempt:
+		d.attemptTimer = sim.Timer{}
+		d.fire(job)
+	case evtCTS:
+		d.ctsTimer = sim.Timer{}
+		d.awaitingCTS = false
+		d.retry(job)
+	case evtAck:
+		d.ackTimer = sim.Timer{}
+		d.awaitingAck = false
+		d.retry(job)
+	case evtDone:
+		d.doneTimer = sim.Timer{}
+		d.complete(job, true)
+	case evtSend:
+		if !d.enabled {
+			return
+		}
+		d.sendData(job)
+	}
+}
+
+// afterEvt schedules a job-bound exchange event, tracking the latest event
+// per role so cancelEvt can recycle it.
+func (d *dcf) afterEvt(delay sim.Time, kind uint8, job *txJob) sim.Timer {
+	e := d.evtFree
+	if e == nil {
+		e = &timerEvt{d: d}
+		e.fire = e.run
+	} else {
+		d.evtFree = e.next
+	}
+	e.job, e.kind = job, kind
+	t := d.sched.After(delay, e.fire)
+	switch kind {
+	case evtAttempt:
+		d.attemptEvt = e
+	case evtCTS:
+		d.ctsEvt = e
+	case evtAck:
+		d.ackEvt = e
+	case evtDone:
+		d.doneEvt = e
+	}
+	return t
+}
+
+// cancelEvt cancels a role's timer and recycles its bound event if the
+// timer was still pending (a fired event recycles itself in run). Zeroing
+// the handle mirrors the fire path, so the Active() gates in kick read
+// consistently.
+func (d *dcf) cancelEvt(t *sim.Timer, e **timerEvt) {
+	if t.Active() {
+		t.Cancel()
+		ev := *e
+		ev.job = nil
+		ev.next = d.evtFree
+		d.evtFree = ev
+	}
+	*t = sim.Timer{}
+	*e = nil
+}
+
+// respond queues a pooled SIFS-delayed CTS or ACK.
+func (d *dcf) respond(cts bool, to phy.NodeID, seq uint64, dur sim.Time) {
+	r := d.sifsFree
+	if r == nil {
+		r = &sifsResp{d: d}
+		r.fire = r.send
+	} else {
+		d.sifsFree = r.next
+	}
+	r.cts, r.to, r.seq, r.dur = cts, to, seq, dur
+	d.sched.After(d.p.SIFS, r.fire)
 }
 
 // enqueue appends a packet to the transmit queue and kicks the pipeline.
@@ -134,12 +291,10 @@ func (d *dcf) setWindow(enabled bool, end sim.Time) {
 	d.windowEnd = end
 	d.stalled = false
 	if !enabled {
-		for _, tm := range []**sim.Timer{&d.attemptTimer, &d.ctsTimer, &d.ackTimer, &d.doneTimer} {
-			if *tm != nil {
-				(*tm).Cancel()
-				*tm = nil
-			}
-		}
+		d.cancelEvt(&d.attemptTimer, &d.attemptEvt)
+		d.cancelEvt(&d.ctsTimer, &d.ctsEvt)
+		d.cancelEvt(&d.ackTimer, &d.ackEvt)
+		d.cancelEvt(&d.doneTimer, &d.doneEvt)
 		d.awaitingCTS = false
 		d.awaitingAck = false
 		d.current = nil // the job stays queued for the next window
@@ -203,7 +358,7 @@ func (d *dcf) failJobs(match func(Packet) bool) int {
 // idle.
 func (d *dcf) kick() {
 	if !d.enabled || d.stalled || d.awaitingCTS || d.awaitingAck ||
-		d.attemptTimer != nil || d.doneTimer != nil {
+		d.attemptTimer.Active() || d.doneTimer.Active() {
 		return
 	}
 	if d.current == nil {
@@ -274,10 +429,7 @@ func (d *dcf) attempt(job *txJob) {
 		d.stalled = true
 		return
 	}
-	d.attemptTimer = d.sched.After(start-now, func() {
-		d.attemptTimer = nil
-		d.fire(job)
-	})
+	d.attemptTimer = d.afterEvt(start-now, evtAttempt, job)
 }
 
 // fire begins the exchange for job if the medium is still idle, else
@@ -315,11 +467,7 @@ func (d *dcf) sendRTS(job *txJob) {
 
 	d.awaitingCTS = true
 	timeout := rtsAir + d.p.SIFS + d.ctsAirtime() + 3*d.p.SlotTime
-	d.ctsTimer = d.sched.After(timeout, func() {
-		d.ctsTimer = nil
-		d.awaitingCTS = false
-		d.retry(job)
-	})
+	d.ctsTimer = d.afterEvt(timeout, evtCTS, job)
 }
 
 // sendData transmits the data frame and, for unicast, waits for the ACK.
@@ -335,21 +483,14 @@ func (d *dcf) sendData(job *txJob) {
 
 	if job.pkt.Dst == phy.Broadcast {
 		d.stats.BroadcastTx++
-		d.doneTimer = d.sched.After(airtime, func() {
-			d.doneTimer = nil
-			d.complete(job, true)
-		})
+		d.doneTimer = d.afterEvt(airtime, evtDone, job)
 		return
 	}
 
 	d.stats.DataTx++
 	d.awaitingAck = true
 	timeout := airtime + d.p.SIFS + d.ackAirtime() + 3*d.p.SlotTime
-	d.ackTimer = d.sched.After(timeout, func() {
-		d.ackTimer = nil
-		d.awaitingAck = false
-		d.retry(job)
-	})
+	d.ackTimer = d.afterEvt(timeout, evtAck, job)
 }
 
 // retry re-contends after a missing CTS or ACK, doubling the contention
@@ -421,16 +562,7 @@ func (d *dcf) onRTS(f phy.Frame, rts *rtsFrame) {
 	if d.radio.CarrierBusy(now) || d.navUntil > now || d.radio.Transmitting(now) {
 		return
 	}
-	ctsNAV := rts.Dur - d.p.SIFS - d.ctsAirtime()
-	d.sched.After(d.p.SIFS, func() {
-		d.stats.CtsTx++
-		d.ch.Transmit(d.radio, phy.Frame{
-			From:    d.radio.ID(),
-			To:      f.From,
-			Bytes:   d.p.CTSBytes,
-			Payload: &ctsFrame{Seq: rts.Seq, Dur: ctsNAV},
-		}, d.p.DataRateMbps)
-	})
+	d.respond(true, f.From, rts.Seq, rts.Dur-d.p.SIFS-d.ctsAirtime())
 }
 
 func (d *dcf) onCTS(f phy.Frame, cts *ctsFrame) {
@@ -447,16 +579,8 @@ func (d *dcf) onCTS(f phy.Frame, cts *ctsFrame) {
 		return
 	}
 	d.awaitingCTS = false
-	if d.ctsTimer != nil {
-		d.ctsTimer.Cancel()
-		d.ctsTimer = nil
-	}
-	d.sched.After(d.p.SIFS, func() {
-		if !d.enabled {
-			return
-		}
-		d.sendData(job)
-	})
+	d.cancelEvt(&d.ctsTimer, &d.ctsEvt)
+	d.afterEvt(d.p.SIFS, evtSend, job)
 }
 
 func (d *dcf) onAck(f phy.Frame, ack *ackFrame) {
@@ -468,10 +592,7 @@ func (d *dcf) onAck(f phy.Frame, ack *ackFrame) {
 		return
 	}
 	d.awaitingAck = false
-	if d.ackTimer != nil {
-		d.ackTimer.Cancel()
-		d.ackTimer = nil
-	}
+	d.cancelEvt(&d.ackTimer, &d.ackEvt)
 	d.complete(job, true)
 }
 
@@ -480,15 +601,7 @@ func (d *dcf) onData(f phy.Frame, df *dataFrame) {
 	if toMe {
 		// ACK after SIFS regardless of duplicate status (the retransmission
 		// means our previous ACK was lost).
-		d.sched.After(d.p.SIFS, func() {
-			d.stats.AckTx++
-			d.ch.Transmit(d.radio, phy.Frame{
-				From:    d.radio.ID(),
-				To:      f.From,
-				Bytes:   d.p.AckBytes,
-				Payload: &ackFrame{Seq: df.Seq},
-			}, d.p.DataRateMbps)
-		})
+		d.respond(false, f.From, df.Seq, 0)
 	}
 	// Per-sender duplicate suppression. Frames from one sender arrive in
 	// transmission order and a retransmission (lost ACK) repeats the same
@@ -498,8 +611,11 @@ func (d *dcf) onData(f phy.Frame, df *dataFrame) {
 	// out of order, so a frame heard later can legitimately carry a
 	// smaller number — discarding it here would ACK the frame and then
 	// silently drop the packet.
-	if last, ok := d.lastSeen[f.From]; ok && df.Seq == last {
+	if idx := int(f.From); idx < len(d.lastSeen) && d.lastSeen[idx] == df.Seq {
 		return
+	}
+	for int(f.From) >= len(d.lastSeen) {
+		d.lastSeen = append(d.lastSeen, 0)
 	}
 	d.lastSeen[f.From] = df.Seq
 	if toMe || f.To == phy.Broadcast {

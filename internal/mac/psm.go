@@ -43,11 +43,27 @@ type PSM struct {
 	// the packet can bypass the beacon cycle.
 	fastPath func(dst phy.NodeID) bool
 
-	lastHeard     map[phy.NodeID]sim.Time
-	prevNeighbors map[phy.NodeID]struct{}
-	linkChurn     float64  // EWMA link changes per second
-	churnAt       sim.Time // instant of the previous churn sample
-	churnInit     bool     // a baseline neighbor set has been recorded
+	// lastHeard records, per sender NodeID, when a data frame from that
+	// sender was last decoded (-1 = never): the sender-recency overhearing
+	// factor. A slice indexed by NodeID replaces the former map: IDs are
+	// small and dense, and this lookup sits on the per-beacon hot path.
+	lastHeard []sim.Time
+
+	// Neighbor-churn tracking. Instead of materializing the neighbor set as
+	// a map each beacon, every visited neighbor is stamped with the current
+	// sample epoch; the symmetric difference against the previous sample is
+	// then (curCount-common) + (prevCount-common), where common counts
+	// neighbors still stamped with the previous epoch.
+	nbrEpoch     []uint64
+	nbrEpochCur  uint64
+	prevNbrCount int
+	churnVisit   func(phy.NodeID) // prebound VisitNeighbors callback
+	churnCount   int              // neighbors seen this sample
+	churnCommon  int              // ... of which were present last sample
+
+	linkChurn float64  // EWMA link changes per second
+	churnAt   sim.Time // instant of the previous churn sample
+	churnInit bool     // a baseline neighbor set has been recorded
 
 	audit Audit // nil = no invariant instrumentation
 	trc   Trace // nil = no lifecycle tracing
@@ -56,6 +72,11 @@ type PSM struct {
 	lastAnnounced []annKey
 	admitted      map[annKey]struct{}
 	atimMisses    map[annKey]int
+
+	// annScratch backs the slice BeaconStart returns. The coordinator copies
+	// the announcements out before the next scheduler event, so the buffer
+	// is free for reuse at the following beacon.
+	annScratch []Announcement
 
 	dead bool // battery depletion: permanent
 	down bool // fault-injected crash: reversible via PowerUp
@@ -85,16 +106,25 @@ func NewPSM(
 	up Upcalls,
 ) *PSM {
 	m := &PSM{
-		sched:         sched,
-		ch:            ch,
-		radio:         radio,
-		meter:         meter,
-		policy:        policy,
-		rng:           rng,
-		p:             p,
-		up:            up,
-		lastHeard:     make(map[phy.NodeID]sim.Time),
-		prevNeighbors: make(map[phy.NodeID]struct{}),
+		sched:  sched,
+		ch:     ch,
+		radio:  radio,
+		meter:  meter,
+		policy: policy,
+		rng:    rng,
+		p:      p,
+		up:     up,
+	}
+	m.churnVisit = func(id phy.NodeID) {
+		idx := int(id)
+		for idx >= len(m.nbrEpoch) {
+			m.nbrEpoch = append(m.nbrEpoch, 0)
+		}
+		if m.nbrEpoch[idx] == m.nbrEpochCur-1 {
+			m.churnCommon++
+		}
+		m.nbrEpoch[idx] = m.nbrEpochCur
+		m.churnCount++
 	}
 	m.dcf = newDCF(sched, ch, radio, rng, p, &m.stats, m.deliver)
 	if p.ATIMContention {
@@ -228,8 +258,13 @@ func (m *PSM) PowerDown() []Packet {
 		clear(m.admitted)
 		clear(m.atimMisses)
 	}
-	clear(m.lastHeard)
-	clear(m.prevNeighbors)
+	for i := range m.lastHeard {
+		m.lastHeard[i] = -1
+	}
+	// Skip an epoch so no stale neighbor stamp can match the next sample's
+	// "previous epoch" check: the recovered node restarts with amnesia.
+	m.nbrEpochCur++
+	m.prevNbrCount = 0
 	m.churnInit = false
 	m.linkChurn = 0
 	now := m.sched.Now()
@@ -279,17 +314,24 @@ func (m *PSM) BeaconStart(now sim.Time) []Announcement {
 	m.pending = nil
 
 	// One ATIM per distinct (destination, level); covers all buffered
-	// frames to that destination, as in 802.11 PSM.
-	seen := make(map[annKey]struct{})
-	var anns []Announcement
+	// frames to that destination, as in 802.11 PSM. The DCF queue is walked
+	// directly and duplicates are detected by scanning the keys announced so
+	// far (bounded by MaxAnnouncements, so the scan beats a throwaway map).
+	anns := m.annScratch[:0]
 	m.lastAnnounced = m.lastAnnounced[:0]
-	for _, p := range m.dcf.queuedPackets() {
-		k := annKey{dst: p.Dst, lvl: p.Level}
-		if _, dup := seen[k]; dup {
+	for _, job := range m.dcf.queue {
+		k := annKey{dst: job.pkt.Dst, lvl: job.pkt.Level}
+		dup := false
+		for _, prev := range m.lastAnnounced {
+			if prev == k {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = struct{}{}
-		anns = append(anns, Announcement{From: m.radio.ID(), To: p.Dst, Level: p.Level})
+		anns = append(anns, Announcement{From: m.radio.ID(), To: k.dst, Level: k.lvl})
 		if m.trc != nil {
 			m.trc.ATIMAdvertised(now, m.radio.ID(), anns[len(anns)-1])
 		}
@@ -298,6 +340,7 @@ func (m *PSM) BeaconStart(now sim.Time) []Announcement {
 			break
 		}
 	}
+	m.annScratch = anns
 	m.stats.Announced += uint64(len(anns))
 	return anns
 }
@@ -398,8 +441,11 @@ func (m *PSM) shouldStayAwake(now sim.Time, heard []Announcement) bool {
 			ctx = m.listenContext(now)
 			haveCtx = true
 		}
-		last, ok := m.lastHeard[a.From]
-		ctx.SenderRecentlyHeard = ok && now-last <= senderRecencyWindow
+		var last sim.Time = -1
+		if idx := int(a.From); idx >= 0 && idx < len(m.lastHeard) {
+			last = m.lastHeard[idx]
+		}
+		ctx.SenderRecentlyHeard = last >= 0 && now-last <= senderRecencyWindow
 		stay := m.policy.ShouldOverhear(m.rng, a.Level, ctx)
 		if m.trc != nil {
 			m.trc.OverhearingDecision(now, me, a, stay)
@@ -425,22 +471,11 @@ func (m *PSM) listenContext(now sim.Time) core.ListenContext {
 // rate normalizes by the real time since the previous sample; the first
 // sample only records the baseline neighbor set.
 func (m *PSM) updateChurn(now sim.Time) {
-	cur := make(map[phy.NodeID]struct{})
-	for _, id := range m.ch.Neighbors(m.radio, now) {
-		cur[id] = struct{}{}
-	}
-	changes := 0
-	for id := range cur {
-		if _, ok := m.prevNeighbors[id]; !ok {
-			changes++
-		}
-	}
-	for id := range m.prevNeighbors {
-		if _, ok := cur[id]; !ok {
-			changes++
-		}
-	}
-	m.prevNeighbors = cur
+	m.churnCount, m.churnCommon = 0, 0
+	m.nbrEpochCur++
+	m.ch.VisitNeighbors(m.radio, now, m.churnVisit)
+	changes := (m.churnCount - m.churnCommon) + (m.prevNbrCount - m.churnCommon)
+	m.prevNbrCount = m.churnCount
 	if !m.churnInit {
 		m.churnInit = true
 		m.churnAt = now
@@ -457,6 +492,9 @@ func (m *PSM) updateChurn(now sim.Time) {
 }
 
 func (m *PSM) deliver(from phy.NodeID, pkt Packet, toMe bool) {
+	for int(from) >= len(m.lastHeard) {
+		m.lastHeard = append(m.lastHeard, -1)
+	}
 	m.lastHeard[from] = m.sched.Now()
 	if m.up == nil {
 		return

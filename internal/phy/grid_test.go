@@ -106,6 +106,66 @@ func TestGridMatchesBruteForceMobile(t *testing.T) {
 	}
 }
 
+// TestGridCSRMatchesBruteForce pushes the population past gridScanThreshold
+// so queries take the CSR-index path (the quick experiment profiles never
+// do), and checks every query agrees with the exhaustive scan — including
+// the registration-order visiting contract VisitNeighbors promises.
+func TestGridCSRMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sched := sim.NewScheduler()
+	ch := NewChannel(sched, 180)
+	ch.SetMotionBound(0)
+	n := gridScanThreshold + 60
+	for i := 0; i < n; i++ {
+		p := geom.Point{
+			X: -300 + 3000*rng.Float64(),
+			Y: -300 + 1500*rng.Float64(),
+		}
+		ch.AddRadio(NodeID(i), mobility.Static{P: p})
+	}
+	for step := 0; step < n; step += 23 {
+		r := ch.radios[step]
+		want := bruteNeighbors(ch, r, 0)
+		sameIDs(t, ch.Neighbors(r, 0), want, "Neighbors (CSR)")
+		var visited []NodeID
+		ch.VisitNeighbors(r, 0, func(id NodeID) { visited = append(visited, id) })
+		sameIDs(t, visited, want, "VisitNeighbors (CSR)")
+		if got := ch.CountNeighbors(r, 0); got != len(want) {
+			t.Fatalf("CountNeighbors(%v) = %d, want %d", r.id, got, len(want))
+		}
+	}
+}
+
+// TestVisitNeighborsMatchesNeighbors checks the allocation-free visitor
+// against the slice-returning query across rebin epochs of a mobile
+// scenario (the small-population scan path).
+func TestVisitNeighborsMatchesNeighbors(t *testing.T) {
+	sched := sim.NewScheduler()
+	ch := NewChannel(sched, 250)
+	const maxSpeed = 20.0
+	ch.SetMotionBound(maxSpeed)
+	field := geom.Rect{W: 1500, H: 300}
+	for i := 0; i < 50; i++ {
+		mob := mobility.NewWaypoint(mobility.WaypointConfig{
+			Field:    field,
+			MinSpeed: 1,
+			MaxSpeed: maxSpeed,
+			Start:    geom.Point{X: field.W * float64(i) / 50, Y: field.H * float64(i%5) / 5},
+		}, sim.Stream(int64(i), "visit-test"))
+		ch.AddRadio(NodeID(i), mob)
+	}
+	for _, sec := range []float64{0, 1.5, 4, 20, 60} {
+		now := sim.FromSeconds(sec)
+		sched.RunUntil(now)
+		for _, r := range ch.radios {
+			want := ch.Neighbors(r, now)
+			var got []NodeID
+			ch.VisitNeighbors(r, now, func(id NodeID) { got = append(got, id) })
+			sameIDs(t, got, want, "VisitNeighbors @"+now.String())
+		}
+	}
+}
+
 // TestGridTransmitMatchesLinear runs the same broadcast on a grid-enabled
 // channel and on a linear-scan channel and checks the delivery sets match.
 func TestGridTransmitMatchesLinear(t *testing.T) {

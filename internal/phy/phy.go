@@ -142,6 +142,12 @@ type Channel struct {
 	grid           grid
 	scratch        []int32
 
+	// Freelists for the per-transmission batch machinery (see Transmit):
+	// recycling batches and deliveries keeps the reception hot path
+	// allocation-free.
+	freeBatch    *txBatch
+	freeDelivery *delivery
+
 	obs     DeliveryObserver // nil = no delivery instrumentation
 	dropObs DropObserver     // nil = no loss instrumentation
 	loss    LossModel        // nil = clean channel
@@ -259,6 +265,37 @@ func (c *Channel) Neighbors(r *Radio, now sim.Time) []NodeID {
 	return out
 }
 
+// VisitNeighbors calls visit with the ID of every radio within range of r at
+// now, excluding r itself, in registration order. It is the allocation-free
+// form of Neighbors for per-event hot paths (PSM churn tracking).
+func (c *Channel) VisitNeighbors(r *Radio, now sim.Time, visit func(NodeID)) {
+	p := r.Position(now)
+	if c.motionBoundSet && c.rangeM > 0 {
+		if c.grid.stale(now, c.motionBound) {
+			c.grid.rebin(c.radios, now)
+		}
+		c.scratch = c.grid.candidates(p, c.rangeM, c.scratch)
+		for _, i := range c.scratch {
+			o := c.radios[i]
+			if o == r {
+				continue
+			}
+			if p.DistanceTo(o.Position(now)) <= c.rangeM {
+				visit(o.id)
+			}
+		}
+		return
+	}
+	for _, o := range c.radios {
+		if o == r {
+			continue
+		}
+		if p.DistanceTo(o.Position(now)) <= c.rangeM {
+			visit(o.id)
+		}
+	}
+}
+
 // CountNeighbors returns the number of radios within range of r at now.
 func (c *Channel) CountNeighbors(r *Radio, now sim.Time) int {
 	n := 0
@@ -268,7 +305,12 @@ func (c *Channel) CountNeighbors(r *Radio, now sim.Time) int {
 
 // Transmit puts f on the air from tx for the frame's airtime at the given
 // data rate. Reception outcomes (delivery, collision, missed-asleep) resolve
-// per receiver when the transmission ends.
+// per receiver when the transmission ends: all receivers that entered the
+// reception state are resolved by a single batched scheduler event rather
+// than one event each. The per-receiver finish events of the pre-batching
+// scheduler carried consecutive sequence numbers — nothing could interleave
+// them — so resolving the whole batch at the first one's slot preserves the
+// exact global event order.
 func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 	now := c.sched.Now()
 	end := now + Airtime(f.Bytes, rateMbps)
@@ -281,31 +323,66 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 	tx.txUntil = end
 	tx.extendCarrier(end)
 
-	c.visitInRange(tx.Position(now), tx, now, func(rx *Radio) {
-		rx.extendCarrier(end)
-		c.beginReception(rx, f, now, end)
-	})
+	b := c.allocBatch()
+	b.frame = f
+	b.end = end
+	p := tx.Position(now)
+	if c.motionBoundSet && c.rangeM > 0 {
+		if c.grid.stale(now, c.motionBound) {
+			c.grid.rebin(c.radios, now)
+		}
+		c.scratch = c.grid.candidates(p, c.rangeM, c.scratch)
+		for _, i := range c.scratch {
+			rx := c.radios[i]
+			if rx == tx {
+				continue
+			}
+			if p.DistanceTo(rx.Position(now)) <= c.rangeM {
+				rx.extendCarrier(end)
+				c.beginReception(b, rx, now, end)
+			}
+		}
+	} else {
+		for _, rx := range c.radios {
+			if rx == tx {
+				continue
+			}
+			if p.DistanceTo(rx.Position(now)) <= c.rangeM {
+				rx.extendCarrier(end)
+				c.beginReception(b, rx, now, end)
+			}
+		}
+	}
+	if b.head == nil {
+		// No receiver entered the reception state (all asleep or
+		// transmitting): no completion event, as before batching.
+		c.releaseBatch(b)
+		return
+	}
+	c.sched.After(end-now, b.fire)
 }
 
-func (c *Channel) beginReception(rx *Radio, f Frame, now, end sim.Time) {
+func (c *Channel) beginReception(b *txBatch, rx *Radio, now, end sim.Time) {
 	if !rx.awake {
 		c.stats.MissedAsleep++
-		c.frameLost(rx, f, now, LossMissedAsleep)
+		c.frameLost(rx, b.frame, now, LossMissedAsleep)
 		return
 	}
 	if rx.txUntil > now {
 		// Half duplex: a transmitting radio cannot decode.
 		c.stats.Collisions++
-		c.frameLost(rx, f, now, LossCollision)
+		c.frameLost(rx, b.frame, now, LossCollision)
 		return
 	}
-	d := &delivery{frame: f, end: end}
+	d := c.allocDelivery()
+	d.rx = rx
+	d.end = end
 	if rx.current != nil && rx.current.end > now {
 		// Overlap: both frames are lost at this receiver.
 		rx.current.collided = true
 		d.collided = true
 		c.stats.Collisions++
-		c.frameLost(rx, f, now, LossCollision)
+		c.frameLost(rx, b.frame, now, LossCollision)
 		// Track the longer of the two as the in-progress (corrupted)
 		// reception so a third overlapping frame also collides.
 		if end > rx.current.end {
@@ -314,10 +391,30 @@ func (c *Channel) beginReception(rx *Radio, f Frame, now, end sim.Time) {
 	} else {
 		rx.current = d
 	}
-	c.sched.After(end-now, func() { c.finishReception(rx, d) })
+	if b.tail == nil {
+		b.head = d
+	} else {
+		b.tail.next = d
+	}
+	b.tail = d
 }
 
-func (c *Channel) finishReception(rx *Radio, d *delivery) {
+// finishBatch resolves every reception of one transmission, in the receiver
+// order Transmit visited them. The batch is detached and recycled up front
+// so a mid-batch Transmit (from a MAC upcall) can reuse it immediately.
+func (c *Channel) finishBatch(b *txBatch) {
+	f := b.frame
+	d := b.head
+	c.releaseBatch(b)
+	for d != nil {
+		next := d.next
+		c.finishReception(d.rx, d, f)
+		c.releaseDelivery(d)
+		d = next
+	}
+}
+
+func (c *Channel) finishReception(rx *Radio, d *delivery, f Frame) {
 	if rx.current == d {
 		rx.current = nil
 	}
@@ -328,31 +425,87 @@ func (c *Channel) finishReception(rx *Radio, d *delivery) {
 	if !rx.awake {
 		// Receiver fell asleep mid-frame.
 		c.stats.MissedAsleep++
-		c.frameLost(rx, d.frame, c.sched.Now(), LossMissedAsleep)
+		c.frameLost(rx, f, c.sched.Now(), LossMissedAsleep)
 		return
 	}
 	if d.aborted {
 		return
 	}
-	if c.loss != nil && c.loss.Lose(c.sched.Now(), d.frame.From, rx.id) {
+	if c.loss != nil && c.loss.Lose(c.sched.Now(), f.From, rx.id) {
 		c.stats.FaultLost++
-		c.frameLost(rx, d.frame, c.sched.Now(), LossFault)
+		c.frameLost(rx, f, c.sched.Now(), LossFault)
 		return
 	}
 	c.stats.Deliveries++
 	if c.obs != nil {
-		c.obs.FrameDelivered(c.sched.Now(), rx.id, rx.awake, d.frame)
+		c.obs.FrameDelivered(c.sched.Now(), rx.id, rx.awake, f)
 	}
 	if rx.recv != nil {
-		rx.recv.OnFrame(d.frame)
+		rx.recv.OnFrame(f)
 	}
 }
 
+// txBatch collects the in-flight receptions of one transmission behind a
+// single prebound completion event. The frame is stored once per batch
+// instead of once per receiver.
+type txBatch struct {
+	frame      Frame
+	end        sim.Time
+	head, tail *delivery
+	next       *txBatch // freelist link
+	fire       func()   // prebound finishBatch closure
+}
+
+// delivery is one receiver's in-flight reception state. Deliveries are
+// pooled individually (not inline in a batch slice) because rx.current
+// holds pointers across batches: a growable slice would invalidate them.
 type delivery struct {
-	frame    Frame
+	rx       *Radio
+	next     *delivery
 	end      sim.Time
 	collided bool
 	aborted  bool
+}
+
+func (c *Channel) allocBatch() *txBatch {
+	b := c.freeBatch
+	if b == nil {
+		nb := &txBatch{}
+		nb.fire = func() { c.finishBatch(nb) }
+		return nb
+	}
+	c.freeBatch = b.next
+	b.next = nil
+	return b
+}
+
+// releaseBatch recycles b. Safe to call while its delivery list is still
+// being walked from local copies: the caller detaches head first.
+func (c *Channel) releaseBatch(b *txBatch) {
+	b.frame = Frame{} // drop the payload reference for GC
+	b.head, b.tail = nil, nil
+	b.next = c.freeBatch
+	c.freeBatch = b
+}
+
+func (c *Channel) allocDelivery() *delivery {
+	d := c.freeDelivery
+	if d == nil {
+		return &delivery{}
+	}
+	c.freeDelivery = d.next
+	d.next = nil
+	d.collided, d.aborted = false, false
+	return d
+}
+
+// releaseDelivery recycles d. Callers guarantee no rx.current references d:
+// finishReception clears the receiver's pointer, and an aborted delivery was
+// already detached by SetAwake.
+func (c *Channel) releaseDelivery(d *delivery) {
+	d.rx = nil
+	d.next = c.freeDelivery
+	c.freeDelivery = d
 }
 
 // Radio is one node's transceiver.

@@ -1,0 +1,52 @@
+// Package profiling wires Go's pprof profilers into the CLI tools. Both
+// rcast-bench and rcast-sim expose -cpuprofile/-memprofile flags so hot
+// paths in the event kernel can be inspected on real workloads without a
+// test harness.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins writing a CPU profile to path and returns a stop function
+// that ends the profile and closes the file. An empty path is a no-op: the
+// returned stop function does nothing.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes an allocation profile to path, running a GC first so the
+// heap numbers reflect live objects rather than collectable garbage. An
+// empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

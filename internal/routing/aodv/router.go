@@ -96,7 +96,7 @@ type Router struct {
 	seenRREQ    map[rreqKey]struct{}
 	buf         map[phy.NodeID][]*DataPacket
 	discoveries map[phy.NodeID]*discovery
-	helloTimer  *sim.Timer
+	helloTimer  sim.Timer
 	stopped     bool
 	down        bool // fault-injected crash: reversible via Restart
 
@@ -110,7 +110,7 @@ type rreqKey struct {
 
 type discovery struct {
 	attempts int
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // New creates an AODV router and starts its hello schedule (if enabled).
@@ -173,10 +173,7 @@ func (r *Router) Stats() Stats { return r.stats }
 // Stop halts periodic activity (hellos).
 func (r *Router) Stop() {
 	r.stopped = true
-	if r.helloTimer != nil {
-		r.helloTimer.Cancel()
-		r.helloTimer = nil
-	}
+	r.helloTimer.Cancel()
 }
 
 // Crash wipes the router for a fault-injected node crash: hellos stop,
@@ -199,9 +196,7 @@ func (r *Router) Crash() []*DataPacket {
 	}
 	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 	for _, dst := range dsts {
-		if d := r.discoveries[dst]; d.timer != nil {
-			d.timer.Cancel()
-		}
+		r.discoveries[dst].timer.Cancel()
 		delete(r.discoveries, dst)
 	}
 	clear(r.buf)
@@ -357,9 +352,7 @@ func (r *Router) issueRREQ(dst phy.NodeID, d *discovery) {
 // routeEstablished flushes buffered traffic when a route to dst appears.
 func (r *Router) routeEstablished(dst phy.NodeID) {
 	if d, running := r.discoveries[dst]; running {
-		if d.timer != nil {
-			d.timer.Cancel()
-		}
+		d.timer.Cancel()
 		delete(r.discoveries, dst)
 	}
 	q := r.buf[dst]

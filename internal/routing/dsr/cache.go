@@ -15,6 +15,7 @@ type Cache struct {
 	capacity int
 	lifetime sim.Time // 0 disables timeouts
 	entries  []cacheEntry
+	free     [][]phy.NodeID // recycled path buffers (only while no callbacks are installed)
 	insertCB func(path []phy.NodeID)
 	evictCB  func(path []phy.NodeID)
 
@@ -26,6 +27,7 @@ type Cache struct {
 
 type cacheEntry struct {
 	path    []phy.NodeID // path[0] == owner
+	nbr     phy.NodeID   // == path[1], the first hop; cheap discriminator for prefix scans
 	addedAt sim.Time
 }
 
@@ -56,6 +58,7 @@ func (c *Cache) Len() int { return len(c.entries) }
 // installed.
 func (c *Cache) Clear() {
 	for i := range c.entries {
+		c.recycle(c.entries[i].path)
 		c.entries[i] = cacheEntry{}
 	}
 	c.entries = c.entries[:0]
@@ -75,14 +78,21 @@ func (c *Cache) Add(now sim.Time, path []phy.NodeID) bool {
 		return false
 	}
 	c.expire(now)
+	nbr := path[1]
 	for _, e := range c.entries {
-		if isPrefix(path, e.path) {
+		if e.nbr == nbr && isPrefix(path, e.path) {
 			return false
 		}
 	}
-	cp := make([]phy.NodeID, len(path))
+	var cp []phy.NodeID
+	if n := len(c.free); n > 0 && cap(c.free[n-1]) >= len(path) {
+		cp = c.free[n-1][:len(path)]
+		c.free = c.free[:n-1]
+	} else {
+		cp = make([]phy.NodeID, len(path))
+	}
 	copy(cp, path)
-	c.entries = append(c.entries, cacheEntry{path: cp, addedAt: now})
+	c.entries = append(c.entries, cacheEntry{path: cp, nbr: nbr, addedAt: now})
 	c.inserts++
 	if c.insertCB != nil {
 		c.insertCB(cp)
@@ -94,8 +104,19 @@ func (c *Cache) Add(now sim.Time, path []phy.NodeID) bool {
 		if c.evictCB != nil {
 			c.evictCB(evicted)
 		}
+		c.recycle(evicted)
 	}
 	return true
+}
+
+// recycle returns a dropped path buffer to the freelist for reuse by a
+// future insertion. Recycling is disabled while any callback is installed:
+// callbacks receive the live path slice and may retain it (lifecycle
+// tracing does), so reusing its backing array would corrupt their view.
+func (c *Cache) recycle(path []phy.NodeID) {
+	if c.insertCB == nil && c.evictCB == nil && len(c.free) < 64 {
+		c.free = append(c.free, path[:0])
+	}
 }
 
 // Find returns the shortest cached route from the owner to dst (inclusive
@@ -158,6 +179,8 @@ func (c *Cache) RemoveLink(a, b phy.NodeID) int {
 		if cut >= 2 {
 			e.path = e.path[:cut]
 			kept = append(kept, e)
+		} else {
+			c.recycle(e.path)
 		}
 	}
 	// Zero the tail so dropped entries are collectable.
@@ -180,15 +203,23 @@ func (c *Cache) Routes(now sim.Time) [][]phy.NodeID {
 	return out
 }
 
-// expire drops entries older than the lifetime.
+// expire drops entries older than the lifetime. Entries are appended with
+// the then-current time and only ever removed from the front, so addedAt is
+// nondecreasing across the slice and the oldest entry alone decides whether
+// anything can have expired.
 func (c *Cache) expire(now sim.Time) {
-	if c.lifetime <= 0 {
+	if c.lifetime <= 0 || len(c.entries) == 0 {
+		return
+	}
+	if now-c.entries[0].addedAt <= c.lifetime {
 		return
 	}
 	kept := c.entries[:0]
 	for _, e := range c.entries {
 		if now-e.addedAt <= c.lifetime {
 			kept = append(kept, e)
+		} else {
+			c.recycle(e.path)
 		}
 	}
 	for i := len(kept); i < len(c.entries); i++ {

@@ -125,6 +125,8 @@ type Router struct {
 	nextRREQID uint64
 	nextSeq    uint64
 
+	learnScratch []phy.NodeID // reused candidate-path buffer for learnFromTransmitter
+
 	down bool // fault-injected crash: reversible via Restart
 
 	stats Stats
@@ -142,7 +144,7 @@ type rreqKey struct {
 
 type discovery struct {
 	attempts int
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // New creates a router. tr must be set before any traffic flows; hooks may
@@ -237,9 +239,7 @@ func (r *Router) Crash() []*DataPacket {
 	}
 	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 	for _, dst := range dsts {
-		if d := r.discoveries[dst]; d.timer != nil {
-			d.timer.Cancel()
-		}
+		r.discoveries[dst].timer.Cancel()
 		delete(r.discoveries, dst)
 	}
 	clear(r.buf)
@@ -437,9 +437,7 @@ func (r *Router) flushBuffer(dst phy.NodeID) {
 		return
 	}
 	if d, running := r.discoveries[dst]; running {
-		if d.timer != nil {
-			d.timer.Cancel()
-		}
+		d.timer.Cancel()
 		delete(r.discoveries, dst)
 	}
 	delete(r.buf, dst)
@@ -648,18 +646,22 @@ func (r *Router) learnFromTransmitter(now sim.Time, from phy.NodeID, route []phy
 	if i < 0 {
 		return
 	}
+	// Both candidate paths are built in a scratch buffer: the cache copies
+	// on accept (and rejects looped paths itself), so they never escape.
 	// Forward: self → from → route[i+1:].
 	if i+1 < len(route) {
-		fwd := append([]phy.NodeID{r.id, from}, route[i+1:]...)
-		if !hasDuplicates(fwd) {
-			r.cache.Add(now, fwd)
-		}
+		fwd := append(r.learnScratch[:0], r.id, from)
+		fwd = append(fwd, route[i+1:]...)
+		r.learnScratch = fwd[:0]
+		r.cache.Add(now, fwd)
 	}
 	// Backward: self → from → route[i-1], …, route[0].
 	if i > 0 {
-		back := append([]phy.NodeID{r.id, from}, reversed(route[:i])...)
-		if !hasDuplicates(back) {
-			r.cache.Add(now, back)
+		back := append(r.learnScratch[:0], r.id, from)
+		for j := i - 1; j >= 0; j-- {
+			back = append(back, route[j])
 		}
+		r.learnScratch = back[:0]
+		r.cache.Add(now, back)
 	}
 }

@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+// Hot-path microbenchmarks for the timing-wheel scheduler. Every benchmark
+// reports allocations: the schedule/fire/cancel paths are expected to be
+// allocation-free in steady state (the node freelist grows in chunks only
+// while the live-timer high-water mark rises).
+
+// BenchmarkWheelScheduleFire measures the full lifecycle of a near-future
+// timer: schedule, cascade, fire.
+func BenchmarkWheelScheduleFire(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(i%64), fn)
+		for s.Step() {
+		}
+	}
+}
+
+// BenchmarkWheelScheduleCancel measures schedule followed by cancel, the
+// dominant pattern for MAC timeout timers (most timeouts never fire).
+func BenchmarkWheelScheduleCancel(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := s.After(Time(100+i%64), fn)
+		tm.Cancel()
+	}
+}
+
+// BenchmarkWheelPendingChurn keeps a realistic standing population of
+// pending timers (as a running simulation does) while scheduling and firing
+// through them.
+func BenchmarkWheelPendingChurn(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.After(Time(1+i*257), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(1+i%4096), fn)
+		s.Step()
+	}
+}
+
+// BenchmarkWheelFarFuture schedules timers that land on deep wheel levels
+// and must cascade down as the clock leaps toward them.
+func BenchmarkWheelFarFuture(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(1)<<40+Time(i%1024), fn)
+		s.RunUntil(s.Now() + Time(1)<<41)
+	}
+}
+
+// BenchmarkHeapOracleScheduleFire is the reference point: the same
+// lifecycle as BenchmarkWheelScheduleFire on the retained binary-heap
+// implementation.
+func BenchmarkHeapOracleScheduleFire(b *testing.B) {
+	s := NewHeapScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(i%64), fn)
+		for s.Step() {
+		}
+	}
+}

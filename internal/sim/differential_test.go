@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The differential harness drives the timing-wheel Scheduler and the
+// reference HeapScheduler with one op stream and demands byte-identical
+// event orders. Ops cover same-timestamp FIFO ties, cancellation (including
+// double-cancel and cancel of already-fired timers), reschedules, and
+// far-future deadlines that cross wheel levels.
+
+// diffHarness holds both engines plus the per-engine firing logs.
+type diffHarness struct {
+	wheel *Scheduler
+	heap  *HeapScheduler
+
+	wheelLog []string
+	heapLog  []string
+
+	wheelTimers []Timer
+	heapTimers  []*HeapTimer
+	nextID      int
+}
+
+func newDiffHarness() *diffHarness {
+	return &diffHarness{wheel: NewScheduler(), heap: NewHeapScheduler()}
+}
+
+// schedule registers the same callback instant on both engines. The
+// callback records "<id>@<now>" so both the order and the observed clock
+// must agree.
+func (h *diffHarness) schedule(t *testing.T, delta Time) {
+	t.Helper()
+	id := h.nextID
+	h.nextID++
+	wt := h.wheel.After(delta, func() {
+		h.wheelLog = append(h.wheelLog, fmt.Sprintf("%d@%d", id, h.wheel.Now()))
+	})
+	ht := h.heap.After(delta, func() {
+		h.heapLog = append(h.heapLog, fmt.Sprintf("%d@%d", id, h.heap.Now()))
+	})
+	h.wheelTimers = append(h.wheelTimers, wt)
+	h.heapTimers = append(h.heapTimers, ht)
+	if wt.When() != ht.When() {
+		t.Fatalf("schedule %d: wheel deadline %d != heap deadline %d", id, wt.When(), ht.When())
+	}
+}
+
+// cancel cancels timer slot i on both engines (stale and double cancels
+// included: the slot may have fired already).
+func (h *diffHarness) cancel(i int) {
+	if i < 0 || i >= len(h.wheelTimers) {
+		return
+	}
+	h.wheelTimers[i].Cancel()
+	h.heapTimers[i].Cancel()
+}
+
+// runUntil advances both engines to the same deadline.
+func (h *diffHarness) runUntil(deadline Time) {
+	h.wheel.RunUntil(deadline)
+	h.heap.RunUntil(deadline)
+}
+
+// check compares logs, clocks and pending counts.
+func (h *diffHarness) check(t *testing.T) {
+	t.Helper()
+	if len(h.wheelLog) != len(h.heapLog) {
+		t.Fatalf("fired %d events on wheel, %d on heap", len(h.wheelLog), len(h.heapLog))
+	}
+	for i := range h.wheelLog {
+		if h.wheelLog[i] != h.heapLog[i] {
+			t.Fatalf("event %d: wheel fired %s, heap fired %s", i, h.wheelLog[i], h.heapLog[i])
+		}
+	}
+	if h.wheel.Now() != h.heap.Now() {
+		t.Fatalf("clock skew: wheel at %d, heap at %d", h.wheel.Now(), h.heap.Now())
+	}
+	if h.wheel.Pending() != h.heap.Pending() {
+		t.Fatalf("pending skew: wheel has %d, heap has %d", h.wheel.Pending(), h.heap.Pending())
+	}
+}
+
+// TestSchedulerMatchesHeapOracle is the randomized differential property
+// test: under thousands of random schedule/cancel/advance ops — biased
+// toward ties and level-crossing deadlines — the wheel must replay the
+// reference heap's event order exactly.
+func TestSchedulerMatchesHeapOracle(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed)) //nolint:gosec // test determinism
+			h := newDiffHarness()
+			for op := 0; op < 4000; op++ {
+				switch r := rng.Intn(100); {
+				case r < 45:
+					// Deltas spanning every wheel level: 0 (immediate, and
+					// repeated values produce same-timestamp FIFO ties),
+					// small, and shifted far-future values up to 2^56.
+					var delta Time
+					switch rng.Intn(4) {
+					case 0:
+						delta = Time(rng.Intn(4)) // dense ties
+					case 1:
+						delta = Time(rng.Intn(256)) // level 0
+					case 2:
+						delta = Time(rng.Int63n(1 << 16)) // level 1-2
+					default:
+						delta = Time(rng.Int63n(1 << (8 * uint(1+rng.Intn(6))))) // deep levels
+					}
+					h.schedule(t, delta)
+				case r < 65:
+					// Cancel a random slot, alive or not.
+					h.cancel(rng.Intn(len(h.wheelTimers) + 1))
+				case r < 75:
+					// Reschedule: cancel then re-add at a fresh deadline.
+					h.cancel(rng.Intn(len(h.wheelTimers) + 1))
+					h.schedule(t, Time(rng.Int63n(1<<20)))
+				default:
+					// Advance time; occasionally leap far ahead so pending
+					// far-future timers cascade down through the levels.
+					var adv Time
+					if rng.Intn(10) == 0 {
+						adv = Time(rng.Int63n(1 << 40))
+					} else {
+						adv = Time(rng.Int63n(1 << 12))
+					}
+					h.runUntil(h.wheel.Now() + adv)
+					h.check(t)
+				}
+			}
+			// Drain everything still pending.
+			h.runUntil(h.wheel.Now() + Time(1)<<58)
+			h.check(t)
+			if h.wheel.Pending() != 0 {
+				t.Fatalf("wheel still has %d pending after drain", h.wheel.Pending())
+			}
+		})
+	}
+}
+
+// TestSchedulerOracleSameTimestampStorm pins the FIFO tie-break contract:
+// many timers on one instant, interleaved with cancellations, must fire in
+// schedule order on both engines.
+func TestSchedulerOracleSameTimestampStorm(t *testing.T) {
+	h := newDiffHarness()
+	for i := 0; i < 500; i++ {
+		h.schedule(t, 1000)
+	}
+	for i := 0; i < 500; i += 3 {
+		h.cancel(i)
+	}
+	h.runUntil(2000)
+	h.check(t)
+	if got := len(h.wheelLog); got != 500-167 {
+		t.Fatalf("fired %d events, want %d", got, 500-167)
+	}
+}
+
+// TestSchedulerOracleCancelDuringFire cancels pending timers from inside a
+// firing callback on both engines; the survivors must match.
+func TestSchedulerOracleCancelDuringFire(t *testing.T) {
+	h := newDiffHarness()
+	for i := 0; i < 32; i++ {
+		h.schedule(t, Time(10+i%4)) // clusters of ties
+	}
+	// Timer that, on fire, cancels the second half of the population on
+	// both engines simultaneously (it fires first: delta 5 < 10).
+	h.wheel.After(5, func() {
+		for i := 16; i < 32; i++ {
+			h.wheelTimers[i].Cancel()
+		}
+	})
+	h.heap.After(5, func() {
+		for i := 16; i < 32; i++ {
+			h.heapTimers[i].Cancel()
+		}
+	})
+	h.runUntil(100)
+	if len(h.wheelLog) != len(h.heapLog) {
+		t.Fatalf("fired %d events on wheel, %d on heap", len(h.wheelLog), len(h.heapLog))
+	}
+	for i := range h.wheelLog {
+		if h.wheelLog[i] != h.heapLog[i] {
+			t.Fatalf("event %d: wheel fired %s, heap fired %s", i, h.wheelLog[i], h.heapLog[i])
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// FuzzSchedulerWheel interprets the fuzz input as an op program and runs it
+// against both the timing wheel and the reference heap, failing on any
+// divergence in event order, observed clocks, or pending counts. Opcodes
+// (one byte, then operands):
+//
+//	0: schedule at delta = next 3 bytes (little-endian, spans levels 0-2)
+//	1: schedule at delta = next 2 bytes shifted left by (byte % 48) bits
+//	2: cancel timer slot (next byte % slots)
+//	3: advance clock by next 2 bytes
+//	4: advance clock by next byte shifted left by (byte % 32) bits
+func FuzzSchedulerWheel(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 0, 0, 10, 0, 0, 3, 50, 0})
+	f.Add([]byte{1, 1, 0, 40, 2, 0, 4, 1, 30, 3, 255, 255})
+	f.Add([]byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, // three ties at delta 1
+		2, 1, // cancel the middle one
+		3, 255, 0, // fire the rest
+		1, 3, 0, 33, // far-future timer crossing levels
+		4, 9, 40, // leap toward it
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wheel := NewScheduler()
+		heap := NewHeapScheduler()
+		var wheelLog, heapLog []string
+		var wheelTimers []Timer
+		var heapTimers []*HeapTimer
+		id := 0
+
+		schedule := func(delta Time) {
+			n := id
+			id++
+			wheelTimers = append(wheelTimers, wheel.After(delta, func() {
+				wheelLog = append(wheelLog, fmt.Sprintf("%d@%d", n, wheel.Now()))
+			}))
+			heapTimers = append(heapTimers, heap.After(delta, func() {
+				heapLog = append(heapLog, fmt.Sprintf("%d@%d", n, heap.Now()))
+			}))
+		}
+		check := func() {
+			if len(wheelLog) != len(heapLog) {
+				t.Fatalf("fired %d events on wheel, %d on heap", len(wheelLog), len(heapLog))
+			}
+			for i := range wheelLog {
+				if wheelLog[i] != heapLog[i] {
+					t.Fatalf("event %d: wheel fired %s, heap fired %s", i, wheelLog[i], heapLog[i])
+				}
+			}
+			if wheel.Now() != heap.Now() || wheel.Pending() != heap.Pending() {
+				t.Fatalf("state skew: wheel now=%d pending=%d, heap now=%d pending=%d",
+					wheel.Now(), wheel.Pending(), heap.Now(), heap.Pending())
+			}
+		}
+
+		for i := 0; i < len(data) && id < 1<<12; {
+			op := data[i]
+			i++
+			take := func(n int) []byte {
+				b := make([]byte, n)
+				copy(b, data[i:min(len(data), i+n)])
+				i += n
+				return b
+			}
+			switch op % 5 {
+			case 0:
+				b := take(3)
+				schedule(Time(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16))
+			case 1:
+				b := take(3)
+				shift := uint(b[2]) % 48
+				schedule(Time(uint64(binary.LittleEndian.Uint16(b[:2])) << shift))
+			case 2:
+				b := take(1)
+				if len(wheelTimers) > 0 {
+					j := int(b[0]) % len(wheelTimers)
+					wheelTimers[j].Cancel()
+					heapTimers[j].Cancel()
+				}
+			case 3:
+				b := take(2)
+				d := Time(binary.LittleEndian.Uint16(b))
+				wheel.RunUntil(wheel.Now() + d)
+				heap.RunUntil(heap.Now() + d)
+				check()
+			case 4:
+				b := take(2)
+				d := Time(uint64(b[0]) << (uint(b[1]) % 32))
+				wheel.RunUntil(wheel.Now() + d)
+				heap.RunUntil(heap.Now() + d)
+				check()
+			}
+		}
+		// Drain both engines completely and compare the final state.
+		wheel.RunUntil(wheel.Now() + Time(1)<<56)
+		heap.RunUntil(heap.Now() + Time(1)<<56)
+		check()
+	})
+}

@@ -1,0 +1,199 @@
+package sim
+
+// HeapScheduler is the original binary-heap event scheduler, retained as a
+// differential reference oracle for the timing-wheel Scheduler: the property
+// and fuzz tests in scheduler_wheel_test.go drive both implementations with
+// identical workloads and assert byte-identical fire order. Unlike the
+// pre-refactor version it uses a concrete *HeapTimer-typed heap with
+// hand-rolled sift routines instead of container/heap, which removes one
+// interface allocation and type assertion per event — keeping the oracle
+// cheap enough to run inside fuzzing loops.
+//
+// Semantics mirror Scheduler exactly: same-instant events fire FIFO by
+// schedule order, Cancel removes eagerly, RunUntil pins the clock to its
+// deadline.
+type HeapScheduler struct {
+	now  Time
+	heap []*HeapTimer
+	seq  uint64
+
+	executed uint64
+}
+
+// HeapTimer is the oracle's timer handle.
+type HeapTimer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	sched     *HeapScheduler
+	index     int // heap index, -1 when popped or cancelled
+	cancelled bool
+}
+
+// Cancel prevents the timer from firing and removes it from the event heap
+// in O(log N). Safe to call multiple times.
+func (t *HeapTimer) Cancel() {
+	if t.cancelled {
+		return
+	}
+	t.cancelled = true
+	t.fn = nil
+	if t.sched != nil && t.index >= 0 {
+		t.sched.remove(t.index)
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (t *HeapTimer) Cancelled() bool { return t.cancelled }
+
+// When returns the instant the timer is (or was) scheduled to fire.
+func (t *HeapTimer) When() Time { return t.at }
+
+// NewHeapScheduler returns an oracle scheduler with the clock at zero.
+func NewHeapScheduler() *HeapScheduler {
+	return &HeapScheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *HeapScheduler) Now() Time { return s.now }
+
+// Pending returns the number of events not yet fired or cancelled.
+func (s *HeapScheduler) Pending() int { return len(s.heap) }
+
+// Executed returns the number of events that have fired so far.
+func (s *HeapScheduler) Executed() uint64 { return s.executed }
+
+// At schedules fn to run at instant t.
+func (s *HeapScheduler) At(t Time, fn func()) (*HeapTimer, error) {
+	if t < s.now {
+		return nil, ErrTimeReversal
+	}
+	tm := &HeapTimer{at: t, seq: s.seq, fn: fn, sched: s, index: len(s.heap)}
+	s.seq++
+	s.heap = append(s.heap, tm)
+	s.siftUp(tm.index)
+	return tm, nil
+}
+
+// After schedules fn to run d after the current instant.
+func (s *HeapScheduler) After(d Time, fn func()) *HeapTimer {
+	if d < 0 {
+		d = 0
+	}
+	tm, _ := s.At(s.now+d, fn)
+	return tm
+}
+
+// Step fires the earliest pending event, advancing the clock to its instant.
+func (s *HeapScheduler) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	tm := s.pop()
+	s.now = tm.at
+	fn := tm.fn
+	tm.fn = nil
+	s.executed++
+	fn()
+	return true
+}
+
+// RunUntil fires events in order until the clock would pass the deadline,
+// then sets the clock to exactly the deadline.
+func (s *HeapScheduler) RunUntil(deadline Time) {
+	for len(s.heap) > 0 && s.heap[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run fires all events until none remain.
+func (s *HeapScheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// Peek returns the earliest pending timer without firing it, or nil.
+func (s *HeapScheduler) Peek() *HeapTimer {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	return s.heap[0]
+}
+
+// less orders timers by (at, seq) so same-instant events fire FIFO.
+func (s *HeapScheduler) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *HeapScheduler) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].index = i
+	s.heap[j].index = j
+}
+
+func (s *HeapScheduler) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *HeapScheduler) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && s.less(right, left) {
+			min = right
+		}
+		if !s.less(min, i) {
+			return
+		}
+		s.swap(i, min)
+		i = min
+	}
+}
+
+// pop removes and returns the root.
+func (s *HeapScheduler) pop() *HeapTimer {
+	tm := s.heap[0]
+	last := len(s.heap) - 1
+	s.swap(0, last)
+	s.heap[last] = nil
+	s.heap = s.heap[:last]
+	tm.index = -1
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return tm
+}
+
+// remove deletes the element at index i.
+func (s *HeapScheduler) remove(i int) {
+	last := len(s.heap) - 1
+	tm := s.heap[i]
+	if i != last {
+		s.swap(i, last)
+	}
+	s.heap[last] = nil
+	s.heap = s.heap[:last]
+	tm.index = -1
+	if i < last {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+}

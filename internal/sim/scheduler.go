@@ -1,57 +1,124 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
+	"math/bits"
 )
 
 // ErrTimeReversal is returned by Scheduler.At when an event is scheduled in
 // the past.
 var ErrTimeReversal = errors.New("sim: event scheduled before current time")
 
+// The scheduler is a hierarchical timing wheel: 8 levels of 256 slots, each
+// level covering a byte of the 64-bit microsecond clock, so the full int64
+// time range is addressable without overflow wheels. An event at instant t
+// is hashed to the highest byte in which t differs from the wheel's
+// normalization point (`cur`, the instant of the last fired event):
+//
+//	level = (bits.Len64(t ^ cur) - 1) / 8    (0 when t == cur)
+//	slot  = (t >> (8*level)) & 255
+//
+// A level-0 slot therefore holds exactly one timestamp, while higher-level
+// slots hold a range of instants that is refined lazily: whenever `cur`
+// advances into a higher-level slot's range, that slot is drained and its
+// events re-hashed to strictly lower levels (a single re-placement always
+// suffices; see normalize). The MAC/PSM timers that dominate the event mix
+// live almost entirely in level 0, where insert, cancel, and pop are O(1).
+//
+// Slot lists are intrusive, doubly linked, and kept sorted by schedule
+// sequence number so same-instant events fire in FIFO order exactly as the
+// binary-heap scheduler fired them (HeapScheduler in heap_oracle.go is
+// retained as the reference oracle; the differential tests assert
+// byte-identical fire order). Nodes are recycled through a freelist and a
+// generation counter makes stale Timer handles held by model code inert.
+
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 8
+	occWords    = wheelSlots / 64
+	chunkNodes  = 64
+)
+
+// timerNode is a pooled wheel entry. gen is bumped when the node is released
+// (fired or cancelled), which invalidates every Timer handle pointing at it.
+type timerNode struct {
+	at    Time
+	seq   uint64
+	gen   uint64
+	fn    func()
+	next  *timerNode
+	prev  *timerNode
+	sched *Scheduler
+	level uint32
+	slot  uint32
+}
+
 // Timer is a handle to a scheduled event. It can be cancelled before it
 // fires; cancelling an already-fired or already-cancelled timer is a no-op.
+// The zero Timer is inert: Cancel does nothing and Active reports false.
 type Timer struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	sched     *Scheduler
-	index     int // heap index, -1 when popped or cancelled
-	cancelled bool
+	n   *timerNode
+	gen uint64
+	at  Time
+	c   bool
 }
 
-// Cancel prevents the timer from firing and removes it from the event heap
-// in O(log N). Safe to call multiple times.
+// Cancel prevents the timer from firing and removes it from its wheel slot
+// in O(1). Safe to call multiple times, and safe on handles whose event has
+// already fired (the generation check makes the call a no-op even though the
+// underlying node may have been recycled for an unrelated event).
 func (t *Timer) Cancel() {
-	if t.cancelled {
+	if t.c {
 		return
 	}
-	t.cancelled = true
-	t.fn = nil
-	if t.sched != nil && t.index >= 0 {
-		heap.Remove(&t.sched.heap, t.index)
+	t.c = true
+	n := t.n
+	if n == nil || n.gen != t.gen {
+		return
 	}
+	s := n.sched
+	s.unlink(n)
+	s.release(n)
 }
 
-// Cancelled reports whether Cancel was called.
-func (t *Timer) Cancelled() bool { return t.cancelled }
+// Cancelled reports whether Cancel was called on this handle.
+func (t *Timer) Cancelled() bool { return t.c }
+
+// Active reports whether the event is still pending: not yet fired and not
+// cancelled through any handle.
+func (t *Timer) Active() bool {
+	return t.n != nil && t.n.gen == t.gen
+}
 
 // When returns the instant the timer is (or was) scheduled to fire.
 func (t *Timer) When() Time { return t.at }
 
 // ExecHook observes every timer the scheduler surfaces for execution
 // (invariant auditing). cancelled reports a timer that reached the dispatch
-// path despite having been cancelled — Cancel removes timers from the heap
+// path despite having been cancelled — Cancel unlinks timers from the wheel
 // eagerly, so a cancelled timer surfacing is always a bug.
 type ExecHook func(at Time, cancelled bool)
+
+// wheelSlot is one doubly-linked, seq-sorted bucket.
+type wheelSlot struct {
+	head, tail *timerNode
+}
 
 // Scheduler is a deterministic discrete-event scheduler. Events scheduled
 // for the same instant fire in the order they were scheduled (FIFO), which
 // keeps runs reproducible.
 type Scheduler struct {
-	now  Time
-	heap eventHeap
-	seq  uint64
+	now Time
+	cur Time // wheel normalization point: every pending event has at >= cur
+	seq uint64
+
+	wheel      [wheelLevels][wheelSlots]wheelSlot
+	occ        [wheelLevels][occWords]uint64
+	levelCount [wheelLevels]int32
+	pending    int
+	free       *timerNode
 
 	executed uint64
 	hook     ExecHook
@@ -92,28 +159,223 @@ func NewScheduler() *Scheduler {
 func (s *Scheduler) Now() Time { return s.now }
 
 // Pending returns the number of events not yet fired or cancelled.
-// Cancel removes its timer from the heap eagerly, so this is O(1).
-func (s *Scheduler) Pending() int { return len(s.heap) }
+// Cancel unlinks its timer from the wheel eagerly, so this is O(1).
+func (s *Scheduler) Pending() int { return s.pending }
 
 // Executed returns the number of events that have fired so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
+// alloc pops a recycled node from the freelist, growing it a chunk at a
+// time so steady-state scheduling performs no heap allocation.
+func (s *Scheduler) alloc() *timerNode {
+	n := s.free
+	if n == nil {
+		chunk := make([]timerNode, chunkNodes)
+		for i := 1; i < chunkNodes; i++ {
+			chunk[i].sched = s
+			chunk[i].next = s.free
+			s.free = &chunk[i]
+		}
+		n = &chunk[0]
+		n.sched = s
+		return n
+	}
+	s.free = n.next
+	return n
+}
+
+// release recycles a node. Bumping gen here — not at allocation — means a
+// node sitting on the freelist already rejects stale handle operations.
+func (s *Scheduler) release(n *timerNode) {
+	n.gen++
+	n.fn = nil
+	n.prev = nil
+	n.next = s.free
+	s.free = n
+}
+
+// place hashes n into the wheel relative to the normalization point and
+// inserts it into its slot's seq-sorted list. Direct inserts carry the
+// highest seq yet issued, so the backward walk from the tail is O(1) for
+// them; only re-placements during normalize ever walk further.
+func (s *Scheduler) place(n *timerNode) {
+	var level uint32
+	if diff := uint64(n.at) ^ uint64(s.cur); diff != 0 {
+		level = uint32(bits.Len64(diff)-1) >> 3
+	}
+	slot := uint32(uint64(n.at)>>(level*wheelBits)) & wheelMask
+	n.level, n.slot = level, slot
+	sl := &s.wheel[level][slot]
+	if sl.tail == nil {
+		n.prev, n.next = nil, nil
+		sl.head, sl.tail = n, n
+		s.occ[level][slot>>6] |= 1 << (slot & 63)
+		s.levelCount[level]++
+		return
+	}
+	p := sl.tail
+	for p != nil && p.seq > n.seq {
+		p = p.prev
+	}
+	if p == nil {
+		n.prev, n.next = nil, sl.head
+		sl.head.prev = n
+		sl.head = n
+		return
+	}
+	n.prev, n.next = p, p.next
+	if p.next != nil {
+		p.next.prev = n
+	} else {
+		sl.tail = n
+	}
+	p.next = n
+}
+
+// unlink removes n from its slot list and updates occupancy.
+func (s *Scheduler) unlink(n *timerNode) {
+	sl := &s.wheel[n.level][n.slot]
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		sl.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		sl.tail = n.prev
+	}
+	if sl.head == nil {
+		s.occ[n.level][n.slot>>6] &^= 1 << (n.slot & 63)
+		s.levelCount[n.level]--
+	}
+	s.pending--
+}
+
+// normalize drains, for each level >= 1, the slot indexed by the current
+// digit of `cur`. Events parked there now agree with cur on that digit and
+// everything above it, so they re-hash to a strictly lower level — and never
+// into the cur-indexed slot of that lower level (their xor with cur is below
+// the lower level's digit), so a single re-placement pass terminates.
+// Draining head-to-tail keeps seq order, so merged slots stay FIFO-sorted.
+func (s *Scheduler) normalize() {
+	for level := uint32(1); level < wheelLevels; level++ {
+		if s.levelCount[level] == 0 {
+			continue
+		}
+		slot := uint32(uint64(s.cur)>>(level*wheelBits)) & wheelMask
+		if s.occ[level][slot>>6]&(1<<(slot&63)) == 0 {
+			continue
+		}
+		sl := &s.wheel[level][slot]
+		n := sl.head
+		sl.head, sl.tail = nil, nil
+		s.occ[level][slot>>6] &^= 1 << (slot & 63)
+		s.levelCount[level]--
+		for n != nil {
+			next := n.next
+			s.place(n)
+			n = next
+		}
+	}
+}
+
+// nextOccupied returns the first occupied slot index >= from at the given
+// level, scanning the occupancy bitmap.
+func (s *Scheduler) nextOccupied(level, from uint32) (uint32, bool) {
+	if from >= wheelSlots {
+		return 0, false
+	}
+	w := from >> 6
+	word := s.occ[level][w] & (^uint64(0) << (from & 63))
+	for {
+		if word != 0 {
+			return w<<6 + uint32(bits.TrailingZeros64(word)), true
+		}
+		w++
+		if w >= occWords {
+			return 0, false
+		}
+		word = s.occ[level][w]
+	}
+}
+
+// findMin locates the earliest pending event without removing it. After
+// normalization every pending node at level k >= 1 agrees with cur on all
+// digits above k and exceeds cur's digit k, which yields a total order:
+// all level-0 events precede all level-1 events precede all level-2 events,
+// and within a level lower slots precede higher slots. Level-0 slots hold a
+// single timestamp so the list head (lowest seq) is the slot minimum;
+// higher-level slots span a range of instants and are walked.
+func (s *Scheduler) findMin() *timerNode {
+	if s.pending == 0 {
+		return nil
+	}
+	s.normalize()
+	if s.levelCount[0] > 0 {
+		if slot, ok := s.nextOccupied(0, uint32(uint64(s.cur))&wheelMask); ok {
+			return s.wheel[0][slot].head
+		}
+	}
+	for level := uint32(1); level < wheelLevels; level++ {
+		if s.levelCount[level] == 0 {
+			continue
+		}
+		curIdx := uint32(uint64(s.cur)>>(level*wheelBits)) & wheelMask
+		slot, ok := s.nextOccupied(level, curIdx+1)
+		if !ok {
+			continue
+		}
+		best := s.wheel[level][slot].head
+		for n := best.next; n != nil; n = n.next {
+			if n.at < best.at {
+				best = n
+			}
+		}
+		return best
+	}
+	return nil
+}
+
+// fireNode dispatches one event: advances the clock and the wheel
+// normalization point to its instant, recycles the node, and runs the
+// callback, then polls the stop check.
+func (s *Scheduler) fireNode(n *timerNode) {
+	if s.hook != nil {
+		s.hook(n.at, false)
+	}
+	s.unlink(n)
+	s.now = n.at
+	s.cur = n.at
+	fn := n.fn
+	s.release(n)
+	s.executed++
+	fn()
+	if s.stopFn != nil && s.executed%s.stopEvery == 0 && s.stopFn() {
+		s.stopped = true
+	}
+}
+
 // At schedules fn to run at instant t. It returns an error if t is in the
 // past relative to the scheduler clock.
-func (s *Scheduler) At(t Time, fn func()) (*Timer, error) {
+func (s *Scheduler) At(t Time, fn func()) (Timer, error) {
 	if t < s.now {
-		return nil, ErrTimeReversal
+		return Timer{}, ErrTimeReversal
 	}
-	tm := &Timer{at: t, seq: s.seq, fn: fn, sched: s}
+	n := s.alloc()
+	n.at = t
+	n.seq = s.seq
+	n.fn = fn
 	s.seq++
-	heap.Push(&s.heap, tm)
-	return tm, nil
+	s.place(n)
+	s.pending++
+	return Timer{n: n, gen: n.gen, at: t}, nil
 }
 
 // After schedules fn to run d after the current instant. A non-positive d
 // schedules the event for "now" (it still runs through the event loop, after
 // any events already queued for the current instant).
-func (s *Scheduler) After(d Time, fn func()) *Timer {
+func (s *Scheduler) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -127,28 +389,12 @@ func (s *Scheduler) Step() bool {
 	if s.stopped {
 		return false
 	}
-	for len(s.heap) > 0 {
-		tm, ok := heap.Pop(&s.heap).(*Timer)
-		if !ok {
-			return false
-		}
-		if s.hook != nil {
-			s.hook(tm.at, tm.cancelled)
-		}
-		if tm.cancelled {
-			continue
-		}
-		s.now = tm.at
-		fn := tm.fn
-		tm.fn = nil
-		s.executed++
-		fn()
-		if s.stopFn != nil && s.executed%s.stopEvery == 0 && s.stopFn() {
-			s.stopped = true
-		}
-		return true
+	n := s.findMin()
+	if n == nil {
+		return false
 	}
-	return false
+	s.fireNode(n)
+	return true
 }
 
 // RunUntil fires events in order until the clock would pass the deadline,
@@ -157,15 +403,12 @@ func (s *Scheduler) Step() bool {
 // and leaves the clock at the last executed instant, so Now reports how
 // far the run got.
 func (s *Scheduler) RunUntil(deadline Time) {
-	for len(s.heap) > 0 && !s.stopped {
-		next := s.peek()
-		if next == nil {
+	for !s.stopped {
+		n := s.findMin()
+		if n == nil || n.at > deadline {
 			break
 		}
-		if next.at > deadline {
-			break
-		}
-		s.Step()
+		s.fireNode(n)
 	}
 	if s.stopped {
 		return
@@ -179,55 +422,4 @@ func (s *Scheduler) RunUntil(deadline Time) {
 func (s *Scheduler) Run() {
 	for s.Step() {
 	}
-}
-
-func (s *Scheduler) peek() *Timer {
-	for len(s.heap) > 0 {
-		if s.heap[0].cancelled {
-			if s.hook != nil {
-				s.hook(s.heap[0].at, true)
-			}
-			heap.Pop(&s.heap)
-			continue
-		}
-		return s.heap[0]
-	}
-	return nil
-}
-
-// eventHeap orders timers by (at, seq) so same-instant events fire FIFO.
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	tm, ok := x.(*Timer)
-	if !ok {
-		return
-	}
-	tm.index = len(*h)
-	*h = append(*h, tm)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	tm := old[n-1]
-	old[n-1] = nil
-	tm.index = -1
-	*h = old[:n-1]
-	return tm
 }

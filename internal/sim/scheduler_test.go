@@ -142,7 +142,7 @@ func TestSchedulerExecutedCount(t *testing.T) {
 func TestSchedulerCancelDuringCallback(t *testing.T) {
 	s := NewScheduler()
 	fired := false
-	var victim *Timer
+	var victim Timer
 	victim = s.After(2*Second, func() { fired = true })
 	s.After(Second, func() { victim.Cancel() })
 	s.Run()

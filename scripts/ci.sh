@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: vet, shadow lint, build, race-enabled tests, a short fuzz pass
-# over the MAC and route-cache targets, the coverage gate, a benchmark
-# smoke run, a tracediff smoke (audit inert / seeds diverge), invariant-
-# audited experiment smokes (clean and fault-injected) under the race
-# detector, and the end-to-end rcast-serve smoke (race-built daemon:
-# submit/poll/parity/cache/429/drain).
+# over the MAC, route-cache and scheduler-wheel targets, the coverage gate,
+# the calibrated perf-smoke gate, a benchmark smoke run, a tracediff smoke
+# (audit inert / seeds diverge), invariant-audited experiment smokes (clean
+# and fault-injected) under the race detector, and the end-to-end
+# rcast-serve smoke (race-built daemon: submit/poll/parity/cache/429/drain).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,9 +23,16 @@ go test -race ./...
 echo "== fuzz smoke =="
 go test -run '^$' -fuzz 'FuzzPSMOperations' -fuzztime 10s ./internal/mac
 go test -run '^$' -fuzz 'FuzzCacheOperations' -fuzztime 10s ./internal/routing/dsr
+go test -run '^$' -fuzz 'FuzzSchedulerWheel' -fuzztime 10s ./internal/sim
 
 echo "== coverage gate =="
 go run ./tools/covergate
+
+echo "== perf smoke =="
+# Calibrated 3-node-cell gate: fails on >30% event-kernel slowdown
+# relative to tools/perfsmoke/baseline.json (see that tool for how the
+# score is normalized across machines).
+go run ./tools/perfsmoke
 
 echo "== bench smoke =="
 go test -run '^$' -bench 'BenchmarkFullRunRcast$|BenchmarkChannelTransmit' -benchtime 1x .

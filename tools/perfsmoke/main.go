@@ -1,0 +1,145 @@
+// Command perfsmoke is the CI performance gate for the event kernel: it
+// runs a small fixed simulation (a 3-node cell with steady CBR traffic)
+// and fails if it got more than 30% slower than the committed baseline.
+//
+// Raw wall-clock time is useless as a committed number — CI machines
+// differ by far more than any regression worth catching. Instead the gate
+// normalizes: it times a fixed pure-Go calibration workload (the retained
+// heap-oracle scheduler churning a large timer population) on the same
+// machine in the same process, and scores the simulation as
+//
+//	score = calibration_time / simulation_time
+//
+// Both workloads are dominated by the same kind of work (pointer-heavy
+// event dispatch), so the ratio is stable across machines while still
+// moving one-for-one with real event-kernel regressions. Best-of-3 runs on
+// both sides squeeze out scheduler noise.
+//
+// Usage:
+//
+//	go run ./tools/perfsmoke          # enforce against tools/perfsmoke/baseline.json
+//	go run ./tools/perfsmoke -write   # regenerate the baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rcast"
+	"rcast/internal/sim"
+)
+
+const (
+	baselineFile = "tools/perfsmoke/baseline.json"
+	// Burstable CI containers show ±20% score wobble run to run, so the
+	// tolerance sits above the noise; any regression worth catching (a
+	// scheduler or allocation-path slip) moves the score by far more.
+	maxRegress = 0.30 // fail when score drops >30% below baseline
+	runs       = 3    // best-of runs per side
+)
+
+type baseline struct {
+	Score   float64 `json:"score"`   // calibration_time / simulation_time
+	Comment string  `json:"comment"` // provenance note
+}
+
+// calibrate times the fixed reference workload: the heap-oracle scheduler
+// scheduling and draining a pseudo-random timer population. This code is
+// frozen (it exists as a differential oracle), so the measurement only
+// moves when the machine does.
+func calibrate() time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		s := sim.NewHeapScheduler()
+		fn := func() {}
+		x := uint64(12345)
+		for i := 0; i < 300_000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			s.After(sim.Time(x%100_000), fn)
+			if i%4 == 0 {
+				s.Step()
+			}
+		}
+		s.Run()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// simulate times the gated workload: the quick 3-node cell.
+func simulate() (time.Duration, error) {
+	cfg := rcast.PaperDefaults()
+	cfg.Nodes = 3
+	cfg.FieldW, cfg.FieldH = 200, 200
+	cfg.Connections = 2
+	cfg.PacketRate = 8
+	cfg.Duration = rcast.Seconds(3600)
+	cfg.Pause = rcast.Seconds(3600) // static cell
+	cfg.Seed = 1
+
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		if _, err := rcast.RunReplications(cfg, 1); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	write := flag.Bool("write", false, "regenerate "+baselineFile+" from the current run instead of comparing")
+	flag.Parse()
+
+	cal := calibrate()
+	simT, err := simulate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfsmoke:", err)
+		os.Exit(1)
+	}
+	score := cal.Seconds() / simT.Seconds()
+	fmt.Printf("perfsmoke: calibration %v, simulation %v, score %.3f\n",
+		cal.Round(time.Microsecond), simT.Round(time.Microsecond), score)
+
+	if *write {
+		b := baseline{Score: score, Comment: "best-of-3 heap-oracle calibration vs quick 3-node cell; regenerate with go run ./tools/perfsmoke -write"}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfsmoke:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(baselineFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "perfsmoke:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perfsmoke: wrote baseline score %.3f\n", score)
+		return
+	}
+
+	data, err := os.ReadFile(baselineFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfsmoke: no baseline — run with -write first:", err)
+		os.Exit(1)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		fmt.Fprintln(os.Stderr, "perfsmoke: bad baseline:", err)
+		os.Exit(1)
+	}
+	floor := b.Score * (1 - maxRegress)
+	if score < floor {
+		fmt.Fprintf(os.Stderr, "perfsmoke: FAIL — score %.3f is below floor %.3f (baseline %.3f, tolerance %d%%)\n",
+			score, floor, b.Score, int(maxRegress*100))
+		os.Exit(1)
+	}
+	fmt.Printf("perfsmoke: OK (baseline %.3f, floor %.3f)\n", b.Score, floor)
+}
