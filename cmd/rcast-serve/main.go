@@ -5,14 +5,23 @@
 // identical submission is answered without recomputing. See DESIGN.md
 // §10 for the API and the determinism contract.
 //
+// With -coordinator the daemon becomes the head of a fleet: parameter
+// sweeps (POST /api/v1/sweeps) are expanded into content-addressed cells
+// and sharded across downstream rcast-serve workers with work-stealing
+// dispatch, bounded retry on worker loss, and peer cache fills. Results
+// are byte-identical to running the same cells locally or through the
+// CLI tools.
+//
 // Examples:
 //
 //	rcast-serve -addr :8321
 //	rcast-serve -addr :8321 -workers 4 -queue 32 -cache 512
+//	rcast-serve -addr :8320 -coordinator http://sim-a:8321,http://sim-b:8321
 //
 //	curl -s localhost:8321/api/v1/jobs -d '{"scheme":"Rcast","reps":3}'
 //	curl -s localhost:8321/api/v1/jobs/job-1
 //	curl -s localhost:8321/api/v1/jobs/job-1/result
+//	curl -s localhost:8320/api/v1/sweeps -d '{"schemes":["802.11","Rcast"],"pauses_sec":[0,300,-1]}'
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,19 +59,40 @@ func run(args []string) error {
 		defTimeout   = fs.Duration("default-timeout", 10*time.Minute, "per-job deadline when the request sets none")
 		maxTimeout   = fs.Duration("max-timeout", time.Hour, "ceiling on requested per-job deadlines")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Minute, "how long a shutdown signal waits for admitted jobs before force-canceling")
+		coordinator  = fs.String("coordinator", "", "comma-separated rcast-serve worker URLs; sweeps shard across this fleet")
+		fleetRetries = fs.Int("fleet-retries", 3, "per-cell retry budget after a fleet worker is lost")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		SimWorkers:     *simWorkers,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
-	})
+	}
+	var srv *serve.Server
+	if *coordinator != "" {
+		var urls []string
+		for _, u := range strings.Split(*coordinator, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
+		var err error
+		srv, err = serve.NewCoordinator(opts, serve.FleetOptions{
+			Workers:    urls,
+			MaxRetries: *fleetRetries,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		srv = serve.New(opts)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -70,7 +101,11 @@ func run(args []string) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	log.SetPrefix("rcast-serve: ")
 	log.SetFlags(log.LstdFlags)
-	log.Printf("listening on %s (workers=%d queue=%d cache=%d)", ln.Addr(), *workers, *queue, *cacheEntries)
+	mode := "standalone"
+	if *coordinator != "" {
+		mode = fmt.Sprintf("coordinator fleet=%s", *coordinator)
+	}
+	log.Printf("listening on %s (workers=%d queue=%d cache=%d %s)", ln.Addr(), *workers, *queue, *cacheEntries, mode)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

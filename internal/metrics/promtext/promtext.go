@@ -238,6 +238,71 @@ func (cv *CounterVec) write(w io.Writer) error {
 	return nil
 }
 
+// GaugeVec is a gauge family partitioned by one label (e.g. per-worker
+// health in a fleet).
+type GaugeVec struct {
+	nm, help, label string
+
+	mu sync.Mutex
+	m  map[string]*atomic.Int64
+}
+
+// NewGaugeVec registers a one-label gauge family.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	gv := &GaugeVec{nm: name, help: help, label: label, m: make(map[string]*atomic.Int64)}
+	r.register(gv)
+	return gv
+}
+
+func (gv *GaugeVec) child(value string) *atomic.Int64 {
+	gv.mu.Lock()
+	g, ok := gv.m[value]
+	if !ok {
+		g = new(atomic.Int64)
+		gv.m[value] = g
+	}
+	gv.mu.Unlock()
+	return g
+}
+
+// Set replaces the value of the child for the given label value.
+func (gv *GaugeVec) Set(value string, v int64) { gv.child(value).Store(v) }
+
+// Value returns one child's value (0 if never set).
+func (gv *GaugeVec) Value(value string) int64 {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	if g, ok := gv.m[value]; ok {
+		return g.Load()
+	}
+	return 0
+}
+
+func (gv *GaugeVec) name() string { return gv.nm }
+
+func (gv *GaugeVec) write(w io.Writer) error {
+	if err := writeHeader(w, gv.nm, gv.help, "gauge"); err != nil {
+		return err
+	}
+	gv.mu.Lock()
+	values := make([]string, 0, len(gv.m))
+	for v := range gv.m {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	samples := make([]int64, len(values))
+	for i, v := range values {
+		samples[i] = gv.m[v].Load()
+	}
+	gv.mu.Unlock()
+	for i, v := range values {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", gv.nm, gv.label, v, samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Histogram is a cumulative-bucket histogram of float64 observations.
 type Histogram struct {
 	nm, help string

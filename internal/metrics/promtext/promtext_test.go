@@ -131,3 +131,29 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("lost updates: c=%d g=%d v=%d h=%d", c.Value(), g.Value(), cv.Value("a"), h.Count())
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	gv := r.NewGaugeVec("test_worker_up", "Worker health.", "worker")
+	gv.Set("http://b:1", 1)
+	gv.Set("http://a:1", 1)
+	gv.Set("http://b:1", 0)
+	if got := gv.Value("http://a:1"); got != 1 {
+		t.Errorf("Value(a) = %d, want 1", got)
+	}
+	if got := gv.Value("http://b:1"); got != 0 {
+		t.Errorf("Value(b) = %d, want 0", got)
+	}
+	if got := gv.Value("http://never:1"); got != 0 {
+		t.Errorf("Value(unset) = %d, want 0", got)
+	}
+	got := render(t, r)
+	want := `# HELP test_worker_up Worker health.
+# TYPE test_worker_up gauge
+test_worker_up{worker="http://a:1"} 1
+test_worker_up{worker="http://b:1"} 0
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

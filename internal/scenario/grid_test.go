@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"testing"
+
+	"rcast/internal/sim"
+)
+
+func TestGridSizeAndOrder(t *testing.T) {
+	g := Grid{
+		Schemes:   []Scheme{SchemeAlwaysOn, SchemeRcast},
+		Rates:     []float64{0.4, 2.0},
+		PausesSec: []float64{600, -1},
+	}
+	if got := g.Size(); got != 8 {
+		t.Fatalf("Size = %d, want 8", got)
+	}
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("len(Points) = %d, want 8", len(pts))
+	}
+	// Canonical nesting: scheme outermost, then rate, then pause.
+	want := []GridPoint{
+		{Scheme: SchemeAlwaysOn, HasRate: true, Rate: 0.4, HasPause: true, PauseSec: 600},
+		{Scheme: SchemeAlwaysOn, HasRate: true, Rate: 0.4, HasPause: true, PauseSec: -1},
+		{Scheme: SchemeAlwaysOn, HasRate: true, Rate: 2.0, HasPause: true, PauseSec: 600},
+		{Scheme: SchemeAlwaysOn, HasRate: true, Rate: 2.0, HasPause: true, PauseSec: -1},
+		{Scheme: SchemeRcast, HasRate: true, Rate: 0.4, HasPause: true, PauseSec: 600},
+		{Scheme: SchemeRcast, HasRate: true, Rate: 0.4, HasPause: true, PauseSec: -1},
+		{Scheme: SchemeRcast, HasRate: true, Rate: 2.0, HasPause: true, PauseSec: 600},
+		{Scheme: SchemeRcast, HasRate: true, Rate: 2.0, HasPause: true, PauseSec: -1},
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestGridOptionalAxesKeepBase(t *testing.T) {
+	g := Grid{Schemes: []Scheme{SchemeODPM}}
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	if len(pts) != 1 || g.Size() != 1 {
+		t.Fatalf("singleton grid expanded to %d points (Size %d)", len(pts), g.Size())
+	}
+	base := PaperDefaults()
+	base.PacketRate = 1.7
+	base.Pause = 123 * sim.Second
+	base.GossipFanout = 2
+	cfg, err := pts[0].Apply(base)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if cfg.Scheme != SchemeODPM {
+		t.Fatalf("scheme = %v", cfg.Scheme)
+	}
+	if cfg.PacketRate != 1.7 || cfg.Pause != 123*sim.Second || cfg.GossipFanout != 2 {
+		t.Fatalf("absent axes did not keep base values: %+v", cfg)
+	}
+}
+
+func TestGridApplyAxes(t *testing.T) {
+	base := PaperDefaults()
+	base.Duration = 200 * sim.Second
+
+	p := GridPoint{
+		Scheme:  SchemeRcast,
+		HasRate: true, Rate: 1.2,
+		HasPause: true, PauseSec: -1, // static
+		HasFault: true, FaultPreset: "crash",
+		HasGossip: true, GossipFanout: 3,
+	}
+	if !p.Static() {
+		t.Fatal("negative pause should report Static")
+	}
+	cfg, err := p.Apply(base)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if cfg.PacketRate != 1.2 {
+		t.Fatalf("rate = %v", cfg.PacketRate)
+	}
+	if cfg.Pause != cfg.Duration {
+		t.Fatalf("static pause = %v, want duration %v", cfg.Pause, cfg.Duration)
+	}
+	if cfg.Faults == nil {
+		t.Fatal("fault preset not applied")
+	}
+	if cfg.GossipFanout != 3 {
+		t.Fatalf("gossip fanout = %v", cfg.GossipFanout)
+	}
+
+	p.PauseSec = 75
+	cfg, err = p.Apply(base)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if cfg.Pause != 75*sim.Second {
+		t.Fatalf("pause = %v, want 75s", cfg.Pause)
+	}
+	// The base must not be mutated by Apply.
+	if base.Scheme == SchemeRcast && base.PacketRate == 1.2 {
+		t.Fatal("Apply mutated the base config")
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	cases := map[string]Grid{
+		"no schemes":    {},
+		"bad scheme":    {Schemes: []Scheme{Scheme(99)}},
+		"zero rate":     {Schemes: []Scheme{SchemeRcast}, Rates: []float64{0}},
+		"negative rate": {Schemes: []Scheme{SchemeRcast}, Rates: []float64{-0.5}},
+		"unknown fault": {Schemes: []Scheme{SchemeRcast}, FaultPresets: []string{"warp"}},
+		"bad gossip":    {Schemes: []Scheme{SchemeRcast}, GossipFanouts: []float64{-1}},
+	}
+	for name, g := range cases {
+		if _, err := g.Points(); err == nil {
+			t.Errorf("%s: expansion accepted", name)
+		}
+	}
+	// The empty preset name is the "no faults" cell and must validate.
+	ok := Grid{Schemes: []Scheme{SchemeRcast}, FaultPresets: []string{"", "crash"}}
+	if _, err := ok.Points(); err != nil {
+		t.Errorf("empty fault preset rejected: %v", err)
+	}
+}

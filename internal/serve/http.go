@@ -18,6 +18,15 @@ import (
 //	GET  /api/v1/jobs/{id}/trace  fetch the NDJSON trace artifact (traced jobs)
 //	GET  /api/v1/jobs/{id}/events live status stream (server-sent events)
 //	POST /api/v1/jobs/{id}/cancel request cancellation
+//	POST /api/v1/sweeps             submit a parameter-grid sweep (202; 200 on cache hit)
+//	GET  /api/v1/sweeps             list sweep statuses
+//	GET  /api/v1/sweeps/{id}        poll one sweep (includes per-cell states)
+//	GET  /api/v1/sweeps/{id}/result fetch the aggregate sweep document
+//	GET  /api/v1/sweeps/{id}/events live per-cell completion stream (SSE)
+//	POST /api/v1/sweeps/{id}/cancel request sweep cancellation
+//	GET  /api/v1/results/{key}      raw cached result bytes by canonical key
+//	                                (HEAD probes existence; used for fleet
+//	                                peer-cache fills)
 //	GET  /healthz                 liveness (503 while draining)
 //	GET  /metrics                 Prometheus text exposition
 //	     /debug/pprof/...         runtime profiling
@@ -30,6 +39,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /api/v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/result", s.handleSweepResult)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("POST /api/v1/sweeps/{id}/cancel", s.handleSweepCancel)
+	mux.HandleFunc("GET /api/v1/results/{key}", s.handleResultByKey)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -148,16 +164,26 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := job.status()
+	data, captured := job.Trace()
 	switch {
 	case !st.State.Terminal():
 		writeError(w, http.StatusConflict, "job %s is %s; trace not ready", job.ID, st.State)
-	case st.State != StateDone:
-		writeError(w, http.StatusConflict, "job %s is %s: %s", job.ID, st.State, st.Error)
+	case !captured:
+		// Terminal but never executed (e.g. canceled while queued): there
+		// is no artifact, partial or otherwise.
+		writeError(w, http.StatusConflict, "job %s is %s and never executed: %s", job.ID, st.State, st.Error)
 	default:
+		// Failed, canceled and timed-out traced jobs serve their partial
+		// trace — the run you most want to debug — flagged via header.
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Header().Set("X-Rcast-Key", job.Key)
+		if st.State != StateDone {
+			w.Header().Set("X-Rcast-Trace", "partial")
+		} else {
+			w.Header().Set("X-Rcast-Trace", "complete")
+		}
 		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(job.Trace())
+		_, _ = w.Write(data)
 	}
 }
 

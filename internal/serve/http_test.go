@@ -530,6 +530,70 @@ func TestHTTPTraceArtifact(t *testing.T) {
 	getBody(t, ts, "/api/v1/jobs/"+plain.ID+"/trace", http.StatusNotFound)
 }
 
+// TestHTTPTraceArtifactSurvivesFailure pins the partial-trace fix: a
+// traced job that dies on its deadline — exactly the run you most want to
+// debug — must still serve the trace captured up to the failure. Pre-fix,
+// execute only persisted traceBuf on the success path.
+func TestHTTPTraceArtifactSurvivesFailure(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4, DefaultTimeout: 500 * time.Millisecond})
+
+	// A 1h-sim-time job cannot finish inside a 500 ms wall deadline, but
+	// emits plenty of trace events before dying.
+	body := `{"scheme":"Rcast","nodes":30,"connections":5,"duration_sec":3600,"reps":1,"trace":true}`
+	resp, st := postJob(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	fin := waitHTTPTerminal(t, ts, st.ID)
+	if fin.State != StateFailed || !strings.Contains(fin.Error, "deadline") {
+		t.Fatalf("job ended %s (%s), want deadline failure", fin.State, fin.Error)
+	}
+
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("GET trace of failed traced job = %d (%s), want 200 with the partial artifact", resp2.StatusCode, raw)
+	}
+	if got := resp2.Header.Get("X-Rcast-Trace"); got != "partial" {
+		t.Fatalf("X-Rcast-Trace = %q, want partial", got)
+	}
+	evs, err := trace.ReadEvents(resp2.Body)
+	if err != nil {
+		t.Fatalf("parse partial trace: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("partial trace is empty")
+	}
+
+	// A traced job canceled while still queued never executed: no
+	// artifact, partial or otherwise.
+	s2, ts2 := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	s2.runFn = func(ctx context.Context, cfg scenario.Config, reps, workers int) (*scenario.Aggregate, error) {
+		select {
+		case <-release:
+			return scenario.RunReplicationsContext(ctx, cfg, reps, workers)
+		case <-ctx.Done():
+			return nil, fmt.Errorf("stub: %w", scenario.ErrCanceled)
+		}
+	}
+	defer close(release)
+	_, stA := postJob(t, ts2, quickBody) // occupies the worker
+	tracedQueued := strings.TrimSuffix(quickBody, "}") + `,"seed":7,"trace":true}`
+	_, stB := postJob(t, ts2, tracedQueued)
+	respC, err := http.Post(ts2.URL+"/api/v1/jobs/"+stB.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respC.Body.Close()
+	getBody(t, ts2, "/api/v1/jobs/"+stB.ID+"/trace", http.StatusConflict)
+	_ = stA
+}
+
 // getBody fetches a path and asserts the status code, returning the body.
 func getBody(t *testing.T, ts *httptest.Server, path string, wantCode int) []byte {
 	t.Helper()

@@ -47,9 +47,13 @@ type Job struct {
 	finished  time.Time
 	result    []byte
 	traceData []byte // captured NDJSON trace (traced jobs only)
-	cancel    context.CancelCauseFunc
-	subs      map[int]chan Status
-	nextSub   int
+	// traceCaptured distinguishes "executed and captured a (possibly
+	// empty or partial) trace" from "never ran": a traced job canceled
+	// while still queued has nothing to serve.
+	traceCaptured bool
+	cancel        context.CancelCauseFunc
+	subs          map[int]chan Status
+	nextSub       int
 }
 
 // Status is the poll/SSE view of a job.
@@ -106,12 +110,14 @@ func (j *Job) Result() []byte {
 // artifact (identity field; set once at admission).
 func (j *Job) TraceRequested() bool { return j.traceRequested }
 
-// Trace returns the captured NDJSON trace bytes (nil unless the job was
-// traced and finished executing).
-func (j *Job) Trace() []byte {
+// Trace returns the captured NDJSON trace bytes and whether a trace was
+// captured at all. Failed, canceled and timed-out traced jobs keep their
+// partial trace; only a traced job that never started executing reports
+// false.
+func (j *Job) Trace() ([]byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.traceData
+	return j.traceData, j.traceCaptured
 }
 
 // setState transitions the job and broadcasts the new status to

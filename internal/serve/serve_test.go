@@ -412,6 +412,83 @@ func TestShutdownForceCancelsOnExpiredContext(t *testing.T) {
 	}
 }
 
+// TestShutdownForceCancelReportsShutdownCause pins the errShutdown
+// branch of classifyRunError: a job force-canceled by an expired Shutdown
+// must report "server shutting down", not the generic "context canceled".
+// The pre-fix code built forceStop with context.WithCancel, so the cause
+// never carried errShutdown and the branch was dead.
+func TestShutdownForceCancelReportsShutdownCause(t *testing.T) {
+	s, _ := blockingServer(t, Options{Workers: 1, QueueDepth: 2})
+	job, out, err := s.Submit(quickRequest())
+	if err != nil || out != OutcomeAccepted {
+		t.Fatalf("submit: out=%v err=%v", out, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for job.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown err = %v, want deadline exceeded", err)
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateCanceled {
+		t.Fatalf("state after forced shutdown = %s (%s)", st.State, st.Error)
+	}
+	if st.Error != "server shutting down" {
+		t.Fatalf("forced-shutdown terminal message = %q, want \"server shutting down\"", st.Error)
+	}
+}
+
+// TestQueueFullDoesNotBurnJobIDs pins ID allocation to admission: a 429
+// must not consume an ID, so the job admitted right after a rejection
+// gets the next consecutive one. Pre-fix, Submit created the job (and
+// incremented nextID) before the queue-full check.
+func TestQueueFullDoesNotBurnJobIDs(t *testing.T) {
+	s, release := blockingServer(t, Options{Workers: 1, QueueDepth: 1})
+	defer shutdownServer(t, s)
+
+	jobA, out, _ := s.Submit(quickRequest())
+	if out != OutcomeAccepted {
+		t.Fatalf("submit A: %v", out)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for jobA.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("A never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	reqB := quickRequest()
+	reqB.Seed = ptr(int64(201))
+	jobB, out, _ := s.Submit(reqB)
+	if out != OutcomeAccepted {
+		t.Fatalf("submit B: %v", out)
+	}
+	reqC := quickRequest()
+	reqC.Seed = ptr(int64(202))
+	if _, out, _ := s.Submit(reqC); out != OutcomeQueueFull {
+		t.Fatalf("submit C with full queue: %v, want OutcomeQueueFull", out)
+	}
+	close(release) // A finishes, the worker drains B
+	waitTerminal(t, jobA)
+	waitTerminal(t, jobB)
+	reqD := quickRequest()
+	reqD.Seed = ptr(int64(203))
+	jobD, out, _ := s.Submit(reqD)
+	if out != OutcomeAccepted {
+		t.Fatalf("submit D: %v", out)
+	}
+	waitTerminal(t, jobD)
+	if jobB.ID != "job-2" || jobD.ID != "job-3" {
+		t.Fatalf("IDs B=%s D=%s, want job-2 and job-3 (the 429 must not burn an ID)", jobB.ID, jobD.ID)
+	}
+}
+
 func TestConcurrentSubmitPollCancel(t *testing.T) {
 	s := New(Options{Workers: 4, QueueDepth: 64})
 	defer shutdownServer(t, s)

@@ -95,16 +95,24 @@ type Server struct {
 	// rcast-bench and rcast-sim use.
 	runFn func(ctx context.Context, cfg scenario.Config, reps, workers int) (*scenario.Aggregate, error)
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string        // submission order, for listing
-	byKey    map[string]*Job // non-terminal jobs by cache key (coalescing)
-	queue    chan *Job
-	nextID   int
-	draining bool
+	// sweepExec obtains every cell's result bytes for an admitted sweep:
+	// localSweepExecutor on a plain server, fleetExecutor in coordinator
+	// mode. Either way the bytes per cell are byte-identical.
+	sweepExec sweepExecutor
+
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string        // submission order, for listing
+	byKey       map[string]*Job // non-terminal jobs by cache key (coalescing)
+	queue       chan *Job
+	nextID      int
+	sweeps      map[string]*Sweep
+	sweepOrder  []string
+	nextSweepID int
+	draining    bool
 
 	baseCtx   context.Context
-	forceStop context.CancelFunc
+	forceStop context.CancelCauseFunc
 	wg        sync.WaitGroup
 
 	reg           *promtext.Registry
@@ -117,23 +125,34 @@ type Server struct {
 	mJobsTerminal *promtext.CounterVec
 	mRunning      *promtext.Gauge
 	mRunSeconds   *promtext.Histogram
+
+	mSweepsSubmitted *promtext.Counter
+	mSweepsTerminal  *promtext.CounterVec
+	mSweepsRunning   *promtext.Gauge
+	mFleetCells      *promtext.CounterVec
+	mFleetRetries    *promtext.Counter
 }
 
 // New creates a server and starts its worker pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		cache: newResultCache(opts.CacheEntries),
-		jobs:  make(map[string]*Job),
-		byKey: make(map[string]*Job),
-		queue: make(chan *Job, opts.QueueDepth),
-		reg:   promtext.NewRegistry(),
+		opts:   opts,
+		cache:  newResultCache(opts.CacheEntries),
+		jobs:   make(map[string]*Job),
+		byKey:  make(map[string]*Job),
+		queue:  make(chan *Job, opts.QueueDepth),
+		sweeps: make(map[string]*Sweep),
+		reg:    promtext.NewRegistry(),
 	}
+	s.sweepExec = localSweepExecutor{s: s}
 	s.runFn = func(ctx context.Context, cfg scenario.Config, reps, workers int) (*scenario.Aggregate, error) {
 		return scenario.RunReplicationsContext(ctx, cfg, reps, workers)
 	}
-	s.baseCtx, s.forceStop = context.WithCancel(context.Background())
+	// WithCancelCause, not WithCancel: a force-stop must surface as
+	// errShutdown through context.Cause, or classifyRunError reports the
+	// generic "context canceled" instead of "server shutting down".
+	s.baseCtx, s.forceStop = context.WithCancelCause(context.Background())
 
 	s.mSubmitted = s.reg.NewCounter("rcast_serve_jobs_submitted_total", "Job submissions admitted (cache hits and coalesced submissions included).")
 	s.mRuns = s.reg.NewCounter("rcast_serve_runs_total", "Simulation batches actually executed (cache hits never increment this).")
@@ -154,6 +173,11 @@ func New(opts Options) *Server {
 	s.reg.NewGaugeFunc("rcast_serve_cache_entries", "Results held by the cache.", func() int64 {
 		return int64(s.cache.Len())
 	})
+	s.mSweepsSubmitted = s.reg.NewCounter("rcast_serve_sweeps_submitted_total", "Sweep submissions admitted (whole-sweep cache hits included).")
+	s.mSweepsTerminal = s.reg.NewCounterVec("rcast_serve_sweeps_total", "Sweeps reaching a terminal state.", "state")
+	s.mSweepsRunning = s.reg.NewGauge("rcast_serve_sweeps_running", "Sweeps currently executing.")
+	s.mFleetCells = s.reg.NewCounterVec("rcast_serve_fleet_cells_total", "Sweep cells resolved, by source (computed, local_cache, peer_cache).", "source")
+	s.mFleetRetries = s.reg.NewCounter("rcast_serve_fleet_retries_total", "Sweep cells re-dispatched after a fleet worker was lost.")
 
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -208,15 +232,18 @@ func (s *Server) Submit(req JobRequest) (*Job, Outcome, error) {
 			return prior, OutcomeCoalesced, nil
 		}
 	}
-	job := s.newJobLocked(key, cfg, reps, timeout)
-	job.traceRequested = req.Trace
-	job.state = StateQueued
-	select {
-	case s.queue <- job:
-	default:
+	// Admission check BEFORE allocating the job ID: newJobLocked consumes
+	// s.nextID, so creating the job first burned one ID per 429 and left
+	// gaps in the sequence. Every send happens under s.mu and workers only
+	// drain, so a length check here guarantees the send below cannot block.
+	if len(s.queue) == cap(s.queue) {
 		s.mRejected.Inc("queue_full")
 		return nil, OutcomeQueueFull, nil
 	}
+	job := s.newJobLocked(key, cfg, reps, timeout)
+	job.traceRequested = req.Trace
+	job.state = StateQueued
+	s.queue <- job
 	s.registerLocked(job)
 	if _, ok := s.byKey[key]; !ok {
 		s.byKey[key] = job
@@ -328,7 +355,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		s.forceStop()
+		s.forceStop(errShutdown)
 		<-done
 		return ctx.Err()
 	}
@@ -373,6 +400,15 @@ func (s *Server) execute(job *Job) {
 	s.mRunning.Dec()
 	s.mRuns.Inc()
 
+	// Persist the trace BEFORE classifying the outcome: a traced job that
+	// fails or hits its deadline is exactly the run its trace exists to
+	// debug, and dropping the partial artifact on the error path lost it.
+	if traceBuf != nil {
+		job.mu.Lock()
+		job.traceData = traceBuf.Bytes()
+		job.traceCaptured = true
+		job.mu.Unlock()
+	}
 	if err != nil {
 		state, msg := classifyRunError(tctx, err)
 		s.finishJob(job, state, msg, nil)
@@ -382,11 +418,6 @@ func (s *Server) execute(job *Job) {
 	if err != nil {
 		s.finishJob(job, StateFailed, fmt.Sprintf("marshal result: %v", err), nil)
 		return
-	}
-	if traceBuf != nil {
-		job.mu.Lock()
-		job.traceData = traceBuf.Bytes()
-		job.mu.Unlock()
 	}
 	s.cache.Put(job.Key, body)
 	s.finishJob(job, StateDone, "", body)

@@ -71,8 +71,67 @@ func TestReplicationsUseSampleStdDev(t *testing.T) {
 	if got, want := r.StdDev(), SampleStdDev(samples); !close2(got, want) {
 		t.Errorf("Replications.StdDev = %v, want sample estimate %v", got, want)
 	}
-	if got, want := r.CI95(), 1.96*SampleStdDev(samples)/2; !close2(got, want) {
+	// n = 4 → df = 3 → t critical 3.182, not the normal 1.96.
+	if got, want := r.CI95(), 3.182*SampleStdDev(samples)/2; !close2(got, want) {
 		t.Errorf("Replications.CI95 = %v, want %v", got, want)
+	}
+}
+
+// TestTCritical95 pins the Student-t critical values against known
+// t-table quantiles (two-tailed, 95%), including the conservative
+// round-down for untabulated df and the normal limit for large df. The
+// pre-fix code used 1.96 for every n — at the paper suite's 3–10
+// replications that understated intervals by up to ~30%.
+func TestTCritical95(t *testing.T) {
+	tests := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706},
+		{2, 4.303}, // n = 3, the committed paper profile
+		{4, 2.776},
+		{9, 2.262}, // n = 10, the paper's own replication count
+		{29, 2.045},
+		{30, 2.042},
+		{35, 2.042},  // untabulated: rounds down to df 30
+		{45, 2.021},  // untabulated: rounds down to df 40
+		{119, 1.984}, // untabulated: rounds down to df 100
+		{120, 1.980},
+		{121, 1.96}, // normal limit
+		{1000, 1.96},
+		{0, 12.706},  // clamped to df 1
+		{-3, 12.706}, // clamped to df 1
+	}
+	for _, tt := range tests {
+		if got := TCritical95(tt.df); !close2(got, tt.want) {
+			t.Errorf("TCritical95(%d) = %v, want %v", tt.df, got, tt.want)
+		}
+	}
+	// The critical value must never fall below the normal limit, and must
+	// shrink monotonically toward it.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := TCritical95(df)
+		if v < 1.96 {
+			t.Fatalf("TCritical95(%d) = %v below the normal limit", df, v)
+		}
+		if v > prev {
+			t.Fatalf("TCritical95 not monotone at df %d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestCI95StudentT pins the full CI95 computation on a known sample:
+// {1,2,3} has sample stddev 1, n 3, df 2 → half-width 4.303/sqrt(3).
+func TestCI95StudentT(t *testing.T) {
+	var r Replications
+	for _, v := range []float64{1, 2, 3} {
+		r.Add(v)
+	}
+	want := 4.303 / math.Sqrt(3)
+	if got := r.CI95(); !close2(got, want) {
+		t.Errorf("CI95 = %v, want %v (Student-t, df 2)", got, want)
 	}
 }
 

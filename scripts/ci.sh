@@ -3,8 +3,10 @@
 # over the MAC, route-cache and scheduler-wheel targets, the coverage gate,
 # the calibrated perf-smoke gate, a benchmark smoke run, a tracediff smoke
 # (audit inert / seeds diverge), invariant-audited experiment smokes (clean
-# and fault-injected) under the race detector, and the end-to-end
-# rcast-serve smoke (race-built daemon: submit/poll/parity/cache/429/drain).
+# and fault-injected) under the race detector, the end-to-end rcast-serve
+# smoke (race-built daemon: submit/poll/parity/cache/429/drain), and the
+# fleet smoke (coordinator + two race-built workers: sweep sharding,
+# peer-cache fill, serial byte-parity).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,5 +60,8 @@ go run -race ./cmd/rcast-bench -profile quick -only a8 -reps 1 -audit > /dev/nul
 
 echo "== serve smoke (race) =="
 go run ./tools/servesmoke
+
+echo "== fleet smoke (race) =="
+go run ./tools/fleetsmoke
 
 echo "ci: OK"

@@ -1,0 +1,318 @@
+// Command fleetsmoke is the end-to-end exercise of rcast-serve's fleet
+// mode that scripts/ci.sh runs: it builds the real binary with the race
+// detector, boots two workers plus a coordinator on ephemeral ports,
+// pre-warms one sweep cell on a worker's cache, drives a small parameter
+// sweep through the coordinator over actual HTTP, and verifies that the
+// aggregate sweep document is byte-identical to computing every cell
+// serially through the library path the CLI tools use, that the
+// pre-warmed cell was served through the peer-cache probe (nonzero fleet
+// cache-hit counter, one fewer engine run), and that /metrics reports
+// both workers up.
+//
+// Usage:
+//
+//	go run ./tools/fleetsmoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rcast"
+	"rcast/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("fleetsmoke: OK")
+}
+
+// sweepReq is the small sweep driven through the fleet: 2 schemes × 2
+// mobility points = 4 cells at quick scale.
+func sweepReq() serve.SweepRequest {
+	return serve.SweepRequest{
+		Schemes:     []string{"802.11", "Rcast"},
+		PausesSec:   []float64{0, -1},
+		Nodes:       12,
+		Connections: 3,
+		DurationSec: 10,
+		Reps:        1,
+	}
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "fleetsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "rcast-serve")
+	build := exec.Command("go", "build", "-race", "-o", bin, "./cmd/rcast-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build rcast-serve: %w", err)
+	}
+
+	workerA, err := startDaemon(bin, "workerA", "-workers", "1", "-queue", "8")
+	if err != nil {
+		return err
+	}
+	defer workerA.kill()
+	workerB, err := startDaemon(bin, "workerB", "-workers", "1", "-queue", "8")
+	if err != nil {
+		return err
+	}
+	defer workerB.kill()
+	coord, err := startDaemon(bin, "coord", "-workers", "2", "-queue", "8",
+		"-coordinator", workerA.base+","+workerB.base)
+	if err != nil {
+		return err
+	}
+	defer coord.kill()
+
+	req := sweepReq()
+	cells, err := req.Cells()
+	if err != nil {
+		return err
+	}
+
+	// Pre-warm the last cell on worker B so the coordinator must find it
+	// via the HEAD probe against a worker cache instead of recomputing.
+	warm := cells[len(cells)-1]
+	warmBody, err := json.Marshal(warm.Req)
+	if err != nil {
+		return err
+	}
+	if err := workerB.runJob(string(warmBody)); err != nil {
+		return fmt.Errorf("pre-warm cell on worker B: %w", err)
+	}
+	fmt.Println("fleetsmoke: pre-warmed 1 of", len(cells), "cells on worker B")
+
+	// Drive the sweep through the coordinator.
+	sweepBody, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(coord.base+"/api/v1/sweeps", "application/json", bytes.NewReader(sweepBody))
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit sweep: HTTP %d (%s)", resp.StatusCode, raw)
+	}
+	var st serve.SweepStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("decode sweep submit response %q: %w", raw, err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sweep %s still %s", st.ID, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		if st, err = coord.sweepStatus(st.ID); err != nil {
+			return err
+		}
+	}
+	if st.State != serve.StateDone {
+		return fmt.Errorf("sweep ended %s: %s", st.State, st.Error)
+	}
+	if st.PeerHits == 0 {
+		return fmt.Errorf("sweep completed without a peer cache hit: %+v", st)
+	}
+
+	resp, err = http.Get(coord.base + "/api/v1/sweeps/" + st.ID + "/result")
+	if err != nil {
+		return err
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sweep result: HTTP %d (%s)", resp.StatusCode, got)
+	}
+
+	// Parity: every cell run serially through the library path must
+	// assemble into the same aggregate document, byte for byte.
+	results := make([][]byte, len(cells))
+	for i, c := range cells {
+		cfg, reps, err := c.Req.Config()
+		if err != nil {
+			return err
+		}
+		agg, err := rcast.RunReplicationsContext(context.Background(), cfg, reps, 1)
+		if err != nil {
+			return err
+		}
+		if results[i], err = serve.MarshalResult(c.Key, reps, agg); err != nil {
+			return err
+		}
+	}
+	want, err := serve.MarshalSweepResult(serve.SweepKey(cells), cells, results)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("fleet sweep diverges from the serial path (%d vs %d bytes)", len(got), len(want))
+	}
+	fmt.Println("fleetsmoke: parity ok, fleet sweep byte-identical to serial path")
+
+	// Fleet metrics: the warm cell arrived via peer cache, the rest were
+	// computed, and both workers stayed dispatchable.
+	page, err := coord.metricsPage()
+	if err != nil {
+		return err
+	}
+	for _, wantLine := range []string{
+		`rcast_serve_fleet_cells_total{source="peer_cache"} 1`,
+		fmt.Sprintf(`rcast_serve_fleet_cells_total{source="computed"} %d`, len(cells)-1),
+		fmt.Sprintf("rcast_serve_fleet_worker_up{worker=%q} 1", workerA.base),
+		fmt.Sprintf("rcast_serve_fleet_worker_up{worker=%q} 1", workerB.base),
+		`rcast_serve_sweeps_total{state="done"} 1`,
+	} {
+		if !strings.Contains(page, wantLine) {
+			return fmt.Errorf("coordinator metrics missing %q:\n%s", wantLine, page)
+		}
+	}
+	fmt.Println("fleetsmoke: metrics ok, peer cache hit counted and both workers up")
+	return nil
+}
+
+// daemon wraps one running rcast-serve process.
+type daemon struct {
+	name string
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startDaemon boots the binary on an ephemeral port and waits for a
+// healthy /healthz. The listen address is parsed from the daemon's own
+// startup log line.
+func startDaemon(bin, name string, extraArgs ...string) (*daemon, error) {
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintf(os.Stderr, "  [%s] %s\n", name, line)
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j > 0 {
+					select {
+					case addrCh <- rest[:j]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("%s never logged its listen address", name)
+	}
+	d := &daemon{name: name, cmd: cmd, base: "http://" + addr}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			return nil, fmt.Errorf("%s never became healthy", name)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill hard-stops the daemon (cleanup path only).
+func (d *daemon) kill() { _ = d.cmd.Process.Kill(); _, _ = d.cmd.Process.Wait() }
+
+// runJob submits one job and waits for it to finish successfully.
+func (d *daemon) runJob(body string) error {
+	resp, err := http.Post(d.base+"/api/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("submit: HTTP %d (%s)", resp.StatusCode, raw)
+	}
+	var st serve.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s", st.ID, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		r2, err := http.Get(d.base + "/api/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(r2.Body).Decode(&st)
+		r2.Body.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if st.State != serve.StateDone {
+		return fmt.Errorf("job ended %s: %s", st.State, st.Error)
+	}
+	return nil
+}
+
+func (d *daemon) sweepStatus(id string) (serve.SweepStatus, error) {
+	resp, err := http.Get(d.base + "/api/v1/sweeps/" + id)
+	if err != nil {
+		return serve.SweepStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.SweepStatus{}, fmt.Errorf("sweep status %s: HTTP %d", id, resp.StatusCode)
+	}
+	var st serve.SweepStatus
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func (d *daemon) metricsPage() (string, error) {
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	return string(page), err
+}
