@@ -50,6 +50,7 @@ func run(args []string) error {
 		routing    = fs.String("routing", "DSR", "routing protocol: DSR or AODV")
 		battery    = fs.Float64("battery", 0, "battery capacity in joules (0 = unlimited)")
 		traceFile  = fs.String("trace", "", "write NDJSON event trace to this file")
+		replayFile = fs.String("replay", "", "replay a recorded NDJSON trace: re-execute with its decisions injected and verify byte-identity (requires the recording run's flags; -reps must be 1)")
 		workers    = fs.Int("workers", 0, "parallel replication workers (0 = all CPUs, 1 = serial)")
 		auditOn    = fs.Bool("audit", false, "run under the cross-layer invariant audit (violations abort the run)")
 		faultsName = fs.String("faults", "", "fault preset: "+strings.Join(rcast.FaultPresetNames(), ", "))
@@ -125,9 +126,35 @@ func run(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	agg, err := rcast.RunReplicationsContext(ctx, cfg, *reps, *workers)
-	if err != nil {
-		return err
+	var agg *rcast.Aggregate
+	if *replayFile != "" {
+		// Replay mode: re-execute the recorded run with its decision
+		// stream injected. Replication 0 runs with cfg.Seed itself, so a
+		// single-replication replay matches the recording run exactly;
+		// more than one replication has no recorded counterpart.
+		if *reps != 1 {
+			return fmt.Errorf("-replay requires -reps 1 (a trace records one run)")
+		}
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			return err
+		}
+		events, err := rcast.ReadTraceEvents(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			return err
+		}
+		res, _, err := rcast.Replay(cfg, events)
+		if err != nil {
+			return err
+		}
+		agg = rcast.AggregateResults([]*rcast.Result{res})
+	} else {
+		var err error
+		agg, err = rcast.RunReplicationsContext(ctx, cfg, *reps, *workers)
+		if err != nil {
+			return err
+		}
 	}
 	res := agg.Results[0]
 

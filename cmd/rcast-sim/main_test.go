@@ -85,3 +85,49 @@ func TestRunTimeout(t *testing.T) {
 		t.Fatalf("tight timeout err = %v, want canceled run", err)
 	}
 }
+
+// TestRunReplayRoundTrip records a run, replays it from the trace, and
+// requires the re-emitted trace to be byte-identical to the recording.
+func TestRunReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec := filepath.Join(dir, "rec.ndjson")
+	rep := filepath.Join(dir, "rep.ndjson")
+	if err := run(tinyArgs("-trace", rec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tinyArgs("-replay", rec, "-trace", rep)); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	a, err := os.ReadFile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(a), `"kind":"lottery"`) {
+		t.Fatal("recording carries no lottery decisions; cell too small")
+	}
+	if string(a) != string(b) {
+		t.Fatal("replayed trace differs from the recording")
+	}
+}
+
+func TestRunReplayRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	rec := filepath.Join(dir, "rec.ndjson")
+	if err := run(tinyArgs("-trace", rec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(tinyArgs("-replay", rec, "-reps", "2")); err == nil {
+		t.Error("accepted -replay with -reps 2")
+	}
+	if err := run(tinyArgs("-replay", filepath.Join(dir, "missing.ndjson"))); err == nil {
+		t.Error("accepted a missing replay file")
+	}
+	// Replaying under a different seed must be detected as divergence.
+	if err := run(tinyArgs("-replay", rec, "-seed", "2")); err == nil {
+		t.Error("replay under the wrong seed succeeded")
+	}
+}

@@ -68,6 +68,13 @@ type PSM struct {
 	audit Audit // nil = no invariant instrumentation
 	trc   Trace // nil = no lifecycle tracing
 
+	// lottery, when set (trace replay), overrides the outcome of each
+	// overhearing lottery. The configured policy still runs first and
+	// burns exactly its own draws from the shared MAC RNG stream — that
+	// keeps the DCF backoff sequence aligned with the recorded run — and
+	// the override then substitutes the recorded verdict.
+	lottery func(now sim.Time, me phy.NodeID, a Announcement, policySays bool) bool
+
 	// ATIM-contention admission state (Params.ATIMContention).
 	lastAnnounced []annKey
 	admitted      map[annKey]struct{}
@@ -145,6 +152,14 @@ func (m *PSM) SetAudit(a Audit) { m.audit = a }
 
 // SetTrace installs the lifecycle trace observer (nil disables tracing).
 func (m *PSM) SetTrace(t Trace) { m.trc = t }
+
+// SetLotteryOverride installs a replay hook that substitutes each
+// overhearing-lottery verdict (nil restores the policy's own decisions).
+// The policy still runs — and draws — before the override is consulted;
+// see the field comment for why that RNG alignment matters.
+func (m *PSM) SetLotteryOverride(f func(now sim.Time, me phy.NodeID, a Announcement, policySays bool) bool) {
+	m.lottery = f
+}
 
 // setWindow forwards to the DCF and reports the change to the auditor.
 func (m *PSM) setWindow(enabled bool, end sim.Time) {
@@ -447,6 +462,9 @@ func (m *PSM) shouldStayAwake(now sim.Time, heard []Announcement) bool {
 		}
 		ctx.SenderRecentlyHeard = last >= 0 && now-last <= senderRecencyWindow
 		stay := m.policy.ShouldOverhear(m.rng, a.Level, ctx)
+		if m.lottery != nil {
+			stay = m.lottery(now, me, a, stay)
+		}
 		if m.trc != nil {
 			m.trc.OverhearingDecision(now, me, a, stay)
 		}

@@ -176,6 +176,51 @@ func (g *GaugeFunc) write(w io.Writer) error {
 	return err
 }
 
+// Sample2 is one sample of a two-label family, produced by a
+// GaugeFuncVec2 callback at scrape time.
+type Sample2 struct {
+	L1, L2 string
+	V      int64
+}
+
+// GaugeFuncVec2 samples a two-label gauge family from a callback at
+// scrape time (tallies that already live elsewhere, e.g. per-scheme
+// trace-event counters). The page stays deterministic regardless of
+// callback ordering: samples are sorted by (L1, L2) before rendering.
+type GaugeFuncVec2 struct {
+	nm, help, label1, label2 string
+	fn                       func() []Sample2
+}
+
+// NewGaugeFuncVec2 registers a callback-backed two-label gauge family.
+// fn must be safe for concurrent use.
+func (r *Registry) NewGaugeFuncVec2(name, help, label1, label2 string, fn func() []Sample2) *GaugeFuncVec2 {
+	g := &GaugeFuncVec2{nm: name, help: help, label1: label1, label2: label2, fn: fn}
+	r.register(g)
+	return g
+}
+
+func (g *GaugeFuncVec2) name() string { return g.nm }
+
+func (g *GaugeFuncVec2) write(w io.Writer) error {
+	if err := writeHeader(w, g.nm, g.help, "gauge"); err != nil {
+		return err
+	}
+	samples := g.fn()
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].L1 != samples[j].L1 {
+			return samples[i].L1 < samples[j].L1
+		}
+		return samples[i].L2 < samples[j].L2
+	})
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q,%s=%q} %d\n", g.nm, g.label1, s.L1, g.label2, s.L2, s.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CounterVec is a counter family partitioned by one label.
 type CounterVec struct {
 	nm, help, label string

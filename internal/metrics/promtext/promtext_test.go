@@ -157,3 +157,33 @@ test_worker_up{worker="http://b:1"} 0
 		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+func TestGaugeFuncVec2SortedOutput(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeFuncVec2("demo_events", "Demo family.", "scheme", "kind", func() []Sample2 {
+		// Deliberately unsorted: the writer must order by (L1, L2).
+		return []Sample2{
+			{L1: "psm", L2: "wake", V: 3},
+			{L1: "always-on", L2: "deliver", V: 7},
+			{L1: "psm", L2: "deliver", V: 5},
+		}
+	})
+	want := `# HELP demo_events Demo family.
+# TYPE demo_events gauge
+demo_events{scheme="always-on",kind="deliver"} 7
+demo_events{scheme="psm",kind="deliver"} 5
+demo_events{scheme="psm",kind="wake"} 3
+`
+	if got := render(t, r); got != want {
+		t.Fatalf("exposition mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestGaugeFuncVec2Empty(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeFuncVec2("empty_fam", "Empty family.", "a", "b", func() []Sample2 { return nil })
+	want := "# HELP empty_fam Empty family.\n# TYPE empty_fam gauge\n"
+	if got := render(t, r); got != want {
+		t.Fatalf("exposition mismatch: %q", got)
+	}
+}

@@ -1,0 +1,338 @@
+package replay
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rcast/internal/core"
+	"rcast/internal/fault"
+	"rcast/internal/mac"
+	"rcast/internal/phy"
+	"rcast/internal/scenario"
+	"rcast/internal/sim"
+	"rcast/internal/trace"
+)
+
+// smallCell is a fast mobile cell that still exercises ATIM windows,
+// overhearing lotteries and multi-hop forwarding.
+func smallCell(seed int64) scenario.Config {
+	cfg := scenario.PaperDefaults()
+	cfg.Nodes = 10
+	cfg.FieldW, cfg.FieldH = 600, 300
+	cfg.Connections = 3
+	cfg.PacketRate = 1.0
+	cfg.Duration = 10 * sim.Second
+	cfg.TrafficStart = 1 * sim.Second
+	cfg.Pause = 2 * sim.Second
+	cfg.MaxSpeed = 10
+	cfg.Seed = seed
+	return cfg
+}
+
+// record runs cfg with a recorder attached and returns the result, the
+// captured events and the per-kind tallies.
+func record(t *testing.T, cfg scenario.Config) (*scenario.Result, []trace.Event, map[trace.Kind]uint64) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	ctr := trace.NewCounter()
+	cfg.Trace = trace.Multi{rec, ctr}
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		t.Fatalf("original run: %v", err)
+	}
+	return res, rec.Events(), ctr.Snapshot()
+}
+
+// TestReplayPropertySeedsSchemes is the satellite property test: for 20
+// random seeds across 3 schemes, replaying the captured trace reproduces
+// the original run's trace.Counter tallies and the full Result (the
+// struct rcast-sim renders stdout from — identical structs, identical
+// report bytes; ci.sh's round-trip smoke additionally pins the literal
+// CLI output).
+func TestReplayPropertySeedsSchemes(t *testing.T) {
+	schemes := []scenario.Scheme{scenario.SchemeRcast, scenario.SchemePSM, scenario.SchemeODPM}
+	for _, scheme := range schemes {
+		for seed := int64(1); seed <= 20; seed++ {
+			scheme, seed := scheme, seed
+			t.Run(fmt.Sprintf("%v/seed%d", scheme, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := smallCell(seed)
+				cfg.Scheme = scheme
+				res, events, counts := record(t, cfg)
+				if counts[trace.KindLottery] == 0 && scheme == scenario.SchemeRcast {
+					t.Fatalf("cell too small: no lotteries recorded")
+				}
+
+				ctr := trace.NewCounter()
+				cfg2 := smallCell(seed)
+				cfg2.Scheme = scheme
+				cfg2.Trace = ctr
+				res2, replayed, err := Run(cfg2, events)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(replayed) != len(events) {
+					t.Fatalf("replayed %d events, recorded %d", len(replayed), len(events))
+				}
+				if got := ctr.Snapshot(); !reflect.DeepEqual(got, counts) {
+					t.Fatalf("counter mismatch:\n got %v\nwant %v", got, counts)
+				}
+				if !reflect.DeepEqual(res, res2) {
+					t.Fatalf("results differ:\n got %+v\nwant %+v", res2, res)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayOverridesPolicyProbability demonstrates that lottery verdicts
+// really come from the trace: the replay runs under a different (but
+// equally RNG-hungry) overhearing probability and still reproduces the
+// original byte-for-byte, because the recorded verdicts override the
+// policy's. FixedProb draws exactly one Float64 per randomized query for
+// any P in (0,1), so the shared MAC stream stays aligned.
+func TestReplayOverridesPolicyProbability(t *testing.T) {
+	cfg := smallCell(7)
+	cfg.Policy = core.FixedProb{P: 0.7}
+	res, events, _ := record(t, cfg)
+
+	cfg2 := smallCell(7)
+	cfg2.Policy = core.FixedProb{P: 0.2}
+	res2, _, err := Run(cfg2, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("replay under a different overhearing probability diverged")
+	}
+
+	// Control: without replay the two probabilities genuinely diverge —
+	// otherwise the test above proves nothing.
+	cfg3 := smallCell(7)
+	cfg3.Policy = core.FixedProb{P: 0.2}
+	res3, _, _ := record(t, cfg3)
+	if reflect.DeepEqual(res, res3) {
+		t.Fatal("control: P=0.7 and P=0.2 produced identical runs")
+	}
+}
+
+// TestReplayFaultsWithoutPlan demonstrates that the fault plan's RNG path
+// is not needed to replay a faulted run: the crash schedule (resp. the
+// Gilbert–Elliott loss chains) are injected from the trace while the
+// replay config carries no fault plan at all.
+func TestReplayFaultsWithoutPlan(t *testing.T) {
+	for _, preset := range []string{"crash", "loss"} {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			t.Parallel()
+			var plan *fault.Plan
+			if preset == "crash" {
+				// A custom plan rather than the preset: fraction 0.6 with a
+				// short downtime makes crashes (and recoveries) near-certain
+				// in a 10-node cell, so the skip guard below stays dead code.
+				plan = &fault.Plan{CrashFraction: 0.6, Downtime: 3 * sim.Second}
+			} else {
+				var err error
+				if plan, err = fault.Preset(preset); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cfg := smallCell(11)
+			cfg.Faults = plan
+			res, events, counts := record(t, cfg)
+			switch preset {
+			case "crash":
+				if counts[trace.KindCrash] == 0 {
+					t.Skip("preset produced no crashes in this cell")
+				}
+			case "loss":
+				if res.Channel.FaultLost == 0 {
+					t.Skip("preset produced no burst losses in this cell")
+				}
+			}
+
+			cfg2 := smallCell(11)
+			cfg2.Faults = nil // the decision stream replaces the plan's RNG path
+			res2, _, err := Run(cfg2, events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res, res2) {
+				t.Fatalf("plan-free replay of %q preset diverged", preset)
+			}
+		})
+	}
+}
+
+// TestReplayAlwaysOn covers the scheme with no lotteries at all: the
+// decision stream is empty of MAC decisions and replay must still match.
+func TestReplayAlwaysOn(t *testing.T) {
+	cfg := smallCell(3)
+	cfg.Scheme = scenario.SchemeAlwaysOn
+	res, events, _ := record(t, cfg)
+	cfg2 := smallCell(3)
+	cfg2.Scheme = scenario.SchemeAlwaysOn
+	res2, _, err := Run(cfg2, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("always-on replay diverged")
+	}
+}
+
+// TestReplayDetectsTamperedVerdict plants a flipped lottery verdict in
+// the recording: the replay faithfully injects it, the run takes the
+// other branch, and the trace diff must flag a divergence.
+func TestReplayDetectsTamperedVerdict(t *testing.T) {
+	cfg := smallCell(5)
+	_, events, _ := record(t, cfg)
+	idx := -1
+	for i, e := range events {
+		if e.Kind == trace.KindLottery && strings.HasSuffix(e.Detail, " sleep") {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Skip("no sleep verdict recorded")
+	}
+	tampered := append([]trace.Event(nil), events...)
+	tampered[idx].Detail = strings.TrimSuffix(tampered[idx].Detail, " sleep") + " stay-awake"
+
+	cfg2 := smallCell(5)
+	_, _, err := Run(cfg2, tampered)
+	if err == nil {
+		t.Fatal("tampered recording replayed cleanly")
+	}
+	// Either detection path is fine: the injected flip perturbs later
+	// decision contexts (player mismatch) or the replayed stream differs
+	// from the recording (trace diff) — both name the offending event.
+	if !strings.Contains(err.Error(), "diverged at event") && !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("err = %v, want a divergence or mismatch report", err)
+	}
+}
+
+// TestReplayDetectsTruncatedRecording: a recording cut short runs out of
+// decisions; the player reports the overrun even though the fallback (the
+// live policy) lets the run complete.
+func TestReplayDetectsTruncatedRecording(t *testing.T) {
+	cfg := smallCell(5)
+	_, events, counts := record(t, cfg)
+	if counts[trace.KindLottery] < 2 {
+		t.Skip("too few lotteries to truncate meaningfully")
+	}
+	// Cut just after the first lottery so later lotteries are missing.
+	first := -1
+	for i, e := range events {
+		if e.Kind == trace.KindLottery {
+			first = i
+			break
+		}
+	}
+	cut := events[:first+1]
+	cfg2 := smallCell(5)
+	_, _, err := Run(cfg2, cut)
+	if err == nil {
+		t.Fatal("truncated recording replayed cleanly")
+	}
+}
+
+// TestExtract pins the decision-event parsing against hand-built events.
+func TestExtract(t *testing.T) {
+	evs := []trace.Event{
+		{Seq: 1, At: 100, Node: 2, Kind: trace.KindLottery, Detail: "from=n1 level=randomized stay-awake"},
+		{Seq: 2, At: 100, Node: 3, Kind: trace.KindLottery, Detail: "from=n1 level=unconditional sleep"},
+		{Seq: 3, At: 150, Node: 4, Kind: trace.KindPhyDrop, Detail: "fault-lost from=n0 to=bcast"},
+		{Seq: 4, At: 160, Node: 4, Kind: trace.KindPhyDrop, Detail: "collision from=n0 to=n4"},
+		{Seq: 5, At: 200, Node: 1, Kind: trace.KindCrash, Detail: "flushed=2"},
+		{Seq: 6, At: 210, Node: 5, Kind: trace.KindCrash, Detail: "flushed=0"},
+		{Seq: 7, At: 300, Node: 1, Kind: trace.KindRecover},
+		{Seq: 8, At: 400, Node: 0, Kind: trace.KindDeliver, Pkt: "0:1:2"},
+	}
+	d, err := Extract(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLot := []Lottery{
+		{At: 100, Node: 2, From: 1, Level: core.LevelRandomized, Stay: true},
+		{At: 100, Node: 3, From: 1, Level: core.LevelUnconditional, Stay: false},
+	}
+	if !reflect.DeepEqual(d.Lotteries, wantLot) {
+		t.Fatalf("lotteries = %+v", d.Lotteries)
+	}
+	if want := []Loss{{At: 150, Rx: 4, Tx: 0}}; !reflect.DeepEqual(d.Losses, want) {
+		t.Fatalf("losses = %+v (collision drops must be skipped)", d.Losses)
+	}
+	wantCr := []fault.Crash{
+		{Node: 1, At: 200, RecoverAt: 300},
+		{Node: 5, At: 210},
+	}
+	if !reflect.DeepEqual(d.Crashes, wantCr) {
+		t.Fatalf("crashes = %+v", d.Crashes)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	cases := map[string]trace.Event{
+		"short lottery":    {Kind: trace.KindLottery, Detail: "from=n1 stay-awake"},
+		"bad level":        {Kind: trace.KindLottery, Detail: "from=n1 level=sometimes sleep"},
+		"bad verdict":      {Kind: trace.KindLottery, Detail: "from=n1 level=randomized maybe"},
+		"bad node":         {Kind: trace.KindLottery, Detail: "from=x1 level=randomized sleep"},
+		"bad fault drop":   {Kind: trace.KindPhyDrop, Detail: "fault-lost from=n0"},
+		"bad drop node":    {Kind: trace.KindPhyDrop, Detail: "fault-lost from=zz to=n1"},
+		"orphan recovery":  {Kind: trace.KindRecover, Node: 3},
+		"recover no crash": {Kind: trace.KindRecover, Node: 0},
+	}
+	for name, ev := range cases {
+		if _, err := Extract([]trace.Event{ev}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestPlayerMismatch drives the hooks directly against a wrong context.
+func TestPlayerMismatch(t *testing.T) {
+	d := &Decisions{Lotteries: []Lottery{{At: 100, Node: 2, From: 1, Level: core.LevelRandomized, Stay: true}}}
+	p := NewPlayer(d)
+	// Wrong node: the hook falls back to the live verdict and latches.
+	if got := p.lottery(100, 9, mkAnn(1, core.LevelRandomized), false); got != false {
+		t.Fatal("mismatched lottery did not fall back to the live verdict")
+	}
+	if p.Err() == nil || p.Finish() == nil {
+		t.Fatal("mismatch not latched")
+	}
+
+	p2 := NewPlayer(d)
+	if got := p2.lottery(100, 2, mkAnn(1, core.LevelRandomized), false); got != true {
+		t.Fatal("matching lottery did not inject the recorded verdict")
+	}
+	if err := p2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Overrun: one more query than recorded.
+	if got := p2.lottery(200, 2, mkAnn(1, core.LevelRandomized), true); got != true {
+		t.Fatal("overrun did not fall back to the live verdict")
+	}
+	if p2.Err() == nil {
+		t.Fatal("overrun not latched")
+	}
+
+	// Unconsumed decisions surface in Finish.
+	p3 := NewPlayer(&Decisions{Losses: []Loss{{At: 5, Rx: 1, Tx: 0}}})
+	if p3.Finish() == nil {
+		t.Fatal("unconsumed loss not reported")
+	}
+	if p3.Lose(5, 0, 1) != true || p3.Lose(5, 0, 1) != false {
+		t.Fatal("loss cursor misbehaved")
+	}
+	if err := p3.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkAnn(from phy.NodeID, lvl core.Level) mac.Announcement {
+	return mac.Announcement{From: from, Level: lvl}
+}

@@ -149,15 +149,18 @@ type canonicalPartition struct {
 // to the same bytes if and only if they describe the same simulation, so
 // the encoding is a sound content-address for result caches.
 //
-// Runtime-only fields — Policy, Trace, DSR.Gossip, DSR.NeighborCount —
-// must be nil; anything else returns ErrNotCanonical. (GossipFanout is the
-// canonical way to enable the broadcast-Rcast extension.)
+// Runtime-only fields — Policy, Trace, Replay, DSR.Gossip,
+// DSR.NeighborCount — must be nil; anything else returns ErrNotCanonical.
+// (GossipFanout is the canonical way to enable the broadcast-Rcast
+// extension.)
 func (c Config) CanonicalJSON() ([]byte, error) {
 	switch {
 	case c.Policy != nil:
 		return nil, fmt.Errorf("%w: Policy is set (schemes imply their policy)", ErrNotCanonical)
 	case c.Trace != nil:
 		return nil, fmt.Errorf("%w: Trace sink is set", ErrNotCanonical)
+	case c.Replay != nil:
+		return nil, fmt.Errorf("%w: Replay hooks are set", ErrNotCanonical)
 	case c.DSR.Gossip != nil || c.DSR.NeighborCount != nil:
 		return nil, fmt.Errorf("%w: DSR gossip hooks are set (use GossipFanout)", ErrNotCanonical)
 	}

@@ -91,6 +91,7 @@ func TestCanonicalJSONRejectsRuntimeFields(t *testing.T) {
 	cases := map[string]func(*Config){
 		"policy": func(c *Config) { c.Policy = core.Rcast{} },
 		"trace":  func(c *Config) { c.Trace = trace.NewRing(4) },
+		"replay": func(c *Config) { c.Replay = &ReplayHooks{} },
 		"gossip": func(c *Config) { c.DSR.Gossip = &core.BroadcastGossip{Fanout: 3} },
 	}
 	for name, mutate := range cases {

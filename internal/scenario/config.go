@@ -11,6 +11,7 @@ import (
 	"rcast/internal/core"
 	"rcast/internal/fault"
 	"rcast/internal/mac"
+	"rcast/internal/phy"
 	"rcast/internal/routing/aodv"
 	"rcast/internal/routing/dsr"
 	"rcast/internal/sim"
@@ -179,6 +180,34 @@ type Config struct {
 	// violation turns the run into an error. Off (the default) costs
 	// nothing: every hook stays nil.
 	Audit bool
+
+	// Replay, when non-nil, injects recorded stochastic decisions in place
+	// of the live ones: overhearing-lottery verdicts, fault-injected PHY
+	// losses and the crash schedule are taken from a captured trace (see
+	// internal/replay) instead of their RNG streams. Runtime-only, like
+	// Policy and Trace: a Config carrying Replay has no canonical form.
+	Replay *ReplayHooks
+}
+
+// ReplayHooks carries the decision-injection points internal/replay uses
+// to re-execute a run from its captured trace. Each nil hook leaves the
+// corresponding decision site on its live path.
+type ReplayHooks struct {
+	// Lottery overrides each overhearing-lottery verdict. The configured
+	// policy still runs (and burns its RNG draws — the lottery shares the
+	// per-node MAC stream with DCF backoff) before the override replaces
+	// its answer; policySays is that live verdict.
+	Lottery func(now sim.Time, node phy.NodeID, a mac.Announcement, policySays bool) bool
+
+	// Loss replaces the fault plan's PHY loss model (Gilbert–Elliott
+	// chains) with a trace-driven one.
+	Loss phy.LossModel
+
+	// CrashSchedule replaces the fault injector's crash/recovery schedule
+	// when UseCrashSchedule is set (the flag distinguishes "replay an
+	// empty schedule" from "keep the live one").
+	CrashSchedule    []fault.Crash
+	UseCrashSchedule bool
 }
 
 // PaperDefaults returns the evaluation setup of §4.1: 100 nodes on a

@@ -190,7 +190,12 @@ func newWorld(cfg Config) (*world, error) {
 		}
 		w.ch.SetMotionBound(bound + extra)
 	}
-	if m := w.inj.LossModel(); m != nil {
+	if cfg.Replay != nil && cfg.Replay.Loss != nil {
+		// Replay: recorded fault losses stand in for the plan's live
+		// Gilbert–Elliott chains (whose state lives in dedicated RNG
+		// streams nothing else reads, so skipping them shifts nothing).
+		w.ch.SetLossModel(cfg.Replay.Loss)
+	} else if m := w.inj.LossModel(); m != nil {
 		w.ch.SetLossModel(m)
 	}
 
@@ -268,6 +273,9 @@ func newWorld(cfg Config) (*world, error) {
 			if cfg.Trace != nil {
 				psm.SetTrace(macTraceAdapter{w: w})
 			}
+			if cfg.Replay != nil && cfg.Replay.Lottery != nil {
+				psm.SetLotteryOverride(cfg.Replay.Lottery)
+			}
 			w.coord.AddStation(psm)
 			if cfg.Scheme == SchemeODPM {
 				n.pm = odpm.New(w.sched, psm, cfg.ODPMRREPKeepAlive, cfg.ODPMDataKeepAlive)
@@ -319,7 +327,15 @@ func newWorld(cfg Config) (*world, error) {
 	}
 	// Wiring happens at t=0 and the schedule is validated non-negative, so
 	// At cannot report time reversal here.
-	for _, cr := range w.inj.Schedule() {
+	crashes := w.inj.Schedule()
+	if cfg.Replay != nil && cfg.Replay.UseCrashSchedule {
+		// Replay: the crash/recovery schedule reconstructed from the
+		// trace replaces the injector's (which was drawn from the
+		// "fault/crash" stream at construction — construction-time
+		// randomness, so nothing else consumed it).
+		crashes = cfg.Replay.CrashSchedule
+	}
+	for _, cr := range crashes {
 		id := phy.NodeID(cr.Node)
 		_, _ = w.sched.At(cr.At, func() { w.crashNode(id) })
 		if cr.RecoverAt > 0 {

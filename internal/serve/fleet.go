@@ -412,7 +412,7 @@ func (f *fleetExecutor) runOnWorker(ctx context.Context, w *fleetWorker, cell *S
 			}
 			return nil, lossErr("GET %s/api/v1/jobs/%s: %v", w.url, st.ID, err)
 		}
-		decodeErr := json.NewDecoder(sresp.Body).Decode(&st)
+		decodeErr = json.NewDecoder(sresp.Body).Decode(&st)
 		_ = sresp.Body.Close()
 		if sresp.StatusCode != http.StatusOK {
 			// A 404 here means the worker restarted and lost the job.

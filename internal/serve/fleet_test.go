@@ -319,8 +319,8 @@ func TestFleetCoordinatorDrainInFlightSweep(t *testing.T) {
 	for !coord.Draining() {
 		time.Sleep(time.Millisecond)
 	}
-	if _, out, _ := coord.SubmitSweep(quickSweep()); out != OutcomeDraining {
-		t.Fatalf("submit while draining: %v, want OutcomeDraining", out)
+	if _, o, _ := coord.SubmitSweep(quickSweep()); o != OutcomeDraining {
+		t.Fatalf("submit while draining: %v, want OutcomeDraining", o)
 	}
 	close(release)
 	if err := <-done; err != nil {

@@ -27,6 +27,8 @@ import (
 //	GET  /api/v1/results/{key}      raw cached result bytes by canonical key
 //	                                (HEAD probes existence; used for fleet
 //	                                peer-cache fills)
+//	GET  /api/v1/traces/summary     per-scheme trace-event tallies folded
+//	                                from every traced job (live)
 //	GET  /healthz                 liveness (503 while draining)
 //	GET  /metrics                 Prometheus text exposition
 //	     /debug/pprof/...         runtime profiling
@@ -46,6 +48,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("POST /api/v1/sweeps/{id}/cancel", s.handleSweepCancel)
 	mux.HandleFunc("GET /api/v1/results/{key}", s.handleResultByKey)
+	mux.HandleFunc("GET /api/v1/traces/summary", s.handleTracesSummary)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -471,8 +471,8 @@ func TestQueueFullDoesNotBurnJobIDs(t *testing.T) {
 	}
 	reqC := quickRequest()
 	reqC.Seed = ptr(int64(202))
-	if _, out, _ := s.Submit(reqC); out != OutcomeQueueFull {
-		t.Fatalf("submit C with full queue: %v, want OutcomeQueueFull", out)
+	if _, o, _ := s.Submit(reqC); o != OutcomeQueueFull {
+		t.Fatalf("submit C with full queue: %v, want OutcomeQueueFull", o)
 	}
 	close(release) // A finishes, the worker drains B
 	waitTerminal(t, jobA)

@@ -131,6 +131,14 @@ type Server struct {
 	mSweepsRunning   *promtext.Gauge
 	mFleetCells      *promtext.CounterVec
 	mFleetRetries    *promtext.Counter
+
+	// traceTallies folds trace events from traced jobs into per-scheme
+	// counters. Traced jobs emit into these live (via a trace.Multi
+	// alongside the NDJSON buffer), so /api/v1/traces/summary and the
+	// rcast_serve_trace_events metric reflect in-flight runs, not just
+	// completed ones.
+	traceMu      sync.Mutex
+	traceTallies map[string]*trace.SyncCounter
 }
 
 // New creates a server and starts its worker pool.
@@ -144,6 +152,8 @@ func New(opts Options) *Server {
 		queue:  make(chan *Job, opts.QueueDepth),
 		sweeps: make(map[string]*Sweep),
 		reg:    promtext.NewRegistry(),
+
+		traceTallies: make(map[string]*trace.SyncCounter),
 	}
 	s.sweepExec = localSweepExecutor{s: s}
 	s.runFn = func(ctx context.Context, cfg scenario.Config, reps, workers int) (*scenario.Aggregate, error) {
@@ -178,6 +188,7 @@ func New(opts Options) *Server {
 	s.mSweepsRunning = s.reg.NewGauge("rcast_serve_sweeps_running", "Sweeps currently executing.")
 	s.mFleetCells = s.reg.NewCounterVec("rcast_serve_fleet_cells_total", "Sweep cells resolved, by source (computed, local_cache, peer_cache).", "source")
 	s.mFleetRetries = s.reg.NewCounter("rcast_serve_fleet_retries_total", "Sweep cells re-dispatched after a fleet worker was lost.")
+	s.reg.NewGaugeFuncVec2("rcast_serve_trace_events", "Trace events observed across traced jobs, by scheme and event kind (updated live while jobs run).", "scheme", "kind", s.traceSamples)
 
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -391,7 +402,9 @@ func (s *Server) execute(job *Job) {
 	var traceBuf *bytes.Buffer
 	if job.traceRequested {
 		traceBuf = &bytes.Buffer{}
-		cfg.Trace = trace.NewWriter(traceBuf)
+		// The tally rides alongside the NDJSON buffer so the per-scheme
+		// summary and the trace-events metric tick while the job runs.
+		cfg.Trace = trace.Multi{trace.NewWriter(traceBuf), s.traceTally(cfg.Scheme.String())}
 	}
 	s.mRunning.Inc()
 	start := time.Now()

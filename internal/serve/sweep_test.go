@@ -220,8 +220,8 @@ func TestSweepInvalidAndIntakeBound(t *testing.T) {
 	// blocking runFn, a different sweep is rejected with backpressure.
 	reqB := quickSweep()
 	reqB.Seed = ptr(int64(99))
-	if _, out, _ := s.SubmitSweep(reqB); out != OutcomeQueueFull {
-		t.Fatalf("submit B with intake full: out=%v, want OutcomeQueueFull", out)
+	if _, o, _ := s.SubmitSweep(reqB); o != OutcomeQueueFull {
+		t.Fatalf("submit B with intake full: out=%v, want OutcomeQueueFull", o)
 	}
 	if got := s.mRejected.Value("queue_full"); got == 0 {
 		t.Fatal("rejected{queue_full} not incremented")

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rcast/internal/trace"
+)
+
+// TestTracesSummaryEmpty pins the zero-state payload: no traced job has
+// run, so the summary is an empty (but well-formed) document.
+func TestTracesSummaryEmpty(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer shutdownServer(t, s)
+
+	sum := s.TracesSummary()
+	if sum.TotalEvents != 0 || len(sum.PerScheme) != 0 || len(sum.Schemes) != 0 {
+		t.Fatalf("fresh server summary not empty: %+v", sum)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/v1/traces/summary")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got TraceSummary
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.TotalEvents != 0 || len(got.PerScheme) != 0 {
+		t.Fatalf("empty summary over HTTP: %+v", got)
+	}
+}
+
+// TestTracesSummaryFoldsTracedJobs runs one traced job and checks the
+// summary's tallies match the job's own trace artifact exactly, that an
+// untraced job contributes nothing, and that the /metrics page exposes
+// the same counts under rcast_serve_trace_events{scheme,kind}.
+func TestTracesSummaryFoldsTracedJobs(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer shutdownServer(t, s)
+
+	req := quickRequest()
+	req.Trace = true
+	job, outcome, err := s.Submit(req)
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("Submit: outcome=%v err=%v", outcome, err)
+	}
+	if st := waitTerminal(t, job); st.State != StateDone {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+
+	// Ground truth: re-count the job's own NDJSON artifact.
+	data, captured := job.Trace()
+	if !captured || len(data) == 0 {
+		t.Fatal("traced job has no artifact")
+	}
+	events, err := trace.ReadEvents(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	want := make(map[string]uint64)
+	var wantTotal uint64
+	for _, e := range events {
+		want[string(e.Kind)]++
+		wantTotal++
+	}
+
+	sum := s.TracesSummary()
+	sch, ok := sum.PerScheme["Rcast"]
+	if !ok {
+		t.Fatalf("summary missing scheme Rcast: %+v", sum.Schemes)
+	}
+	if sch.TotalEvents != wantTotal || sum.TotalEvents != wantTotal {
+		t.Fatalf("totals: scheme=%d overall=%d want %d", sch.TotalEvents, sum.TotalEvents, wantTotal)
+	}
+	for kind, n := range want {
+		if sch.Events[kind] != n {
+			t.Fatalf("kind %q: summary %d, artifact %d", kind, sch.Events[kind], n)
+		}
+	}
+	if sch.Delivered != want[string(trace.KindDeliver)] ||
+		sch.Dropped != want[string(trace.KindDrop)] ||
+		sch.PhyDropped != want[string(trace.KindPhyDrop)] ||
+		sch.Deaths != want[string(trace.KindDeath)] {
+		t.Fatalf("derived headline counts disagree with kind map: %+v", sch)
+	}
+	if sch.Delivered == 0 {
+		t.Fatal("traced cell delivered nothing; cell too small to exercise the summary")
+	}
+	if len(sum.Schemes) != 1 || sum.Schemes[0] != "Rcast" {
+		t.Fatalf("scheme_order = %v", sum.Schemes)
+	}
+
+	// An untraced job must not move the tallies.
+	req2 := quickRequest()
+	seed := int64(99)
+	req2.Seed = &seed
+	job2, outcome, err := s.Submit(req2)
+	if err != nil || outcome != OutcomeAccepted {
+		t.Fatalf("Submit untraced: outcome=%v err=%v", outcome, err)
+	}
+	if st := waitTerminal(t, job2); st.State != StateDone {
+		t.Fatalf("untraced job finished %s: %s", st.State, st.Error)
+	}
+	if got := s.TracesSummary().TotalEvents; got != wantTotal {
+		t.Fatalf("untraced job changed tallies: %d -> %d", wantTotal, got)
+	}
+
+	// The metrics page carries the same numbers as a two-label family.
+	var page strings.Builder
+	if err := s.Registry().Write(&page); err != nil {
+		t.Fatalf("metrics write: %v", err)
+	}
+	for _, kind := range []string{"deliver", "originate"} {
+		line := `rcast_serve_trace_events{scheme="Rcast",kind="` + kind + `"} `
+		idx := strings.Index(page.String(), line)
+		if idx < 0 {
+			t.Fatalf("metrics page missing %q", line)
+		}
+		rest := page.String()[idx+len(line):]
+		gotN := rest[:strings.IndexByte(rest, '\n')]
+		got, err := strconv.ParseUint(gotN, 10, 64)
+		if err != nil || got != want[kind] {
+			t.Fatalf("metric %s = %q, want %d (err %v)", kind, gotN, want[kind], err)
+		}
+	}
+}
+
+// TestTracesSummaryPerSchemeIsolation checks two traced jobs under
+// different schemes land in separate buckets.
+func TestTracesSummaryPerSchemeIsolation(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer shutdownServer(t, s)
+
+	for _, scheme := range []string{"Rcast", "PSM"} {
+		req := quickRequest()
+		req.Scheme = scheme
+		req.Trace = true
+		job, outcome, err := s.Submit(req)
+		if err != nil || outcome != OutcomeAccepted {
+			t.Fatalf("Submit %s: outcome=%v err=%v", scheme, outcome, err)
+		}
+		if st := waitTerminal(t, job); st.State != StateDone {
+			t.Fatalf("%s job finished %s: %s", scheme, st.State, st.Error)
+		}
+	}
+	sum := s.TracesSummary()
+	if len(sum.Schemes) != 2 || sum.Schemes[0] != "PSM" || sum.Schemes[1] != "Rcast" {
+		t.Fatalf("scheme_order = %v", sum.Schemes)
+	}
+	var folded uint64
+	for _, scheme := range sum.Schemes {
+		sch := sum.PerScheme[scheme]
+		if sch.TotalEvents == 0 {
+			t.Fatalf("scheme %s has zero events", scheme)
+		}
+		folded += sch.TotalEvents
+	}
+	if folded != sum.TotalEvents {
+		t.Fatalf("per-scheme totals %d != overall %d", folded, sum.TotalEvents)
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// writerSafeKind reports whether Writer can emit the kind verbatim: kinds
+// are written unescaped, so only plain printable ASCII without quotes or
+// backslashes round-trips (the package constants all qualify).
+func writerSafeKind(k Kind) bool {
+	for i := 0; i < len(k); i++ {
+		if c := k[i]; c < 0x20 || c > 0x7E || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzReadEvents throws arbitrary bytes at the NDJSON parser. Properties:
+// no panic; a parse error is either positioned ("line N") or the
+// truncation sentinel; and whatever parses cleanly must survive a
+// Writer→ReadEvents round trip event-for-event (for events whose Kind the
+// writer can represent).
+func FuzzReadEvents(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"atMicros":100,"node":0,"kind":"originate","pkt":"0:1:1"}` + "\n"))
+	f.Add([]byte(`{"seq":1,"atMicros":1,"node":2,"kind":"lottery","detail":"from=n1 level=randomized stay-awake"}` + "\n" +
+		`{"seq":2,"atMicros":1,"node":3,"kind":"phy-drop","detail":"fault-lost from=n0 to=n3"}` + "\n"))
+	f.Add([]byte("\n\n{\"seq\":7,\"atMicros\":-5,\"node\":-1,\"kind\":\"wake\"}\n  \t\n"))
+	f.Add([]byte(`{"seq":3,"atMicros":300,"node":2,"ki`)) // truncated mid-key
+	f.Add([]byte(`{"seq":1,"atMicros":0,"node":0,"kind":"crash","detail":42}` + "\n"))
+	f.Add([]byte(`{"seq":1,"atMicros":0,"node":0,"kind":"drop","detail":{"a":[1,2]}}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(`{"seq":18446744073709551615,"atMicros":9223372036854775807,"node":2147483647,"kind":"death"}` + "\n"))
+	f.Add([]byte(`{"detail":"é <&>"}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadEvents(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "line ") && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("unpositioned parse error: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		skipped := false
+		var kept []Event
+		for _, e := range evs {
+			if !writerSafeKind(e.Kind) {
+				skipped = true
+				continue
+			}
+			w.Emit(e)
+			kept = append(kept, e)
+		}
+		back, rerr := ReadEvents(&buf)
+		if rerr != nil {
+			t.Fatalf("re-read of writer output failed: %v", rerr)
+		}
+		if len(back) != len(kept) {
+			t.Fatalf("round trip kept %d of %d events (skipped unsafe kinds: %v)", len(back), len(kept), skipped)
+		}
+		for i := range kept {
+			if back[i] != kept[i] {
+				t.Fatalf("event %d round-tripped as %+v, want %+v", i, back[i], kept[i])
+			}
+		}
+	})
+}

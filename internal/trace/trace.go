@@ -12,10 +12,13 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 
 	"rcast/internal/phy"
 	"rcast/internal/sim"
@@ -178,23 +181,28 @@ type Writer struct {
 
 	// Timestamp render cache: consecutive events frequently share a
 	// scheduler instant (every station waking at one beacon tick), so the
-	// decimal rendering of At is reused until the clock moves.
+	// decimal rendering of At is reused until the clock moves. atCached
+	// (not a sentinel At value) marks validity: FuzzReadEvents caught a
+	// first event at At == -1 colliding with a -1 sentinel and emitting
+	// an empty timestamp.
 	lastAt    sim.Time
 	lastAtBuf []byte
+	atCached  bool
 }
 
 var _ Sink = (*Writer)(nil)
 
 // NewWriter creates an NDJSON sink.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: w, buf: make([]byte, 0, 256), lastAt: -1}
+	return &Writer{w: w, buf: make([]byte, 0, 256)}
 }
 
 // Emit implements Sink. Encoding errors are deliberately swallowed: a
 // tracing sink must never perturb the simulation.
 func (t *Writer) Emit(e Event) {
-	if e.At != t.lastAt {
+	if !t.atCached || e.At != t.lastAt {
 		t.lastAt = e.At
+		t.atCached = true
 		t.lastAtBuf = strconv.AppendInt(t.lastAtBuf[:0], int64(e.At), 10)
 	}
 	b := t.buf[:0]
@@ -240,29 +248,83 @@ func appendJSONString(b []byte, s string) []byte {
 	return append(b, '"')
 }
 
-// ReadEvents parses an NDJSON stream as produced by Writer. Blank lines
-// are skipped; the first malformed line aborts with its line number.
+// ErrTruncated marks a trace whose final line was cut mid-write — the
+// common shape of a crashed or killed producer. ReadEvents returns it
+// (wrapped, with the line number) alongside every event parsed before the
+// cut, so callers can salvage the prefix: errors.Is(err, ErrTruncated).
+var ErrTruncated = errors.New("truncated final line")
+
+// wireEvent mirrors Event with a lazily-decoded detail field, so a
+// malformed detail (wrong JSON type, e.g. a bare number from a sloppy
+// producer) degrades to its raw text instead of aborting the parse.
+type wireEvent struct {
+	Seq    uint64          `json:"seq"`
+	At     sim.Time        `json:"atMicros"`
+	Node   phy.NodeID      `json:"node"`
+	Kind   Kind            `json:"kind"`
+	Pkt    string          `json:"pkt,omitempty"`
+	Detail json.RawMessage `json:"detail,omitempty"`
+}
+
+// parseLine decodes one NDJSON line into an Event.
+func parseLine(b []byte) (Event, error) {
+	var w wireEvent
+	if err := json.Unmarshal(b, &w); err != nil {
+		return Event{}, err
+	}
+	e := Event{Seq: w.Seq, At: w.At, Node: w.Node, Kind: w.Kind, Pkt: w.Pkt}
+	if len(w.Detail) > 0 {
+		if w.Detail[0] == '"' {
+			// A well-formed JSON string (the outer unmarshal already
+			// validated it) — unquote.
+			if err := json.Unmarshal(w.Detail, &e.Detail); err != nil {
+				e.Detail = string(w.Detail)
+			}
+		} else if !bytes.Equal(w.Detail, []byte("null")) {
+			// Wrong type (number, bool, object…): keep the raw token so
+			// the event survives and the oddity stays visible.
+			e.Detail = string(w.Detail)
+		}
+	}
+	return e, nil
+}
+
+// ReadEvents parses an NDJSON stream as produced by Writer. Blank and
+// whitespace-only lines are skipped and there is no line-length cap (a
+// Detail field can legally be arbitrarily long). The first malformed line
+// aborts with its line number — except a final line cut off without its
+// newline, which returns every event parsed so far plus a wrapped
+// ErrTruncated, so a trace from a crashed producer yields its usable
+// prefix instead of nothing.
 func ReadEvents(r io.Reader) ([]Event, error) {
 	var out []Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	br := bufio.NewReaderSize(r, 64*1024)
 	line := 0
-	for sc.Scan() {
-		line++
-		b := sc.Bytes()
-		if len(b) == 0 {
-			continue
+	for {
+		b, err := br.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return out, fmt.Errorf("trace: read: %w", err)
 		}
-		var e Event
-		if err := json.Unmarshal(b, &e); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		if len(b) > 0 {
+			line++
 		}
-		out = append(out, e)
+		b = bytes.TrimSpace(b)
+		if len(b) > 0 {
+			e, perr := parseLine(b)
+			if perr != nil {
+				if atEOF {
+					// The producer died mid-line: salvage the prefix.
+					return out, fmt.Errorf("trace: line %d: %w", line, ErrTruncated)
+				}
+				return out, fmt.Errorf("trace: line %d: %w", line, perr)
+			}
+			out = append(out, e)
+		}
+		if atEOF {
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read: %w", err)
-	}
-	return out, nil
 }
 
 // Filter passes only events the predicate accepts.
@@ -312,3 +374,87 @@ func (c *Counter) Emit(e Event) { c.counts[e.Kind]++ }
 
 // Count returns the tally for one kind.
 func (c *Counter) Count(k Kind) uint64 { return c.counts[k] }
+
+// Snapshot returns a copy of every non-zero tally.
+func (c *Counter) Snapshot() map[Kind]uint64 {
+	out := make(map[Kind]uint64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// SyncCounter is a Counter safe for concurrent Emit/Count/Snapshot — the
+// sink rcast-serve hangs off running traced jobs, where the simulation
+// goroutine emits while HTTP handlers read tallies.
+type SyncCounter struct {
+	mu     sync.Mutex
+	counts map[Kind]uint64
+}
+
+var _ Sink = (*SyncCounter)(nil)
+
+// NewSyncCounter creates a concurrency-safe counting sink.
+func NewSyncCounter() *SyncCounter {
+	return &SyncCounter{counts: make(map[Kind]uint64)}
+}
+
+// Emit implements Sink.
+func (c *SyncCounter) Emit(e Event) {
+	c.mu.Lock()
+	c.counts[e.Kind]++
+	c.mu.Unlock()
+}
+
+// Count returns the tally for one kind.
+func (c *SyncCounter) Count(k Kind) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}
+
+// Snapshot returns a copy of every non-zero tally.
+func (c *SyncCounter) Snapshot() map[Kind]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Kind]uint64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Divergence locates the first difference between two event streams.
+type Divergence struct {
+	Index int    // 0-based position of the first differing event
+	A, B  *Event // nil when that side's stream ended first
+}
+
+// Diff compares two traces event-for-event and returns the first
+// divergence; ok is false when the streams are identical. Events are
+// compared in full — sequence number, time, node, kind, packet UID and
+// detail — so any behavioural difference between two runs surfaces at
+// the earliest event it touches. tools/tracediff, tools/tracegate and
+// the replay engine all report through this one comparison.
+func Diff(a, b []Event) (Divergence, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return Divergence{Index: i, A: &a[i], B: &b[i]}, true
+		}
+	}
+	if len(a) == len(b) {
+		return Divergence{}, false
+	}
+	d := Divergence{Index: n}
+	if len(a) > n {
+		d.A = &a[n]
+	}
+	if len(b) > n {
+		d.B = &b[n]
+	}
+	return d, true
+}

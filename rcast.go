@@ -28,6 +28,7 @@ import (
 
 	"rcast/internal/core"
 	"rcast/internal/fault"
+	"rcast/internal/replay"
 	"rcast/internal/scenario"
 	"rcast/internal/sim"
 	"rcast/internal/trace"
@@ -193,6 +194,26 @@ var ErrCanceled = scenario.ErrCanceled
 
 // Run executes one simulation and returns its metrics.
 func Run(cfg Config) (*Result, error) { return scenario.Run(cfg) }
+
+// Replay re-executes a recorded run from its captured trace
+// (internal/replay): the trace's stochastic decisions — overhearing
+// lotteries, fault-injected losses, crash firings — are injected at the
+// corresponding decision sites, the run is re-executed, and the replayed
+// event stream is verified byte-identical to the recording (a divergence
+// is an error naming the first differing event). cfg must be the
+// recorded run's configuration, sinks excluded. Returns the replayed
+// result and event stream.
+func Replay(cfg Config, recorded []TraceEvent) (*Result, []TraceEvent, error) {
+	return replay.Run(cfg, recorded)
+}
+
+// AggregateResults folds already-computed replication results, in
+// replication order, into an Aggregate — the merge half of
+// RunReplications, exposed so tooling that obtains results by other means
+// (replay, caches) can aggregate bit-identically.
+func AggregateResults(results []*Result) *Aggregate {
+	return scenario.AggregateResults(results)
+}
 
 // RunContext is Run under a cancellation context: the event loop polls
 // ctx cooperatively (every few thousand events) and a canceled run

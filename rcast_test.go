@@ -180,3 +180,35 @@ func TestPublicTracing(t *testing.T) {
 		t.Fatalf("ring retained %d events, want its capacity 64", got)
 	}
 }
+
+func TestPublicReplay(t *testing.T) {
+	cfg := smallConfig(rcast.SchemeRcast)
+	rec := rcast.NewTraceRecorder()
+	cfg.Trace = rec
+	orig, err := rcast.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replayCfg := smallConfig(rcast.SchemeRcast)
+	res, replayed, err := rcast.Replay(replayCfg, rec.Events())
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(replayed) != len(rec.Events()) {
+		t.Fatalf("replayed %d events, recorded %d", len(replayed), len(rec.Events()))
+	}
+	if res.Delivered != orig.Delivered || res.TotalJoules != orig.TotalJoules {
+		t.Fatalf("replay did not reproduce the run: %+v vs %+v", res, orig)
+	}
+
+	agg := rcast.AggregateResults([]*rcast.Result{res})
+	if agg.PDR.Mean() != res.PDR {
+		t.Fatalf("aggregate of one result: mean PDR %v, PDR %v", agg.PDR.Mean(), res.PDR)
+	}
+
+	// A truncated recording must be detected, not silently accepted.
+	if _, _, err := rcast.Replay(replayCfg, rec.Events()[:len(rec.Events())/2]); err == nil {
+		t.Fatal("replay of a truncated recording succeeded")
+	}
+}

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # CI gate: vet, shadow lint, build, race-enabled tests, a short fuzz pass
-# over the MAC, route-cache and scheduler-wheel targets, the coverage gate,
-# the calibrated perf-smoke gate, a benchmark smoke run, a tracediff smoke
-# (audit inert / seeds diverge), invariant-audited experiment smokes (clean
-# and fault-injected) under the race detector, the end-to-end rcast-serve
-# smoke (race-built daemon: submit/poll/parity/cache/429/drain), and the
-# fleet smoke (coordinator + two race-built workers: sweep sharding,
-# peer-cache fill, serial byte-parity).
+# over the MAC, route-cache, scheduler-wheel and trace-reader targets, the
+# coverage gate, the calibrated perf-smoke gate, a benchmark smoke run, a
+# tracediff smoke (audit inert / seeds diverge), the golden-trace corpus
+# gate (every committed cell re-runs and replays byte-identically), a
+# record/replay round-trip smoke through the rcast-sim CLI,
+# invariant-audited experiment smokes (clean and fault-injected) under the
+# race detector, the end-to-end rcast-serve smoke (race-built daemon:
+# submit/poll/parity/cache/429/drain), and the fleet smoke (coordinator +
+# two race-built workers: sweep sharding, peer-cache fill, serial
+# byte-parity).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +29,7 @@ echo "== fuzz smoke =="
 go test -run '^$' -fuzz 'FuzzPSMOperations' -fuzztime 10s ./internal/mac
 go test -run '^$' -fuzz 'FuzzCacheOperations' -fuzztime 10s ./internal/routing/dsr
 go test -run '^$' -fuzz 'FuzzSchedulerWheel' -fuzztime 10s ./internal/sim
+go test -run '^$' -fuzz 'FuzzReadEvents' -fuzztime 10s ./internal/trace
 
 echo "== coverage gate =="
 go run ./tools/covergate
@@ -51,6 +55,26 @@ if [ "$rc" -ne 1 ]; then
   echo "tracediff: want exit 1 for diverging seeds, got $rc" >&2
   exit 1
 fi
+
+echo "== golden-trace corpus gate =="
+# Every committed corpus cell must re-run byte-identically at HEAD, replay
+# byte-identically from its own golden trace, and (marked cells) match the
+# artifact rcast-serve stores. A behavioral change that moves a golden
+# fails here with the first divergent event; regenerate deliberately with
+# `go run ./tools/tracegate -update`.
+go run ./tools/tracegate
+
+echo "== replay round-trip smoke =="
+# Record a run through the CLI, replay it from the trace, and require both
+# the report and the re-emitted trace to be byte-identical to the original.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/rcast-sim -nodes 12 -duration 12s -static -connections 3 -seed 4 \
+  -trace "$tmpdir/rec.ndjson" > "$tmpdir/rec.out"
+go run ./cmd/rcast-sim -nodes 12 -duration 12s -static -connections 3 -seed 4 \
+  -replay "$tmpdir/rec.ndjson" -trace "$tmpdir/rep.ndjson" > "$tmpdir/rep.out"
+cmp "$tmpdir/rec.out" "$tmpdir/rep.out"
+cmp "$tmpdir/rec.ndjson" "$tmpdir/rep.ndjson"
 
 echo "== audited smoke (race) =="
 go run -race ./cmd/rcast-bench -profile quick -only table1 -reps 1 -audit > /dev/null

@@ -1,10 +1,13 @@
 // Command covergate enforces two coverage rules against a committed
 // baseline so test debt cannot creep in silently:
 //
-//   - rcast/internal/fault must stay at or above 85.0% statement coverage
-//     (the fault-injection layer is the subsystem this gate was built for:
-//     its failure modes only surface under rare schedules, so untested
-//     branches there are disproportionately dangerous);
+//   - floor packages must stay at or above their hard minimum statement
+//     coverage regardless of what the baseline says: rcast/internal/fault
+//     (the fault layer's failure modes only surface under rare schedules,
+//     so untested branches there are disproportionately dangerous) and
+//     rcast/internal/replay (a replay engine that silently stops checking
+//     decisions defeats the golden-trace gate built on top of it), both
+//     at 85.0%;
 //   - no package may drop more than 2.0 points below the figure recorded
 //     in coverage_baseline.txt. Small jitter from refactors passes; a
 //     change that orphans a meaningful chunk of a package does not.
@@ -34,10 +37,17 @@ import (
 
 const (
 	baselineFile = "coverage_baseline.txt"
-	floorPkg     = "rcast/internal/fault"
-	floorPct     = 85.0
 	maxDrop      = 2.0
 )
+
+// floors are hard per-package minimums enforced on every run, independent
+// of the committed baseline (the baseline only catches drops relative to
+// itself; a floor pins an absolute bar for subsystems whose untested
+// branches are disproportionately dangerous).
+var floors = map[string]float64{
+	"rcast/internal/fault":  85.0,
+	"rcast/internal/replay": 85.0,
+}
 
 // coverLine matches the summary go test prints per covered package, e.g.
 //
@@ -59,12 +69,15 @@ func main() {
 	}
 
 	failed := false
-	if pct, ok := current[floorPkg]; !ok {
-		fmt.Fprintf(os.Stderr, "covergate: FAIL %s reported no coverage (floor %.1f%%)\n", floorPkg, floorPct)
-		failed = true
-	} else if pct < floorPct {
-		fmt.Fprintf(os.Stderr, "covergate: FAIL %s coverage %.1f%% below floor %.1f%%\n", floorPkg, pct, floorPct)
-		failed = true
+	for _, pkg := range sortedKeys(floors) {
+		floor := floors[pkg]
+		if pct, ok := current[pkg]; !ok {
+			fmt.Fprintf(os.Stderr, "covergate: FAIL %s reported no coverage (floor %.1f%%)\n", pkg, floor)
+			failed = true
+		} else if pct < floor {
+			fmt.Fprintf(os.Stderr, "covergate: FAIL %s coverage %.1f%% below floor %.1f%%\n", pkg, pct, floor)
+			failed = true
+		}
 	}
 
 	if *write {
@@ -104,8 +117,11 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("covergate: ok (%d packages, %s at %.1f%% >= %.1f%%)\n",
-		len(current), floorPkg, current[floorPkg], floorPct)
+	var floorNotes []string
+	for _, pkg := range sortedKeys(floors) {
+		floorNotes = append(floorNotes, fmt.Sprintf("%s at %.1f%% >= %.1f%%", pkg, current[pkg], floors[pkg]))
+	}
+	fmt.Printf("covergate: ok (%d packages, %s)\n", len(current), strings.Join(floorNotes, ", "))
 }
 
 // measure runs the coverage build and returns package -> percent. The test

@@ -7,56 +7,29 @@ import (
 	"rcast/internal/trace"
 )
 
-// divergence locates the first difference between two event streams.
-type divergence struct {
-	index int          // 0-based position of the first differing event
-	a, b  *trace.Event // nil when that side's stream ended first
-}
-
-// diffEvents compares two traces event-for-event and returns the first
-// divergence; ok is false when the streams are identical. Events are
-// compared in full — sequence number, time, node, kind, packet UID and
-// detail — so any behavioural difference between two runs surfaces at
-// the earliest event it touches.
-func diffEvents(a, b []trace.Event) (divergence, bool) {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		if a[i] != b[i] {
-			return divergence{index: i, a: &a[i], b: &b[i]}, true
-		}
-	}
-	if len(a) == len(b) {
-		return divergence{}, false
-	}
-	d := divergence{index: n}
-	if len(a) > n {
-		d.a = &a[n]
-	}
-	if len(b) > n {
-		d.b = &b[n]
-	}
-	return d, true
+// diffEvents locates the first difference between two event streams; ok
+// is false when the streams are identical. The comparison itself lives in
+// trace.Diff so tracegate and the replay engine report identically.
+func diffEvents(a, b []trace.Event) (trace.Divergence, bool) {
+	return trace.Diff(a, b)
 }
 
 // report prints the divergence with up to context common events leading
 // into it, so the reader sees what both runs agreed on last.
-func report(w io.Writer, a, b []trace.Event, d divergence, context int) {
-	lo := d.index - context
+func report(w io.Writer, a, b []trace.Event, d trace.Divergence, context int) {
+	lo := d.Index - context
 	if lo < 0 {
 		lo = 0
 	}
-	if lo < d.index {
-		fmt.Fprintf(w, "common prefix (last %d of %d events):\n", d.index-lo, d.index)
-		for i := lo; i < d.index; i++ {
+	if lo < d.Index {
+		fmt.Fprintf(w, "common prefix (last %d of %d events):\n", d.Index-lo, d.Index)
+		for i := lo; i < d.Index; i++ {
 			fmt.Fprintf(w, "    %s\n", a[i])
 		}
 	}
-	fmt.Fprintf(w, "first divergence at event %d:\n", d.index)
-	fmt.Fprintf(w, "  A: %s\n", side(d.a))
-	fmt.Fprintf(w, "  B: %s\n", side(d.b))
+	fmt.Fprintf(w, "first divergence at event %d:\n", d.Index)
+	fmt.Fprintf(w, "  A: %s\n", side(d.A))
+	fmt.Fprintf(w, "  B: %s\n", side(d.B))
 	fmt.Fprintf(w, "totals: A=%d events, B=%d events\n", len(a), len(b))
 }
 

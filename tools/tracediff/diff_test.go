@@ -46,11 +46,11 @@ func TestDiffEventsPlantedDivergence(t *testing.T) {
 	if !diverged {
 		t.Fatal("planted divergence not found")
 	}
-	if d.index != 13 {
-		t.Fatalf("divergence at index %d, want 13", d.index)
+	if d.Index != 13 {
+		t.Fatalf("divergence at index %d, want 13", d.Index)
 	}
-	if d.a == nil || d.b == nil || d.a.Detail != "hop" || d.b.Detail != "planted" {
-		t.Fatalf("divergence carries wrong events: %+v / %+v", d.a, d.b)
+	if d.A == nil || d.B == nil || d.A.Detail != "hop" || d.B.Detail != "planted" {
+		t.Fatalf("divergence carries wrong events: %+v / %+v", d.A, d.B)
 	}
 }
 
@@ -61,11 +61,11 @@ func TestDiffEventsPrefix(t *testing.T) {
 	if !diverged {
 		t.Fatal("length mismatch not reported")
 	}
-	if d.index != 15 {
-		t.Fatalf("divergence at index %d, want 15 (end of shorter stream)", d.index)
+	if d.Index != 15 {
+		t.Fatalf("divergence at index %d, want 15 (end of shorter stream)", d.Index)
 	}
-	if d.a == nil || d.b != nil {
-		t.Fatalf("prefix divergence should have a set and b nil: %+v / %+v", d.a, d.b)
+	if d.A == nil || d.B != nil {
+		t.Fatalf("prefix divergence should have a set and b nil: %+v / %+v", d.A, d.B)
 	}
 }
 

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops raw bytes for file-mode edge cases (empty traces,
+// hand-built NDJSON).
+func writeFile(t *testing.T, dir, name string, data []byte) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestExitCodeMissingInput pins exit 2: a nonexistent input file is an
+// execution error, not a divergence.
+func TestExitCodeMissingInput(t *testing.T) {
+	dir := t.TempDir()
+	pa := writeFile(t, dir, "a.jsonl", nil)
+	var out bytes.Buffer
+	diverged, err := run([]string{"-a", pa, "-b", filepath.Join(dir, "missing.jsonl")}, &out)
+	if err == nil {
+		t.Fatal("missing -b file accepted")
+	}
+	if got := exitCode(diverged, err); got != 2 {
+		t.Fatalf("exit code %d, want 2", got)
+	}
+}
+
+// TestExitCodeEmptyTraces pins exit 0 on two empty traces: zero events on
+// both sides is identity, not an error.
+func TestExitCodeEmptyTraces(t *testing.T) {
+	dir := t.TempDir()
+	pa := writeFile(t, dir, "a.jsonl", nil)
+	pb := writeFile(t, dir, "b.jsonl", nil)
+	var out bytes.Buffer
+	diverged, err := run([]string{"-a", pa, "-b", pb}, &out)
+	if err != nil {
+		t.Fatalf("empty traces errored: %v", err)
+	}
+	if got := exitCode(diverged, err); got != 0 {
+		t.Fatalf("exit code %d, want 0", got)
+	}
+	if !strings.Contains(out.String(), "traces identical: 0 events") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// TestExitCodeEmptyVersusNonEmpty pins exit 1 with the divergence at
+// event 0: one side ends before the other begins.
+func TestExitCodeEmptyVersusNonEmpty(t *testing.T) {
+	dir := t.TempDir()
+	pa := writeFile(t, dir, "a.jsonl", nil)
+	pb := filepath.Join(dir, "b.jsonl")
+	writeTrace(t, pb, sampleEvents(3))
+	var out bytes.Buffer
+	diverged, err := run([]string{"-a", pa, "-b", pb}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exitCode(diverged, err); got != 1 {
+		t.Fatalf("exit code %d, want 1", got)
+	}
+	if !strings.Contains(out.String(), "first divergence at event 0") ||
+		!strings.Contains(out.String(), "<end of trace>") {
+		t.Fatalf("report does not pin the empty side at event 0:\n%s", out.String())
+	}
+}
+
+// TestExitCodeDifferentLengths pins exit 1 when side B is a strict prefix
+// of side A — the identical prefix then EOF case. The divergence index is
+// the length of the shorter stream and the report shows both totals.
+func TestExitCodeDifferentLengths(t *testing.T) {
+	dir := t.TempDir()
+	pa := filepath.Join(dir, "a.jsonl")
+	pb := filepath.Join(dir, "b.jsonl")
+	writeTrace(t, pa, sampleEvents(20))
+	writeTrace(t, pb, sampleEvents(14))
+	var out bytes.Buffer
+	diverged, err := run([]string{"-a", pa, "-b", pb}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exitCode(diverged, err); got != 1 {
+		t.Fatalf("exit code %d, want 1", got)
+	}
+	s := out.String()
+	if !strings.Contains(s, "first divergence at event 14") {
+		t.Fatalf("divergence not at the shorter stream's end:\n%s", s)
+	}
+	if !strings.Contains(s, "<end of trace>") {
+		t.Fatalf("truncated side not rendered as end-of-trace:\n%s", s)
+	}
+	if !strings.Contains(s, "totals: A=20 events, B=14 events") {
+		t.Fatalf("totals line missing or wrong:\n%s", s)
+	}
+}
+
+// TestExitCodeIdenticalPrefixThenEOFIsError: a file that ends mid-line is
+// a truncated recording — file mode refuses it (exit 2) rather than
+// diffing a silently shortened stream.
+func TestExitCodeIdenticalPrefixThenEOF(t *testing.T) {
+	dir := t.TempDir()
+	pa := filepath.Join(dir, "a.jsonl")
+	writeTrace(t, pa, sampleEvents(6))
+	full, err := os.ReadFile(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the final line mid-JSON: identical prefix, then EOF.
+	cut := bytes.LastIndexByte(bytes.TrimRight(full, "\n"), '\n')
+	pb := writeFile(t, dir, "b.jsonl", full[:cut+10])
+	var out bytes.Buffer
+	diverged, err := run([]string{"-a", pa, "-b", pb}, &out)
+	if err == nil {
+		t.Fatalf("truncated side B accepted (diverged=%v):\n%s", diverged, out.String())
+	}
+	if got := exitCode(diverged, err); got != 2 {
+		t.Fatalf("exit code %d, want 2", got)
+	}
+}
+
+// TestExitCodeIdentical pins exit 0 on byte-identical non-empty traces.
+func TestExitCodeIdentical(t *testing.T) {
+	dir := t.TempDir()
+	pa := filepath.Join(dir, "a.jsonl")
+	pb := filepath.Join(dir, "b.jsonl")
+	writeTrace(t, pa, sampleEvents(9))
+	writeTrace(t, pb, sampleEvents(9))
+	var out bytes.Buffer
+	diverged, err := run([]string{"-a", pa, "-b", pb}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exitCode(diverged, err); got != 0 {
+		t.Fatalf("exit code %d, want 0", got)
+	}
+}

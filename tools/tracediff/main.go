@@ -35,11 +35,20 @@ func main() {
 	diverged, err := run(os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracediff:", err)
-		os.Exit(2)
 	}
-	if diverged {
-		os.Exit(1)
+	os.Exit(exitCode(diverged, err))
+}
+
+// exitCode maps a run outcome to the documented process exit status:
+// 0 identical, 1 diverged, 2 usage or execution error.
+func exitCode(diverged bool, err error) int {
+	switch {
+	case err != nil:
+		return 2
+	case diverged:
+		return 1
 	}
+	return 0
 }
 
 func run(args []string, out io.Writer) (bool, error) {

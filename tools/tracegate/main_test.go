@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const corpusDir = "../../testdata/corpus"
+
+// copyCell clones one committed corpus cell into a throwaway corpus so a
+// test can tamper with it without touching the goldens.
+func copyCell(t *testing.T, name string) string {
+	t.Helper()
+	corpus := t.TempDir()
+	dst := filepath.Join(corpus, name)
+	if err := os.Mkdir(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(corpusDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(corpusDir, name, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return corpus
+}
+
+func runGate(t *testing.T, args ...string) (bool, string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	diverged, err := run(args, &out)
+	return diverged, out.String(), err
+}
+
+// TestGateCleanCorpus is the CI contract's passing half: every committed
+// cell re-runs and replays byte-identically at HEAD.
+func TestGateCleanCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-runs the whole corpus")
+	}
+	diverged, out, err := runGate(t, "-corpus", corpusDir)
+	if err != nil {
+		t.Fatalf("gate error: %v", err)
+	}
+	if diverged {
+		t.Fatalf("committed corpus diverges at HEAD:\n%s", out)
+	}
+	if got := strings.Count(out, " ok\n"); got < 8 {
+		t.Fatalf("expected at least 8 cells, gate saw %d:\n%s", got, out)
+	}
+}
+
+// TestGateFailsOnPlantedBehavioralChange is the failing half: a one-line
+// change to the cell's behavior (here: the traffic rate, standing in for
+// a code change at HEAD) must diverge from the golden trace, and the
+// report must name the first differing event.
+func TestGateFailsOnPlantedBehavioralChange(t *testing.T) {
+	corpus := copyCell(t, "rcast_static")
+	cellJSON := filepath.Join(corpus, "rcast_static", "cell.json")
+	data, err := os.ReadFile(cellJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := strings.Replace(string(data), `"connections": 3`, `"connections": 4`, 1)
+	if planted == string(data) {
+		t.Fatal("plant failed: connections field not found")
+	}
+	if err := os.WriteFile(cellJSON, []byte(planted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diverged, out, err := runGate(t, "-corpus", corpus)
+	if err != nil {
+		t.Fatalf("gate error: %v", err)
+	}
+	if !diverged {
+		t.Fatalf("planted behavioral change passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "first divergence at event") && !strings.Contains(out, "replay") {
+		t.Fatalf("divergence report does not locate the first differing event:\n%s", out)
+	}
+}
+
+// TestGateFailsOnTamperedGolden: flipping one recorded byte in the golden
+// trace (the other direction HEAD drift can take) also fails the gate.
+func TestGateFailsOnTamperedGolden(t *testing.T) {
+	corpus := copyCell(t, "rcast_static")
+	golden := filepath.Join(corpus, "rcast_static", "trace.ndjson")
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "level=randomized sleep", "level=randomized stay-awake", 1)
+	if tampered == string(data) {
+		t.Fatal("tamper failed: no randomized-lottery sleep verdict in golden trace")
+	}
+	if err := os.WriteFile(golden, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diverged, out, err := runGate(t, "-corpus", corpus)
+	if err != nil {
+		t.Fatalf("gate error: %v", err)
+	}
+	if !diverged {
+		t.Fatalf("tampered golden passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "first divergence at event") {
+		t.Fatalf("report does not name the first divergent event:\n%s", out)
+	}
+}
+
+// TestUpdateRegeneratesGoldens: -update heals a drifted cell, after which
+// the gate passes again.
+func TestUpdateRegeneratesGoldens(t *testing.T) {
+	corpus := copyCell(t, "serve_rcast")
+	golden := filepath.Join(corpus, "serve_rcast", "trace.ndjson")
+	if err := os.WriteFile(golden, []byte(`{"atMicros":0,"node":0,"kind":"bogus"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if diverged, out, err := runGate(t, "-corpus", corpus); err != nil || !diverged {
+		t.Fatalf("stale golden not detected (diverged=%v err=%v):\n%s", diverged, err, out)
+	}
+	if diverged, out, err := runGate(t, "-corpus", corpus, "-update"); err != nil || diverged {
+		t.Fatalf("-update failed (diverged=%v err=%v):\n%s", diverged, err, out)
+	}
+	if diverged, out, err := runGate(t, "-corpus", corpus); err != nil || diverged {
+		t.Fatalf("gate still failing after -update (diverged=%v err=%v):\n%s", diverged, err, out)
+	}
+}
+
+// TestGateUsageErrors pins the exit-2 error paths: a missing corpus and
+// an unknown -cell name are errors, not divergences.
+func TestGateUsageErrors(t *testing.T) {
+	if _, _, err := runGate(t, "-corpus", filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing corpus accepted")
+	}
+	if _, _, err := runGate(t, "-corpus", corpusDir, "-cell", "no_such_cell"); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}
