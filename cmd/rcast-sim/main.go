@@ -43,6 +43,11 @@ func run(args []string) error {
 		pause      = fs.Duration("pause", 600*time.Second, "random waypoint pause time")
 		static     = fs.Bool("static", false, "static scenario (pause = duration)")
 		speed      = fs.Float64("speed", 20, "maximum node speed (m/s)")
+		channel    = fs.String("channel", "disk", "propagation model: disk, shadowing, fading")
+		shadowSig  = fs.Float64("shadow-sigma", 4, "log-normal shadowing std-dev in dB (with -channel shadowing)")
+		mobModel   = fs.String("mobility", "waypoint", "mobility model: waypoint, gauss-markov, group")
+		groupSize  = fs.Int("group-size", 4, "nodes per group (with -mobility group)")
+		groupRad   = fs.Float64("group-radius", 50, "group wander radius in metres (with -mobility group)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		reps       = fs.Int("reps", 1, "replications (per-rep seeds mixed from -seed)")
 		gossip     = fs.Float64("gossip", 0, "broadcast-Rcast fanout (0 disables)")
@@ -87,6 +92,11 @@ func run(args []string) error {
 	cfg.Duration = rcast.Seconds(duration.Seconds())
 	cfg.Pause = rcast.Seconds(pause.Seconds())
 	cfg.MaxSpeed = *speed
+	cfg.Channel = *channel
+	cfg.ShadowSigmaDB = *shadowSig
+	cfg.Mobility = *mobModel
+	cfg.GroupSize = *groupSize
+	cfg.GroupRadiusM = *groupRad
 	cfg.Seed = *seed
 	cfg.GossipFanout = *gossip
 	cfg.BatteryJoules = *battery
@@ -163,6 +173,11 @@ func run(args []string) error {
 	fmt.Printf("traffic           %d CBR x %.2f pkt/s x %d B, %.0f s\n",
 		cfg.Connections, cfg.PacketRate, cfg.PacketBytes, cfg.Duration.Seconds())
 	fmt.Printf("replications      %d\n", *reps)
+	// Printed only off the defaults so default invocations keep their
+	// historical byte-identical stdout.
+	if cfg.Channel != "disk" || cfg.Mobility != "waypoint" {
+		fmt.Printf("models            channel %s, mobility %s\n", cfg.Channel, cfg.Mobility)
+	}
 	fmt.Println()
 	fmt.Printf("packet delivery   %.2f%% ± %.2f\n", 100*agg.PDR.Mean(), 100*agg.PDR.CI95())
 	fmt.Printf("avg delay         %.3f s\n", agg.AvgDelaySec.Mean())
@@ -184,6 +199,9 @@ func run(args []string) error {
 	fmt.Printf("drops             %v\n", res.Drops)
 	fmt.Printf("channel           %d tx, %d collisions, %d missed asleep\n",
 		res.Channel.Transmissions, res.Channel.Collisions, res.Channel.MissedAsleep)
+	if cfg.Channel != "disk" {
+		fmt.Printf("channel losses    %d chan-lost\n", res.Channel.ChannelLost)
+	}
 
 	if *perNode {
 		fmt.Println("\nnode  joules    role")

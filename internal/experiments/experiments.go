@@ -308,6 +308,7 @@ func (s *Suite) All() error {
 		func() error { _, err := s.AblationRouting(); return err },
 		func() error { _, err := s.AblationATIM(); return err },
 		func() error { _, err := s.AblationFaults(); return err },
+		func() error { _, err := s.AblationChannels(); return err },
 	}
 	for _, step := range steps {
 		if err := step(); err != nil {

@@ -1,0 +1,152 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"rcast/internal/geom"
+	"rcast/internal/sim"
+)
+
+// GaussMarkov is the Gauss–Markov mobility model (Liang & Haas): speed and
+// direction evolve as first-order autoregressive processes, so trajectories
+// are temporally correlated — no sharp waypoint turns — with the memory
+// level α tuning between Brownian motion (α=0) and straight-line constant
+// velocity (α=1).
+//
+// At each tick the state updates as
+//
+//	s_n = α·s_{n-1} + (1-α)·s̄ + sqrt(1-α²)·σ_s·N(0,1)
+//	d_n = α·d_{n-1} + (1-α)·d̄ + sqrt(1-α²)·σ_d·N(0,1)
+//
+// and the node moves in a straight line for one tick at (s_n, d_n). Speed
+// is clamped to [MinSpeed, MaxSpeed]. At a field edge the trajectory
+// reflects: the overshoot mirrors back inside and both the current and
+// mean direction flip across the wall, steering the process away from the
+// boundary (the standard edge treatment for this model).
+//
+// Like Waypoint, positions come from a lazily extended analytic leg list,
+// so the model stays a pure function of time for any query order.
+type GaussMarkov struct {
+	field     geom.Rect
+	minSpeed  float64
+	maxSpeed  float64
+	alpha     float64
+	tick      sim.Time
+	rng       *rand.Rand
+	meanSpeed float64
+	speedStd  float64
+	dirStd    float64
+
+	// AR(1) state after the last generated leg.
+	speed   float64
+	dir     float64
+	meanDir float64
+
+	legs []leg
+}
+
+var _ Model = (*GaussMarkov)(nil)
+
+// GaussMarkovConfig parameterizes NewGaussMarkov.
+type GaussMarkovConfig struct {
+	Field    geom.Rect
+	MinSpeed float64  // m/s; defaults to 0.1 if <= 0
+	MaxSpeed float64  // m/s; must be >= MinSpeed
+	Alpha    float64  // memory in [0, 1]; defaults to 0.75 if <= 0
+	Tick     sim.Time // state-update interval; defaults to 1 s if <= 0
+	Start    geom.Point
+}
+
+// NewGaussMarkov creates a Gauss–Markov model. The rng must be dedicated
+// to this node (see sim.Stream) to keep trajectories reproducible; the
+// initial mean direction is drawn from it uniformly.
+func NewGaussMarkov(cfg GaussMarkovConfig, rng *rand.Rand) *GaussMarkov {
+	minSpeed := cfg.MinSpeed
+	if minSpeed <= 0 {
+		minSpeed = 0.1
+	}
+	maxSpeed := cfg.MaxSpeed
+	if maxSpeed < minSpeed {
+		maxSpeed = minSpeed
+	}
+	alpha := cfg.Alpha
+	if alpha <= 0 {
+		alpha = 0.75
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	tick := cfg.Tick
+	if tick <= 0 {
+		tick = sim.Second
+	}
+	g := &GaussMarkov{
+		field:     cfg.Field,
+		minSpeed:  minSpeed,
+		maxSpeed:  maxSpeed,
+		alpha:     alpha,
+		tick:      tick,
+		rng:       rng,
+		meanSpeed: (minSpeed + maxSpeed) / 2,
+		speedStd:  (maxSpeed - minSpeed) / 4,
+		dirStd:    math.Pi / 4,
+	}
+	g.meanDir = rng.Float64() * 2 * math.Pi
+	g.speed = g.meanSpeed
+	g.dir = g.meanDir
+	g.legs = append(g.legs, leg{start: 0, end: 0, from: cfg.Start, to: cfg.Start})
+	return g
+}
+
+// PositionAt implements Model.
+func (g *GaussMarkov) PositionAt(t sim.Time) geom.Point {
+	if t < 0 {
+		t = 0
+	}
+	g.extendTo(t)
+	return legPosition(g.legs, t)
+}
+
+// extendTo appends one-tick legs until the trajectory covers instant t.
+func (g *GaussMarkov) extendTo(t sim.Time) {
+	sq := math.Sqrt(1 - g.alpha*g.alpha)
+	for g.legs[len(g.legs)-1].end <= t {
+		last := g.legs[len(g.legs)-1]
+		g.speed = g.alpha*g.speed + (1-g.alpha)*g.meanSpeed + sq*g.speedStd*g.rng.NormFloat64()
+		g.speed = math.Max(g.minSpeed, math.Min(g.maxSpeed, g.speed))
+		g.dir = g.alpha*g.dir + (1-g.alpha)*g.meanDir + sq*g.dirStd*g.rng.NormFloat64()
+		step := g.speed * g.tick.Seconds()
+		to := last.to.Add(geom.Point{X: step * math.Cos(g.dir), Y: step * math.Sin(g.dir)})
+		to = g.reflect(to)
+		g.legs = append(g.legs, leg{start: last.end, end: last.end + g.tick, from: last.to, to: to})
+	}
+}
+
+// reflect mirrors p back inside the field, flipping the current and mean
+// direction across each violated wall. One tick's step is far shorter than
+// any sane field edge, so a handful of passes always converges; the final
+// clamp guards degenerate (near-zero) fields.
+func (g *GaussMarkov) reflect(p geom.Point) geom.Point {
+	for i := 0; i < 4 && !g.field.Contains(p); i++ {
+		if p.X < 0 {
+			p.X = -p.X
+			g.dir = math.Pi - g.dir
+			g.meanDir = math.Pi - g.meanDir
+		} else if p.X > g.field.W {
+			p.X = 2*g.field.W - p.X
+			g.dir = math.Pi - g.dir
+			g.meanDir = math.Pi - g.meanDir
+		}
+		if p.Y < 0 {
+			p.Y = -p.Y
+			g.dir = -g.dir
+			g.meanDir = -g.meanDir
+		} else if p.Y > g.field.H {
+			p.Y = 2*g.field.H - p.Y
+			g.dir = -g.dir
+			g.meanDir = -g.meanDir
+		}
+	}
+	return g.field.Clamp(p)
+}

@@ -96,17 +96,22 @@ func (w *Waypoint) PositionAt(t sim.Time) geom.Point {
 		t = 0
 	}
 	w.extendTo(t)
-	// Binary search the covering leg.
-	lo, hi := 0, len(w.legs)-1
+	return legPosition(w.legs, t)
+}
+
+// legPosition interpolates a position on a leg list covering instant t
+// (binary search; legs are contiguous and sorted by time).
+func legPosition(legs []leg, t sim.Time) geom.Point {
+	lo, hi := 0, len(legs)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if w.legs[mid].end <= t {
+		if legs[mid].end <= t {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	l := w.legs[lo]
+	l := legs[lo]
 	if l.from == l.to || l.end == l.start {
 		return l.from
 	}

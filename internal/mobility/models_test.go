@@ -1,0 +1,204 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"rcast/internal/geom"
+	"rcast/internal/sim"
+)
+
+func newTestGM(seed int64) *GaussMarkov {
+	return NewGaussMarkov(GaussMarkovConfig{
+		Field:    testField,
+		MinSpeed: 1,
+		MaxSpeed: 20,
+		Start:    geom.Point{X: 750, Y: 150},
+	}, sim.Stream(seed, "gm"))
+}
+
+func TestGaussMarkovStaysInField(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := newTestGM(seed)
+		for s := 0; s <= 1125; s++ {
+			p := g.PositionAt(sim.Time(s) * sim.Second)
+			if !testField.Contains(p) {
+				t.Fatalf("seed %d left the field at t=%ds: %v", seed, s, p)
+			}
+		}
+	}
+}
+
+func TestGaussMarkovSpeedBounded(t *testing.T) {
+	g := newTestGM(2)
+	const dt = 100 * sim.Millisecond
+	prev := g.PositionAt(0)
+	for at := sim.Time(dt); at <= 600*sim.Second; at += dt {
+		cur := g.PositionAt(at)
+		speed := prev.DistanceTo(cur) / dt.Seconds()
+		// A reflection inside dt can fold the path; allow the same slack as
+		// the waypoint test.
+		if speed > 2*20+1 {
+			t.Fatalf("speed %v m/s at t=%v exceeds bound", speed, at)
+		}
+		prev = cur
+	}
+}
+
+func TestGaussMarkovDeterministicAnyQueryOrder(t *testing.T) {
+	a, b := newTestGM(7), newTestGM(7)
+	// Query b backwards: the lazily extended leg list must make positions a
+	// pure function of time regardless of order.
+	forward := make([]geom.Point, 301)
+	for s := 0; s <= 300; s++ {
+		forward[s] = a.PositionAt(sim.Time(s) * sim.Second)
+	}
+	for s := 300; s >= 0; s-- {
+		if got := b.PositionAt(sim.Time(s) * sim.Second); got != forward[s] {
+			t.Fatalf("query-order dependence at t=%ds: %v != %v", s, got, forward[s])
+		}
+	}
+}
+
+func TestGaussMarkovSeedsDiverge(t *testing.T) {
+	a, b := newTestGM(1), newTestGM(2)
+	for s := 1; s <= 300; s++ {
+		at := sim.Time(s) * sim.Second
+		if a.PositionAt(at) != b.PositionAt(at) {
+			return
+		}
+	}
+	t.Fatal("different seeds produced identical trajectories")
+}
+
+// TestGaussMarkovMoves distinguishes the model from a parked node and
+// checks temporal correlation: over one tick the direction rarely reverses
+// (α=0.75 memory), unlike a memoryless random walk.
+func TestGaussMarkovMoves(t *testing.T) {
+	g := newTestGM(3)
+	var travelled float64
+	reversals, steps := 0, 0
+	prev := g.PositionAt(0)
+	prevDir := math.NaN()
+	for s := 1; s <= 600; s++ {
+		cur := g.PositionAt(sim.Time(s) * sim.Second)
+		travelled += prev.DistanceTo(cur)
+		dir := math.Atan2(cur.Y-prev.Y, cur.X-prev.X)
+		if !math.IsNaN(prevDir) {
+			delta := math.Abs(math.Mod(dir-prevDir+3*math.Pi, 2*math.Pi) - math.Pi)
+			if delta > math.Pi/2 {
+				reversals++
+			}
+			steps++
+		}
+		prev, prevDir = cur, dir
+	}
+	if travelled < 600 {
+		t.Fatalf("travelled only %v m in 600 s with speeds in [1,20]", travelled)
+	}
+	if frac := float64(reversals) / float64(steps); frac > 0.25 {
+		t.Fatalf("%.0f%% of ticks turned > 90°; trajectory has no memory", 100*frac)
+	}
+}
+
+func TestGroupMemberStaysNearReference(t *testing.T) {
+	const radius = 50.0
+	ref := NewWaypoint(WaypointConfig{
+		Field:    testField,
+		MaxSpeed: 20,
+		Start:    geom.Point{X: 750, Y: 150},
+	}, sim.Stream(1, "group-ref"))
+	box := geom.Rect{W: 2 * radius, H: 2 * radius}
+	local := NewWaypoint(WaypointConfig{
+		Field:    box,
+		MaxSpeed: 5,
+		Start:    geom.Point{X: radius, Y: radius},
+	}, sim.Stream(2, "group-local"))
+	m := Member{Field: testField, Ref: ref, Local: local, Center: geom.Point{X: radius, Y: radius}}
+	// The member's offset from the reference is bounded by the box
+	// half-diagonal (except where the field clamp pulls it further).
+	maxOff := math.Hypot(radius, radius) + 1e-9
+	for s := 0; s <= 1125; s++ {
+		at := sim.Time(s) * sim.Second
+		p := m.PositionAt(at)
+		if !testField.Contains(p) {
+			t.Fatalf("member left the field at t=%ds: %v", s, p)
+		}
+		r := ref.PositionAt(at)
+		if testField.Contains(r) {
+			interior := r.X > radius && r.X < testField.W-radius &&
+				r.Y > radius && r.Y < testField.H-radius
+			if interior && p.DistanceTo(r) > maxOff {
+				t.Fatalf("member strayed %v m from reference at t=%ds (max %v)",
+					p.DistanceTo(r), s, maxOff)
+			}
+		}
+	}
+}
+
+func TestGroupMembersShareReference(t *testing.T) {
+	const radius = 40.0
+	ref := NewWaypoint(WaypointConfig{
+		Field:    testField,
+		MaxSpeed: 20,
+		Start:    geom.Point{X: 400, Y: 100},
+	}, sim.Stream(3, "group-ref"))
+	box := geom.Rect{W: 2 * radius, H: 2 * radius}
+	center := geom.Point{X: radius, Y: radius}
+	mk := func(seed int64) Member {
+		return Member{
+			Field: testField,
+			Ref:   ref,
+			Local: NewWaypoint(WaypointConfig{Field: box, MaxSpeed: 5, Start: center},
+				sim.Stream(seed, "group-local")),
+			Center: center,
+		}
+	}
+	a, b := mk(10), mk(11)
+	// Two members of one group stay within 2×(box diagonal) of each other
+	// and their trajectories differ (distinct local wander).
+	maxGap := 2*math.Hypot(radius, radius) + 1e-9
+	differ := false
+	for s := 0; s <= 600; s++ {
+		at := sim.Time(s) * sim.Second
+		pa, pb := a.PositionAt(at), b.PositionAt(at)
+		if pa.DistanceTo(pb) > maxGap {
+			t.Fatalf("group members %v m apart at t=%ds (max %v)", pa.DistanceTo(pb), s, maxGap)
+		}
+		if pa != pb {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("two members never separated; local wander missing")
+	}
+}
+
+// TestGroupMemberOutOfOrderQueries: Member composes pure models, so it must
+// be pure too even when ref and local are queried through multiple members.
+func TestGroupMemberOutOfOrderQueries(t *testing.T) {
+	const radius = 30.0
+	ref := NewWaypoint(WaypointConfig{
+		Field:    testField,
+		MaxSpeed: 15,
+		Start:    geom.Point{X: 200, Y: 200},
+	}, sim.Stream(5, "group-ref"))
+	box := geom.Rect{W: 2 * radius, H: 2 * radius}
+	center := geom.Point{X: radius, Y: radius}
+	m := Member{
+		Field: testField,
+		Ref:   ref,
+		Local: NewWaypoint(WaypointConfig{Field: box, MaxSpeed: 5, Start: center},
+			sim.Stream(6, "group-local")),
+		Center: center,
+	}
+	forward := make([]geom.Point, 101)
+	for s := 0; s <= 100; s++ {
+		forward[s] = m.PositionAt(sim.Time(s) * sim.Second)
+	}
+	for s := 100; s >= 0; s-- {
+		if got := m.PositionAt(sim.Time(s) * sim.Second); got != forward[s] {
+			t.Fatalf("out-of-order query at t=%ds: %v != %v", s, got, forward[s])
+		}
+	}
+}

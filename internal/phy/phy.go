@@ -99,6 +99,7 @@ const (
 	LossCollision    = "collision"     // overlap or half-duplex corruption
 	LossMissedAsleep = "missed-asleep" // receiving radio was (or fell) asleep
 	LossFault        = "fault-lost"    // injected by the LossModel
+	LossChannel      = "chan-lost"     // propagation model declined the link (non-disk channels)
 )
 
 // DropObserver is notified of every per-receiver frame loss the channel
@@ -108,13 +109,19 @@ type DropObserver interface {
 	FrameLost(now sim.Time, rx NodeID, f Frame, reason string)
 }
 
-// Stats counts channel-level events.
+// Stats counts channel-level events. ChannelLost is omitempty so results
+// from disk-channel runs keep their historical JSON encoding byte for
+// byte (the golden corpus pins those bytes).
 type Stats struct {
 	Transmissions uint64 // frames put on the air
 	Deliveries    uint64 // successful per-receiver decodes
 	Collisions    uint64 // per-receiver losses due to overlap
 	MissedAsleep  uint64 // per-receiver losses because the radio slept
 	FaultLost     uint64 // per-receiver losses injected by the LossModel
+
+	// ChannelLost counts receivers within the propagation model's reach
+	// whose per-(link, instant) verdict declined the frame.
+	ChannelLost uint64 `json:",omitempty"`
 }
 
 // LossModel decides, per completed reception, whether the channel corrupts
@@ -124,6 +131,23 @@ type Stats struct {
 // reception completions in scheduler order at monotone instants.
 type LossModel interface {
 	Lose(now sim.Time, tx, rx NodeID) bool
+}
+
+// Propagation decides per-(link, instant) decodability for the channel
+// (see internal/propagation for the implementations). Implementations
+// must be pure functions of their construction parameters and the call
+// arguments — no internal state, no shared RNG streams — so verdicts are
+// identical regardless of query order or repetition, and must be
+// symmetric in (a, b). Decodable must return false whenever dist exceeds
+// MaxRange: the spatial grid prunes candidates at that bound, so a
+// verdict beyond it would silently differ between the grid path and the
+// exhaustive scan.
+type Propagation interface {
+	// Decodable reports whether a frame transmitted between a and b
+	// (unordered) at instant now spanning dist metres decodes.
+	Decodable(now sim.Time, a, b NodeID, dist float64) bool
+	// MaxRange bounds the distance at which Decodable can return true.
+	MaxRange() float64
 }
 
 // Channel is the shared medium connecting all radios in a scenario.
@@ -151,6 +175,16 @@ type Channel struct {
 	obs     DeliveryObserver // nil = no delivery instrumentation
 	dropObs DropObserver     // nil = no loss instrumentation
 	loss    LossModel        // nil = clean channel
+
+	// Propagation model state. prop == nil is the hot disk fast path:
+	// decodability is the inlined dist <= rangeM comparison with no
+	// interface call per candidate. With a model installed, maxRange
+	// caches prop.MaxRange() as the grid query radius and chanReplay,
+	// when set, substitutes the recorded channel-loss stream for the
+	// model's transmit-time verdicts (internal/replay).
+	prop       Propagation
+	maxRange   float64
+	chanReplay LossModel
 }
 
 // SetDeliveryObserver installs the delivery observer (nil disables it).
@@ -170,6 +204,31 @@ func (c *Channel) frameLost(rx *Radio, f Frame, now sim.Time, reason string) {
 // SetLossModel installs the fault-injection loss model (nil restores the
 // clean channel).
 func (c *Channel) SetLossModel(m LossModel) { c.loss = m }
+
+// SetPropagation installs a propagation model (nil restores exact disk
+// propagation at the construction radius). The spatial grid is re-sized
+// so its cell edge and query reach match the model's MaxRange — the
+// invariant that keeps grid answers identical to the exhaustive scan
+// under per-link variable effective range. Call before the run starts:
+// switching models mid-run would change verdicts already relied on.
+func (c *Channel) SetPropagation(p Propagation) {
+	c.prop = p
+	if p == nil {
+		c.maxRange = 0
+		c.grid = grid{cell: c.rangeM, slack: c.rangeM / 4}
+		return
+	}
+	mr := p.MaxRange()
+	c.maxRange = mr
+	c.grid = grid{cell: mr, slack: mr / 4}
+}
+
+// SetChannelReplay substitutes a recorded channel-loss stream for the
+// propagation model's transmit-time verdicts (see internal/replay). Only
+// consulted while a non-disk model is installed; neighbor queries keep
+// using the model, whose verdicts re-derive deterministically from the
+// config seed.
+func (c *Channel) SetChannelReplay(m LossModel) { c.chanReplay = m }
 
 // NewChannel creates a channel; rangeM is the decode radius in metres.
 func NewChannel(sched *sim.Scheduler, rangeM float64) *Channel {
@@ -222,13 +281,49 @@ func (c *Channel) RadioOf(id NodeID) *Radio {
 
 // InRange reports whether nodes a and b can hear each other at instant now.
 func (c *Channel) InRange(a, b *Radio, now sim.Time) bool {
-	return a.Position(now).DistanceTo(b.Position(now)) <= c.rangeM
+	d := a.Position(now).DistanceTo(b.Position(now))
+	if c.prop != nil {
+		return d <= c.maxRange && c.prop.Decodable(now, a.id, b.id, d)
+	}
+	return d <= c.rangeM
 }
 
-// visitInRange calls visit for every radio other than exclude within range
-// of p at instant now, in registration order (deterministic regardless of
-// whether the grid index or the exhaustive scan answers the query).
-func (c *Channel) visitInRange(p geom.Point, exclude *Radio, now sim.Time, visit func(*Radio)) {
+// visitInRange calls visit for every radio other than center within range
+// of center at instant now, in registration order (deterministic regardless
+// of whether the grid index or the exhaustive scan answers the query). With
+// a propagation model installed, "within range" means the model's verdict
+// for the (center, other) link at now; the grid is queried at the model's
+// MaxRange so no candidate with a possibly-true verdict is pruned.
+func (c *Channel) visitInRange(center *Radio, now sim.Time, visit func(*Radio)) {
+	p := center.Position(now)
+	if c.prop != nil {
+		reach := c.maxRange
+		if c.motionBoundSet && reach > 0 {
+			if c.grid.stale(now, c.motionBound) {
+				c.grid.rebin(c.radios, now)
+			}
+			c.scratch = c.grid.candidates(p, reach, c.scratch)
+			for _, i := range c.scratch {
+				o := c.radios[i]
+				if o == center {
+					continue
+				}
+				if d := p.DistanceTo(o.Position(now)); d <= reach && c.prop.Decodable(now, center.id, o.id, d) {
+					visit(o)
+				}
+			}
+			return
+		}
+		for _, o := range c.radios {
+			if o == center {
+				continue
+			}
+			if d := p.DistanceTo(o.Position(now)); d <= reach && c.prop.Decodable(now, center.id, o.id, d) {
+				visit(o)
+			}
+		}
+		return
+	}
 	if c.motionBoundSet && c.rangeM > 0 {
 		if c.grid.stale(now, c.motionBound) {
 			c.grid.rebin(c.radios, now)
@@ -236,7 +331,7 @@ func (c *Channel) visitInRange(p geom.Point, exclude *Radio, now sim.Time, visit
 		c.scratch = c.grid.candidates(p, c.rangeM, c.scratch)
 		for _, i := range c.scratch {
 			o := c.radios[i]
-			if o == exclude {
+			if o == center {
 				continue
 			}
 			if p.DistanceTo(o.Position(now)) <= c.rangeM {
@@ -246,7 +341,7 @@ func (c *Channel) visitInRange(p geom.Point, exclude *Radio, now sim.Time, visit
 		return
 	}
 	for _, o := range c.radios {
-		if o == exclude {
+		if o == center {
 			continue
 		}
 		if p.DistanceTo(o.Position(now)) <= c.rangeM {
@@ -259,7 +354,7 @@ func (c *Channel) visitInRange(p geom.Point, exclude *Radio, now sim.Time, visit
 // excluding r itself, in registration order (deterministic).
 func (c *Channel) Neighbors(r *Radio, now sim.Time) []NodeID {
 	var out []NodeID
-	c.visitInRange(r.Position(now), r, now, func(o *Radio) {
+	c.visitInRange(r, now, func(o *Radio) {
 		out = append(out, o.id)
 	})
 	return out
@@ -269,6 +364,10 @@ func (c *Channel) Neighbors(r *Radio, now sim.Time) []NodeID {
 // now, excluding r itself, in registration order. It is the allocation-free
 // form of Neighbors for per-event hot paths (PSM churn tracking).
 func (c *Channel) VisitNeighbors(r *Radio, now sim.Time, visit func(NodeID)) {
+	if c.prop != nil {
+		c.visitInRange(r, now, func(o *Radio) { visit(o.id) })
+		return
+	}
 	p := r.Position(now)
 	if c.motionBoundSet && c.rangeM > 0 {
 		if c.grid.stale(now, c.motionBound) {
@@ -299,7 +398,7 @@ func (c *Channel) VisitNeighbors(r *Radio, now sim.Time, visit func(NodeID)) {
 // CountNeighbors returns the number of radios within range of r at now.
 func (c *Channel) CountNeighbors(r *Radio, now sim.Time) int {
 	n := 0
-	c.visitInRange(r.Position(now), r, now, func(*Radio) { n++ })
+	c.visitInRange(r, now, func(*Radio) { n++ })
 	return n
 }
 
@@ -327,7 +426,33 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 	b.frame = f
 	b.end = end
 	p := tx.Position(now)
-	if c.motionBoundSet && c.rangeM > 0 {
+	if c.prop != nil {
+		reach := c.maxRange
+		if c.motionBoundSet && reach > 0 {
+			if c.grid.stale(now, c.motionBound) {
+				c.grid.rebin(c.radios, now)
+			}
+			c.scratch = c.grid.candidates(p, reach, c.scratch)
+			for _, i := range c.scratch {
+				rx := c.radios[i]
+				if rx == tx {
+					continue
+				}
+				if d := p.DistanceTo(rx.Position(now)); d <= reach {
+					c.admitReception(b, tx, rx, now, end, d)
+				}
+			}
+		} else {
+			for _, rx := range c.radios {
+				if rx == tx {
+					continue
+				}
+				if d := p.DistanceTo(rx.Position(now)); d <= reach {
+					c.admitReception(b, tx, rx, now, end, d)
+				}
+			}
+		}
+	} else if c.motionBoundSet && c.rangeM > 0 {
 		if c.grid.stale(now, c.motionBound) {
 			c.grid.rebin(c.radios, now)
 		}
@@ -360,6 +485,30 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 		return
 	}
 	c.sched.After(end-now, b.fire)
+}
+
+// admitReception is the per-candidate transmit step under a propagation
+// model: rx is within the model's reach, and the model's (or, during
+// replay, the recorded stream's) verdict decides whether the link exists
+// for this frame. A declined link is counted and traced as chan-lost — the
+// frame never reaches the receiver, so it neither extends carrier sense
+// nor enters the reception state. Candidates are consulted in registration
+// order, so the chan-lost decision sequence is deterministic and
+// replayable head-to-tail.
+func (c *Channel) admitReception(b *txBatch, tx, rx *Radio, now, end sim.Time, dist float64) {
+	var lost bool
+	if c.chanReplay != nil {
+		lost = c.chanReplay.Lose(now, tx.id, rx.id)
+	} else {
+		lost = !c.prop.Decodable(now, tx.id, rx.id, dist)
+	}
+	if lost {
+		c.stats.ChannelLost++
+		c.frameLost(rx, b.frame, now, LossChannel)
+		return
+	}
+	rx.extendCarrier(end)
+	c.beginReception(b, rx, now, end)
 }
 
 func (c *Channel) beginReception(b *txBatch, rx *Radio, now, end sim.Time) {

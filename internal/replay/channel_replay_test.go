@@ -1,0 +1,148 @@
+package replay
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rcast/internal/scenario"
+	"rcast/internal/trace"
+)
+
+// TestReplayChannelModels is the faded-run round-trip property: under every
+// non-disk propagation model × mobility model, replaying the captured trace
+// reproduces the original Result exactly. Transmit-time chan-lost verdicts
+// come from the recorded decision stream (chanLossPlayer); neighbor-query
+// verdicts re-derive from the config seed — both paths must line up.
+func TestReplayChannelModels(t *testing.T) {
+	channels := []struct {
+		name  string
+		sigma float64
+	}{
+		{name: "shadowing", sigma: 6},
+		{name: "fading"},
+	}
+	mobilities := scenario.MobilityNames()
+	for _, ch := range channels {
+		for _, mob := range mobilities {
+			ch, mob := ch, mob
+			t.Run(fmt.Sprintf("%s/%s", ch.name, mob), func(t *testing.T) {
+				t.Parallel()
+				cfg := smallCell(9)
+				cfg.Channel = ch.name
+				cfg.ShadowSigmaDB = ch.sigma
+				cfg.Mobility = mob
+				res, events, counts := record(t, cfg)
+				if res.Channel.ChannelLost == 0 {
+					t.Fatalf("cell produced no channel losses; test proves nothing")
+				}
+
+				d, err := Extract(events)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if uint64(len(d.ChanLosses)) != res.Channel.ChannelLost {
+					t.Fatalf("extracted %d chan-losses, stats say %d",
+						len(d.ChanLosses), res.Channel.ChannelLost)
+				}
+
+				ctr := trace.NewCounter()
+				cfg2 := smallCell(9)
+				cfg2.Channel = ch.name
+				cfg2.ShadowSigmaDB = ch.sigma
+				cfg2.Mobility = mob
+				cfg2.Trace = ctr
+				res2, replayed, err := Run(cfg2, events)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(replayed) != len(events) {
+					t.Fatalf("replayed %d events, recorded %d", len(replayed), len(events))
+				}
+				if got := ctr.Snapshot(); !reflect.DeepEqual(got, counts) {
+					t.Fatalf("counter mismatch:\n got %v\nwant %v", got, counts)
+				}
+				if !reflect.DeepEqual(res, res2) {
+					t.Fatalf("faded replay diverged:\n got %+v\nwant %+v", res2, res)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayChannelTruncated cuts the chan-lost decision stream short: the
+// player must report the unconsumed/overrun state instead of replaying
+// cleanly (this is what lets tracegate -update refuse unreplayable goldens).
+func TestReplayChannelTruncated(t *testing.T) {
+	cfg := smallCell(9)
+	cfg.Channel = "fading"
+	res, events, _ := record(t, cfg)
+	if res.Channel.ChannelLost < 2 {
+		t.Skip("too few channel losses to truncate meaningfully")
+	}
+	// Drop the last chan-lost event from the recording.
+	cut := make([]trace.Event, 0, len(events))
+	dropped := false
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if !dropped && e.Kind == trace.KindPhyDrop {
+			dropped = true
+			continue
+		}
+		cut = append(cut, e)
+	}
+	for i, j := 0, len(cut)-1; i < j; i, j = i+1, j-1 {
+		cut[i], cut[j] = cut[j], cut[i]
+	}
+	cfg2 := smallCell(9)
+	cfg2.Channel = "fading"
+	if _, _, err := Run(cfg2, cut); err == nil {
+		t.Fatal("truncated faded recording replayed cleanly")
+	}
+}
+
+// TestExtractChanLoss pins the chan-lost decision parsing.
+func TestExtractChanLoss(t *testing.T) {
+	evs := []trace.Event{
+		{Seq: 1, At: 150, Node: 4, Kind: trace.KindPhyDrop, Detail: "chan-lost from=n0 to=bcast"},
+		{Seq: 2, At: 151, Node: 2, Kind: trace.KindPhyDrop, Detail: "fault-lost from=n1 to=n2"},
+	}
+	d, err := Extract(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Loss{{At: 150, Rx: 4, Tx: 0}}; !reflect.DeepEqual(d.ChanLosses, want) {
+		t.Fatalf("chan-losses = %+v, want %+v", d.ChanLosses, want)
+	}
+	if want := []Loss{{At: 151, Rx: 2, Tx: 1}}; !reflect.DeepEqual(d.Losses, want) {
+		t.Fatalf("fault losses = %+v, want %+v", d.Losses, want)
+	}
+	if _, err := Extract([]trace.Event{{Kind: trace.KindPhyDrop, Detail: "chan-lost from=n0"}}); err == nil {
+		t.Error("short chan-lost detail accepted")
+	}
+
+	// Player: head-matched consumption, then unconsumed surfaces in Finish.
+	p := NewPlayer(d)
+	hooks := p.Hooks()
+	if hooks.ChanLoss == nil {
+		t.Fatal("Hooks did not install a channel-loss model")
+	}
+	if hooks.ChanLoss.Lose(150, 0, 4) != true {
+		t.Fatal("recorded chan-loss not injected")
+	}
+	if hooks.ChanLoss.Lose(150, 0, 5) != false {
+		t.Fatal("non-recorded candidate reported lost")
+	}
+	if p.Lose(151, 1, 2) != true {
+		t.Fatal("fault loss not injected")
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := NewPlayer(d)
+	p2.Lose(151, 1, 2)
+	if err := p2.Finish(); err == nil {
+		t.Fatal("unconsumed chan-loss not reported by Finish")
+	}
+}

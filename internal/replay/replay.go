@@ -57,6 +57,12 @@ type Loss struct {
 type Decisions struct {
 	Lotteries []Lottery
 	Losses    []Loss
+	// ChanLosses are the propagation model's transmit-time rejections
+	// (chan-lost drops) in consultation order. Replay injects them in
+	// place of the model's verdicts, so a faded run replays even without
+	// re-deriving the channel hash — and a divergence in channel behaviour
+	// is caught as an unconsumed or mismatched decision.
+	ChanLosses []Loss
 	// Crashes pairs each effective crash with its observed recovery
 	// (RecoverAt 0 = none observed), in firing order — which is the
 	// injector's scheduling order, so re-scheduling them reproduces the
@@ -126,25 +132,35 @@ func Extract(events []trace.Event) (*Decisions, error) {
 				Stay: toks[2] == "stay-awake",
 			})
 		case trace.KindPhyDrop:
-			// Only fault-injected losses are decisions; collision and
-			// missed-asleep drops are consequences the replay re-derives.
+			// Fault-injected and channel-declined losses are decisions;
+			// collision and missed-asleep drops are consequences the replay
+			// re-derives.
+			isChan := false
 			rest, ok := strings.CutPrefix(e.Detail, phy.LossFault+" ")
+			if !ok {
+				rest, ok = strings.CutPrefix(e.Detail, phy.LossChannel+" ")
+				isChan = true
+			}
 			if !ok {
 				continue
 			}
 			toks := strings.Fields(rest)
 			if len(toks) != 2 {
-				return nil, fmt.Errorf("replay: event %d: bad fault-drop detail %q", i, e.Detail)
+				return nil, fmt.Errorf("replay: event %d: bad phy-drop detail %q", i, e.Detail)
 			}
 			fromS, ok1 := field(toks[0], "from")
 			if _, ok2 := field(toks[1], "to"); !ok1 || !ok2 {
-				return nil, fmt.Errorf("replay: event %d: bad fault-drop detail %q", i, e.Detail)
+				return nil, fmt.Errorf("replay: event %d: bad phy-drop detail %q", i, e.Detail)
 			}
 			tx, err := parseNode(fromS)
 			if err != nil {
 				return nil, fmt.Errorf("replay: event %d: %v", i, err)
 			}
-			d.Losses = append(d.Losses, Loss{At: e.At, Rx: e.Node, Tx: tx})
+			if isChan {
+				d.ChanLosses = append(d.ChanLosses, Loss{At: e.At, Rx: e.Node, Tx: tx})
+			} else {
+				d.Losses = append(d.Losses, Loss{At: e.At, Rx: e.Node, Tx: tx})
+			}
 		case trace.KindCrash:
 			openCrash[e.Node] = len(d.Crashes)
 			d.Crashes = append(d.Crashes, fault.Crash{Node: int(e.Node), At: e.At})
@@ -166,9 +182,9 @@ func Extract(events []trace.Event) (*Decisions, error) {
 // then falls back to the live verdict so the run can finish and be
 // diffed) and reported by Err/Finish.
 type Player struct {
-	d      *Decisions
-	li, xi int // cursors: next lottery, next loss
-	err    error
+	d          *Decisions
+	li, xi, ci int // cursors: next lottery, next fault loss, next chan loss
+	err        error
 }
 
 // NewPlayer creates a Player over an extracted decision stream.
@@ -197,6 +213,10 @@ func (p *Player) Finish() error {
 	if p.xi != len(p.d.Losses) {
 		return fmt.Errorf("replay: %d of %d recorded fault losses never consumed (next: %+v)",
 			len(p.d.Losses)-p.xi, len(p.d.Losses), p.d.Losses[p.xi])
+	}
+	if p.ci != len(p.d.ChanLosses) {
+		return fmt.Errorf("replay: %d of %d recorded channel losses never consumed (next: %+v)",
+			len(p.d.ChanLosses)-p.ci, len(p.d.ChanLosses), p.d.ChanLosses[p.ci])
 	}
 	return nil
 }
@@ -231,11 +251,31 @@ func (p *Player) Lose(now sim.Time, tx, rx phy.NodeID) bool {
 	return false
 }
 
+// chanLossPlayer adapts the Player's channel-loss cursor to phy.LossModel
+// (the Player itself carries Lose for the fault-loss stream).
+type chanLossPlayer struct{ p *Player }
+
+// Lose implements phy.LossModel over the recorded chan-lost stream, with
+// the same head-match discipline as the fault-loss hook: the propagation
+// path consults it once per in-reach candidate in consultation order, and
+// a frame is channel-lost exactly when the next recorded decision matches.
+func (c chanLossPlayer) Lose(now sim.Time, tx, rx phy.NodeID) bool {
+	p := c.p
+	if p.ci < len(p.d.ChanLosses) {
+		if rec := p.d.ChanLosses[p.ci]; rec.At == now && rec.Rx == rx && rec.Tx == tx {
+			p.ci++
+			return true
+		}
+	}
+	return false
+}
+
 // Hooks returns the scenario wiring for this player.
 func (p *Player) Hooks() *scenario.ReplayHooks {
 	return &scenario.ReplayHooks{
 		Lottery:          p.lottery,
 		Loss:             p,
+		ChanLoss:         chanLossPlayer{p: p},
 		CrashSchedule:    p.d.Crashes,
 		UseCrashSchedule: true,
 	}

@@ -15,7 +15,9 @@ import (
 // reinterpreted), so old cache keys can never alias new configurations.
 // The golden test in canonical_test.go pins the exact bytes: accidental
 // drift breaks CI instead of silently splitting result caches.
-const CanonicalVersion = 1
+//
+// v2: added the channel (propagation model) and mobility model fields.
+const CanonicalVersion = 2
 
 // ErrNotCanonical reports a Config carrying runtime-only state (a custom
 // Policy, a Trace sink, a programmatic DSR gossip hook) that has no stable
@@ -46,6 +48,12 @@ type canonicalConfig struct {
 	MinSpeed float64 `json:"min_speed"`
 	MaxSpeed float64 `json:"max_speed"`
 	PauseUS  int64   `json:"pause_us"`
+
+	Channel       string  `json:"channel"`
+	ShadowSigmaDB float64 `json:"shadow_sigma_db"`
+	Mobility      string  `json:"mobility"`
+	GroupSize     int     `json:"group_size"`
+	GroupRadiusM  float64 `json:"group_radius_m"`
 
 	DurationUS int64 `json:"duration_us"`
 	Seed       int64 `json:"seed"`
@@ -184,6 +192,12 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 		MaxSpeed: c.MaxSpeed,
 		PauseUS:  int64(c.Pause),
 
+		Channel:       c.channelName(),
+		ShadowSigmaDB: canonicalSigma(c),
+		Mobility:      c.mobilityName(),
+		GroupSize:     canonicalGroupSize(c),
+		GroupRadiusM:  canonicalGroupRadius(c),
+
 		DurationUS: int64(c.Duration),
 		Seed:       c.Seed,
 
@@ -245,6 +259,34 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 		Audit:  c.Audit,
 	}
 	return json.Marshal(enc)
+}
+
+// canonicalSigma normalizes the shadowing sigma: it only affects runs with
+// Channel "shadowing", so any other channel encodes 0 — a stray sigma on a
+// disk config must not split the cache key.
+func canonicalSigma(c Config) float64 {
+	if c.channelName() != "shadowing" {
+		return 0
+	}
+	return c.ShadowSigmaDB
+}
+
+// canonicalGroupSize normalizes the group size: only the "group" mobility
+// model reads it, and a zero value means the default, so non-group configs
+// encode 0 and group configs encode the effective value.
+func canonicalGroupSize(c Config) int {
+	if c.mobilityName() != "group" {
+		return 0
+	}
+	return c.groupSize()
+}
+
+// canonicalGroupRadius mirrors canonicalGroupSize for the wander radius.
+func canonicalGroupRadius(c Config) float64 {
+	if c.mobilityName() != "group" {
+		return 0
+	}
+	return c.groupRadius()
 }
 
 // canonicalizeFaults maps a fault plan to its canonical form. nil stays

@@ -127,6 +127,23 @@ type Config struct {
 	MinSpeed, MaxSpeed float64  // m/s
 	Pause              sim.Time // random-waypoint pause time
 
+	// Channel selects the propagation model: "disk" (default; "" means
+	// disk), "shadowing" or "fading" (see internal/propagation).
+	// ShadowSigmaDB is the log-normal shadowing std-dev in dB; it only
+	// applies to "shadowing", and zero sigma degenerates to the disk.
+	Channel       string
+	ShadowSigmaDB float64
+
+	// Mobility selects the movement model: "waypoint" (default; "" means
+	// waypoint), "gauss-markov" or "group" (reference-point group
+	// mobility). GroupSize and GroupRadiusM parameterize "group": nodes
+	// are partitioned into consecutive-ID groups of GroupSize, each
+	// following a shared waypoint reference with per-node wander bounded
+	// by GroupRadiusM. Zero values default to 4 nodes / 50 m.
+	Mobility     string
+	GroupSize    int
+	GroupRadiusM float64
+
 	Duration sim.Time
 	Seed     int64
 
@@ -208,6 +225,61 @@ type ReplayHooks struct {
 	// empty schedule" from "keep the live one").
 	CrashSchedule    []fault.Crash
 	UseCrashSchedule bool
+
+	// ChanLoss replaces the propagation model's transmit-time verdicts
+	// with the recorded chan-lost decision stream (non-disk channels
+	// only; neighbor-query verdicts re-derive from the config seed).
+	ChanLoss phy.LossModel
+}
+
+// ChannelNames lists the accepted Config.Channel values ("" means the
+// first). The set mirrors internal/propagation.Names.
+func ChannelNames() []string { return []string{"disk", "shadowing", "fading"} }
+
+// MobilityNames lists the accepted Config.Mobility values ("" means the
+// first).
+func MobilityNames() []string { return []string{"waypoint", "gauss-markov", "group"} }
+
+// channelName resolves the effective channel model name ("" → "disk").
+func (c Config) channelName() string {
+	if c.Channel == "" {
+		return "disk"
+	}
+	return c.Channel
+}
+
+// mobilityName resolves the effective mobility model name ("" → "waypoint").
+func (c Config) mobilityName() string {
+	if c.Mobility == "" {
+		return "waypoint"
+	}
+	return c.Mobility
+}
+
+// groupSize resolves the effective group size (0 → 4).
+func (c Config) groupSize() int {
+	if c.GroupSize <= 0 {
+		return 4
+	}
+	return c.GroupSize
+}
+
+// groupRadius resolves the effective group wander radius (0 → 50 m).
+func (c Config) groupRadius() float64 {
+	if c.GroupRadiusM <= 0 {
+		return 50
+	}
+	return c.GroupRadiusM
+}
+
+// nameKnown reports whether name is one of names.
+func nameKnown(name string, names []string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // PaperDefaults returns the evaluation setup of §4.1: 100 nodes on a
@@ -263,6 +335,16 @@ func (c Config) Validate() error {
 		return errors.New("scenario: traffic start outside the run")
 	case c.TrafficStop != 0 && (c.TrafficStop <= c.TrafficStart || c.TrafficStop > c.Duration):
 		return errors.New("scenario: traffic stop outside (start, duration]")
+	case !nameKnown(c.channelName(), ChannelNames()):
+		return fmt.Errorf("scenario: unknown channel model %q (want one of %v)", c.Channel, ChannelNames())
+	case c.ShadowSigmaDB < 0:
+		return errors.New("scenario: shadowing sigma must be >= 0")
+	case !nameKnown(c.mobilityName(), MobilityNames()):
+		return fmt.Errorf("scenario: unknown mobility model %q (want one of %v)", c.Mobility, MobilityNames())
+	case c.GroupSize < 0:
+		return errors.New("scenario: group size must be >= 0")
+	case c.GroupRadiusM < 0:
+		return errors.New("scenario: group radius must be >= 0")
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(c.Nodes); err != nil {

@@ -34,6 +34,12 @@ type Grid struct {
 	// GossipFanouts is the broadcast-gossip fanout axis; 0 disables the
 	// gossip extension for that cell.
 	GossipFanouts []float64
+	// Channels is the propagation-model axis by name (see ChannelNames);
+	// "" means the base Config's channel.
+	Channels []string
+	// Mobilities is the mobility-model axis by name (see MobilityNames);
+	// "" means the base Config's mobility.
+	Mobilities []string
 }
 
 // GridPoint is one cell of an expanded Grid. Optional axes that were
@@ -52,6 +58,12 @@ type GridPoint struct {
 
 	HasGossip    bool
 	GossipFanout float64
+
+	HasChannel bool
+	Channel    string
+
+	HasMobility bool
+	Mobility    string
 }
 
 // Static reports whether the point pins pause to the simulation duration.
@@ -61,7 +73,7 @@ func (p GridPoint) Static() bool { return p.HasPause && p.PauseSec < 0 }
 // scheme is set).
 func (g Grid) Size() int {
 	n := len(g.Schemes)
-	for _, axis := range []int{len(g.Rates), len(g.PausesSec), len(g.FaultPresets), len(g.GossipFanouts)} {
+	for _, axis := range []int{len(g.Rates), len(g.PausesSec), len(g.FaultPresets), len(g.GossipFanouts), len(g.Channels), len(g.Mobilities)} {
 		if axis > 0 {
 			n *= axis
 		}
@@ -94,11 +106,24 @@ func (g Grid) validate() error {
 			return fmt.Errorf("scenario: grid gossip fanout %v must be >= 0", f)
 		}
 	}
+	for _, ch := range g.Channels {
+		if ch != "" && !nameKnown(ch, ChannelNames()) {
+			return fmt.Errorf("scenario: grid has unknown channel %q (want one of %v)", ch, ChannelNames())
+		}
+	}
+	for _, m := range g.Mobilities {
+		if m != "" && !nameKnown(m, MobilityNames()) {
+			return fmt.Errorf("scenario: grid has unknown mobility %q (want one of %v)", m, MobilityNames())
+		}
+	}
 	return nil
 }
 
 // Points expands the grid into its cells in the canonical order: scheme
-// outermost, then rate, pause, fault preset, gossip fanout.
+// outermost, then rate, pause, fault preset, gossip fanout, channel, and
+// mobility innermost. The newer axes are innermost so a grid that leaves
+// them empty expands to exactly the cells (in the same order) it did
+// before the axes existed.
 func (g Grid) Points() ([]GridPoint, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -109,6 +134,8 @@ func (g Grid) Points() ([]GridPoint, error) {
 	pauses, hasPause := optionalAxis(g.PausesSec)
 	faults, hasFault := optionalAxis(g.FaultPresets)
 	gossips, hasGossip := optionalAxis(g.GossipFanouts)
+	channels, hasChannel := optionalAxis(g.Channels)
+	mobilities, hasMobility := optionalAxis(g.Mobilities)
 
 	pts := make([]GridPoint, 0, g.Size())
 	for _, sch := range g.Schemes {
@@ -116,17 +143,25 @@ func (g Grid) Points() ([]GridPoint, error) {
 			for _, pause := range pauses {
 				for _, fp := range faults {
 					for _, gf := range gossips {
-						pts = append(pts, GridPoint{
-							Scheme:       sch,
-							HasRate:      hasRate,
-							Rate:         rate,
-							HasPause:     hasPause,
-							PauseSec:     pause,
-							HasFault:     hasFault,
-							FaultPreset:  fp,
-							HasGossip:    hasGossip,
-							GossipFanout: gf,
-						})
+						for _, ch := range channels {
+							for _, mb := range mobilities {
+								pts = append(pts, GridPoint{
+									Scheme:       sch,
+									HasRate:      hasRate,
+									Rate:         rate,
+									HasPause:     hasPause,
+									PauseSec:     pause,
+									HasFault:     hasFault,
+									FaultPreset:  fp,
+									HasGossip:    hasGossip,
+									GossipFanout: gf,
+									HasChannel:   hasChannel,
+									Channel:      ch,
+									HasMobility:  hasMobility,
+									Mobility:     mb,
+								})
+							}
+						}
 					}
 				}
 			}
@@ -169,6 +204,12 @@ func (p GridPoint) Apply(base Config) (Config, error) {
 	}
 	if p.HasGossip {
 		cfg.GossipFanout = p.GossipFanout
+	}
+	if p.HasChannel {
+		cfg.Channel = p.Channel
+	}
+	if p.HasMobility {
+		cfg.Mobility = p.Mobility
 	}
 	return cfg, nil
 }

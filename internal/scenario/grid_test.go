@@ -130,3 +130,48 @@ func TestGridValidation(t *testing.T) {
 		t.Errorf("empty fault preset rejected: %v", err)
 	}
 }
+
+func TestGridChannelMobilityAxes(t *testing.T) {
+	g := Grid{
+		Schemes:    []Scheme{SchemeRcast},
+		Channels:   []string{"disk", "fading"},
+		Mobilities: []string{"waypoint", "group"},
+	}
+	if got := g.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	// Channel expands outside mobility, both inside the legacy axes.
+	want := []GridPoint{
+		{Scheme: SchemeRcast, HasChannel: true, Channel: "disk", HasMobility: true, Mobility: "waypoint"},
+		{Scheme: SchemeRcast, HasChannel: true, Channel: "disk", HasMobility: true, Mobility: "group"},
+		{Scheme: SchemeRcast, HasChannel: true, Channel: "fading", HasMobility: true, Mobility: "waypoint"},
+		{Scheme: SchemeRcast, HasChannel: true, Channel: "fading", HasMobility: true, Mobility: "group"},
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+	base := PaperDefaults()
+	base.ShadowSigmaDB = 6
+	cfg, err := pts[3].Apply(base)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if cfg.Channel != "fading" || cfg.Mobility != "group" {
+		t.Fatalf("Apply produced channel=%q mobility=%q", cfg.Channel, cfg.Mobility)
+	}
+
+	for _, bad := range []Grid{
+		{Schemes: []Scheme{SchemeRcast}, Channels: []string{"nakagami"}},
+		{Schemes: []Scheme{SchemeRcast}, Mobilities: []string{"levy"}},
+	} {
+		if _, err := bad.Points(); err == nil {
+			t.Fatalf("grid %+v accepted", bad)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"rcast/internal/mobility"
 	"rcast/internal/odpm"
 	"rcast/internal/phy"
+	"rcast/internal/propagation"
 	"rcast/internal/routing/aodv"
 	"rcast/internal/routing/dsr"
 	"rcast/internal/sim"
@@ -167,6 +168,20 @@ func newWorld(cfg Config) (*world, error) {
 		col:   metrics.NewCollector(cfg.Nodes),
 	}
 	w.ch = phy.NewChannel(w.sched, cfg.RangeM)
+	if cfg.channelName() != "disk" {
+		// Non-disk channels install a propagation model seeded from its own
+		// named stream, so channel randomness never aliases mobility or MAC
+		// draws. Disk configs leave the model nil: the channel's inlined
+		// fast path is byte-identical to the historical behaviour.
+		prop, err := propagation.Parse(cfg.channelName(), cfg.RangeM, cfg.ShadowSigmaDB, sim.DeriveSeed(cfg.Seed, "prop"))
+		if err != nil {
+			return nil, err
+		}
+		w.ch.SetPropagation(prop)
+		if cfg.Replay != nil && cfg.Replay.ChanLoss != nil {
+			w.ch.SetChannelReplay(cfg.Replay.ChanLoss)
+		}
+	}
 	w.inj = fault.NewInjector(cfg.Faults, fault.Env{
 		Seed:     cfg.Seed,
 		Nodes:    cfg.Nodes,
@@ -187,6 +202,12 @@ func newWorld(cfg Config) (*world, error) {
 		bound := cfg.MaxSpeed
 		if bound < 0.1 {
 			bound = 0.1
+		}
+		if cfg.mobilityName() == "group" {
+			// A group member rides two concurrent trajectories (the shared
+			// reference plus its local wander), so its worst-case speed is
+			// the sum of both bounds.
+			bound *= 2
 		}
 		w.ch.SetMotionBound(bound + extra)
 	}
@@ -232,6 +253,12 @@ func newWorld(cfg Config) (*world, error) {
 	}
 	field := geom.Rect{W: cfg.FieldW, H: cfg.FieldH}
 
+	// Shared per-group reference trajectories for "group" mobility, built
+	// lazily as member nodes first need them. Each reference has its own
+	// named stream, so a member's trajectory never perturbs another node's
+	// draws.
+	var groupRefs []*mobility.Waypoint
+
 	for i := 0; i < cfg.Nodes; i++ {
 		id := phy.NodeID(i)
 		mobRNG := sim.Stream(cfg.Seed, fmt.Sprintf("mob/%d", i))
@@ -241,13 +268,49 @@ func newWorld(cfg Config) (*world, error) {
 			// The paper's "static scenario": pause time = simulation time.
 			mob = mobility.Static{P: start}
 		} else {
-			mob = mobility.NewWaypoint(mobility.WaypointConfig{
-				Field:    field,
-				MinSpeed: cfg.MinSpeed,
-				MaxSpeed: cfg.MaxSpeed,
-				Pause:    cfg.Pause,
-				Start:    start,
-			}, mobRNG)
+			switch cfg.mobilityName() {
+			case "gauss-markov":
+				mob = mobility.NewGaussMarkov(mobility.GaussMarkovConfig{
+					Field:    field,
+					MinSpeed: cfg.MinSpeed,
+					MaxSpeed: cfg.MaxSpeed,
+					Start:    start,
+				}, mobRNG)
+			case "group":
+				g := i / cfg.groupSize()
+				for len(groupRefs) <= g {
+					refRNG := sim.Stream(cfg.Seed, fmt.Sprintf("mob/group/%d", len(groupRefs)))
+					groupRefs = append(groupRefs, mobility.NewWaypoint(mobility.WaypointConfig{
+						Field:    field,
+						MinSpeed: cfg.MinSpeed,
+						MaxSpeed: cfg.MaxSpeed,
+						Pause:    cfg.Pause,
+						Start:    field.RandomPoint(refRNG),
+					}, refRNG))
+				}
+				r := cfg.groupRadius()
+				box := geom.Rect{W: 2 * r, H: 2 * r}
+				mob = mobility.Member{
+					Field: field,
+					Ref:   groupRefs[g],
+					Local: mobility.NewWaypoint(mobility.WaypointConfig{
+						Field:    box,
+						MinSpeed: cfg.MinSpeed,
+						MaxSpeed: cfg.MaxSpeed,
+						Pause:    cfg.Pause,
+						Start:    box.RandomPoint(mobRNG),
+					}, mobRNG),
+					Center: geom.Point{X: r, Y: r},
+				}
+			default:
+				mob = mobility.NewWaypoint(mobility.WaypointConfig{
+					Field:    field,
+					MinSpeed: cfg.MinSpeed,
+					MaxSpeed: cfg.MaxSpeed,
+					Pause:    cfg.Pause,
+					Start:    start,
+				}, mobRNG)
+			}
 		}
 
 		if shifts := w.inj.ShiftsFor(i); len(shifts) > 0 {
@@ -659,6 +722,8 @@ func (a phyTraceAdapter) FrameLost(_ sim.Time, rx phy.NodeID, f phy.Frame, reaso
 		sub = 2
 	case phy.LossFault:
 		sub = 3
+	case phy.LossChannel:
+		sub = 4
 	default:
 		// Unknown reason: the key can't distinguish it, so skip the cache.
 		w.trace(rx, trace.KindPhyDrop, reason+" from="+w.nodeName(f.From)+" to="+w.nodeName(f.To))

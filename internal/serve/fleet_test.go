@@ -143,7 +143,7 @@ func TestFleetSweepByteIdenticalToSerial(t *testing.T) {
 	// onto one unless stealing is broken).
 	busy := 0
 	for _, w := range workers {
-		if w.s.mRuns.Value() > 0 {
+		if w.s.mRuns.Value("disk") > 0 {
 			busy++
 		}
 	}
@@ -389,7 +389,7 @@ func TestFleetPeerCacheFill(t *testing.T) {
 			t.Fatalf("warm job ended %s: %s", st.State, st.Error)
 		}
 	}
-	runsBefore := workers[0].s.mRuns.Value() + workers[1].s.mRuns.Value()
+	runsBefore := workers[0].s.mRuns.Value("disk") + workers[1].s.mRuns.Value("disk")
 
 	sw, out, err := coord.SubmitSweep(req)
 	if err != nil || out != OutcomeAccepted {
@@ -405,7 +405,7 @@ func TestFleetPeerCacheFill(t *testing.T) {
 	if got := coord.mFleetCells.Value(CellSourcePeerCache); got != 4 {
 		t.Fatalf("fleet peer_cache counter = %d, want 4", got)
 	}
-	after := workers[0].s.mRuns.Value() + workers[1].s.mRuns.Value()
+	after := workers[0].s.mRuns.Value("disk") + workers[1].s.mRuns.Value("disk")
 	if after != runsBefore {
 		t.Fatalf("peer-cached sweep re-executed cells: runs %d -> %d", runsBefore, after)
 	}

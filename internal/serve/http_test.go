@@ -305,7 +305,7 @@ func TestHTTPCacheHitSecondSubmit(t *testing.T) {
 	if fin := waitHTTPTerminal(t, ts, st.ID); fin.State != StateDone {
 		t.Fatalf("first job ended %s", fin.State)
 	}
-	runs := s.mRuns.Value()
+	runs := s.mRuns.Value("disk")
 	resp2, st2 := postJob(t, ts, quickBody)
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("cache-hit submit status = %d, want 200", resp2.StatusCode)
@@ -313,7 +313,7 @@ func TestHTTPCacheHitSecondSubmit(t *testing.T) {
 	if !st2.CacheHit || st2.State != StateDone {
 		t.Fatalf("cache-hit status %+v", st2)
 	}
-	if s.mRuns.Value() != runs {
+	if s.mRuns.Value("disk") != runs {
 		t.Fatal("cache hit triggered a re-run")
 	}
 	respR, err := http.Get(ts.URL + "/api/v1/jobs/" + st2.ID + "/result")
@@ -434,7 +434,7 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	page, _ := io.ReadAll(resp2.Body)
 	for _, want := range []string{
 		"rcast_serve_jobs_submitted_total 1",
-		"rcast_serve_runs_total 1",
+		`rcast_serve_runs_total{channel="disk"} 1`,
 		`rcast_serve_jobs_total{state="done"} 1`,
 		"rcast_serve_queue_capacity 2",
 		"rcast_serve_run_seconds_count 1",

@@ -45,6 +45,12 @@ type JobRequest struct {
 	MinSpeed    *float64 `json:"min_speed,omitempty"`
 	MaxSpeed    *float64 `json:"max_speed,omitempty"`
 
+	Channel       string  `json:"channel,omitempty"` // propagation model; "" = disk
+	ShadowSigmaDB float64 `json:"shadow_sigma_db,omitempty"`
+	Mobility      string  `json:"mobility,omitempty"` // movement model; "" = waypoint
+	GroupSize     int     `json:"group_size,omitempty"`
+	GroupRadiusM  float64 `json:"group_radius_m,omitempty"`
+
 	Seed *int64 `json:"seed,omitempty"`
 	Reps int    `json:"reps,omitempty"`
 
@@ -137,6 +143,11 @@ func (jr JobRequest) Config() (scenario.Config, int, error) {
 	if jr.Static {
 		cfg.Pause = cfg.Duration
 	}
+	cfg.Channel = jr.Channel
+	cfg.ShadowSigmaDB = jr.ShadowSigmaDB
+	cfg.Mobility = jr.Mobility
+	cfg.GroupSize = jr.GroupSize
+	cfg.GroupRadiusM = jr.GroupRadiusM
 	if jr.Seed != nil {
 		cfg.Seed = *jr.Seed
 	}

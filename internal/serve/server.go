@@ -117,7 +117,7 @@ type Server struct {
 
 	reg           *promtext.Registry
 	mSubmitted    *promtext.Counter
-	mRuns         *promtext.Counter
+	mRuns         *promtext.CounterVec
 	mCacheHits    *promtext.Counter
 	mCacheMisses  *promtext.Counter
 	mCoalesced    *promtext.Counter
@@ -139,6 +139,15 @@ type Server struct {
 	// completed ones.
 	traceMu      sync.Mutex
 	traceTallies map[string]*trace.SyncCounter
+}
+
+// channelLabel renders a config's propagation model for the runs metric
+// ("" normalizes to "disk", matching the canonical encoding).
+func channelLabel(cfg scenario.Config) string {
+	if cfg.Channel == "" {
+		return "disk"
+	}
+	return cfg.Channel
 }
 
 // New creates a server and starts its worker pool.
@@ -165,7 +174,7 @@ func New(opts Options) *Server {
 	s.baseCtx, s.forceStop = context.WithCancelCause(context.Background())
 
 	s.mSubmitted = s.reg.NewCounter("rcast_serve_jobs_submitted_total", "Job submissions admitted (cache hits and coalesced submissions included).")
-	s.mRuns = s.reg.NewCounter("rcast_serve_runs_total", "Simulation batches actually executed (cache hits never increment this).")
+	s.mRuns = s.reg.NewCounterVec("rcast_serve_runs_total", "Simulation batches actually executed, by propagation model (cache hits never increment this).", "channel")
 	s.mCacheHits = s.reg.NewCounter("rcast_serve_cache_hits_total", "Submissions served from the content-addressed result cache.")
 	s.mCacheMisses = s.reg.NewCounter("rcast_serve_cache_misses_total", "Submissions that missed the result cache and were queued.")
 	s.mCoalesced = s.reg.NewCounter("rcast_serve_jobs_coalesced_total", "Submissions attached to an identical in-flight job.")
@@ -411,7 +420,7 @@ func (s *Server) execute(job *Job) {
 	agg, err := s.runFn(tctx, cfg, job.reps, s.opts.SimWorkers)
 	s.mRunSeconds.Observe(time.Since(start).Seconds())
 	s.mRunning.Dec()
-	s.mRuns.Inc()
+	s.mRuns.Inc(channelLabel(cfg))
 
 	// Persist the trace BEFORE classifying the outcome: a traced job that
 	// fails or hits its deadline is exactly the run its trace exists to

@@ -16,7 +16,8 @@ import (
 
 // SweepRequest is the submission body for POST /api/v1/sweeps: a
 // parameter grid (schemes × rates × pause times × fault presets × gossip
-// fanouts) over a base configuration, expanded server-side into cells
+// fanouts × channels × mobilities) over a base configuration, expanded
+// server-side into cells
 // keyed by scenario.CanonicalKey. Axis fields are plural; every other
 // field scopes the whole sweep and mirrors JobRequest. Unknown fields are
 // rejected so a typo cannot silently sweep the wrong grid.
@@ -29,6 +30,8 @@ type SweepRequest struct {
 	PausesSec     []float64 `json:"pauses_sec,omitempty"`
 	FaultPresets  []string  `json:"fault_presets,omitempty"`
 	GossipFanouts []float64 `json:"gossip_fanouts,omitempty"`
+	Channels      []string  `json:"channels,omitempty"`
+	Mobilities    []string  `json:"mobilities,omitempty"`
 
 	// Base configuration shared by every cell.
 	Routing       string   `json:"routing,omitempty"`
@@ -46,6 +49,9 @@ type SweepRequest struct {
 	Reps          int      `json:"reps,omitempty"`
 	BatteryJoules float64  `json:"battery_joules,omitempty"`
 	Audit         bool     `json:"audit,omitempty"`
+	ShadowSigmaDB float64  `json:"shadow_sigma_db,omitempty"`
+	GroupSize     int      `json:"group_size,omitempty"`
+	GroupRadiusM  float64  `json:"group_radius_m,omitempty"`
 
 	// TimeoutSec bounds each cell's execution, like JobRequest.TimeoutSec
 	// bounds a job; it is outside every cache key.
@@ -96,6 +102,8 @@ func (sr SweepRequest) grid() (scenario.Grid, error) {
 	g.PausesSec = sr.PausesSec
 	g.FaultPresets = sr.FaultPresets
 	g.GossipFanouts = sr.GossipFanouts
+	g.Channels = sr.Channels
+	g.Mobilities = sr.Mobilities
 	return g, nil
 }
 
@@ -117,6 +125,9 @@ func (sr SweepRequest) baseJobRequest() JobRequest {
 		Reps:          sr.Reps,
 		BatteryJoules: sr.BatteryJoules,
 		Audit:         sr.Audit,
+		ShadowSigmaDB: sr.ShadowSigmaDB,
+		GroupSize:     sr.GroupSize,
+		GroupRadiusM:  sr.GroupRadiusM,
 		TimeoutSec:    sr.TimeoutSec,
 	}
 }
@@ -154,6 +165,12 @@ func (sr SweepRequest) Cells() ([]SweepCell, error) {
 		}
 		if pt.HasGossip {
 			req.GossipFanout = pt.GossipFanout
+		}
+		if pt.HasChannel {
+			req.Channel = pt.Channel
+		}
+		if pt.HasMobility {
+			req.Mobility = pt.Mobility
 		}
 		cfg, reps, err := req.Config()
 		if err != nil {
@@ -720,7 +737,7 @@ func (l localSweepExecutor) execCell(ctx context.Context, sw *Sweep, c *SweepCel
 	}
 	tctx, tcancel := context.WithTimeoutCause(ctx, sw.timeout, context.DeadlineExceeded)
 	defer tcancel()
-	s.mRuns.Inc()
+	s.mRuns.Inc(channelLabel(c.cfg))
 	agg, err := s.runFn(tctx, c.cfg, c.reps, s.opts.SimWorkers)
 	if err != nil {
 		if errors.Is(err, scenario.ErrCanceled) {

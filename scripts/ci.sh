@@ -30,6 +30,7 @@ go test -run '^$' -fuzz 'FuzzPSMOperations' -fuzztime 10s ./internal/mac
 go test -run '^$' -fuzz 'FuzzCacheOperations' -fuzztime 10s ./internal/routing/dsr
 go test -run '^$' -fuzz 'FuzzSchedulerWheel' -fuzztime 10s ./internal/sim
 go test -run '^$' -fuzz 'FuzzReadEvents' -fuzztime 10s ./internal/trace
+go test -run '^$' -fuzz 'FuzzPropagationGrid' -fuzztime 10s ./internal/phy
 
 echo "== coverage gate =="
 go run ./tools/covergate
@@ -75,12 +76,25 @@ go run ./cmd/rcast-sim -nodes 12 -duration 12s -static -connections 3 -seed 4 \
   -replay "$tmpdir/rec.ndjson" -trace "$tmpdir/rep.ndjson" > "$tmpdir/rep.out"
 cmp "$tmpdir/rec.out" "$tmpdir/rep.out"
 cmp "$tmpdir/rec.ndjson" "$tmpdir/rep.ndjson"
+# Same round-trip under a random channel + non-default mobility: the
+# chan-lost decision stream must replay the faded run byte-identically.
+go run ./cmd/rcast-sim -nodes 12 -duration 12s -connections 3 -seed 4 \
+  -channel fading -mobility gauss-markov \
+  -trace "$tmpdir/fade.ndjson" > "$tmpdir/fade.out"
+go run ./cmd/rcast-sim -nodes 12 -duration 12s -connections 3 -seed 4 \
+  -channel fading -mobility gauss-markov \
+  -replay "$tmpdir/fade.ndjson" -trace "$tmpdir/fade2.ndjson" > "$tmpdir/fade2.out"
+cmp "$tmpdir/fade.out" "$tmpdir/fade2.out"
+cmp "$tmpdir/fade.ndjson" "$tmpdir/fade2.ndjson"
 
 echo "== audited smoke (race) =="
 go run -race ./cmd/rcast-bench -profile quick -only table1 -reps 1 -audit > /dev/null
 
 echo "== audited fault-sweep smoke (race) =="
 go run -race ./cmd/rcast-bench -profile quick -only a8 -reps 1 -audit > /dev/null
+
+echo "== audited channel-sweep smoke (race) =="
+go run -race ./cmd/rcast-bench -profile quick -only a9 -reps 1 -audit > /dev/null
 
 echo "== serve smoke (race) =="
 go run ./tools/servesmoke

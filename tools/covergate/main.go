@@ -45,8 +45,9 @@ const (
 // itself; a floor pins an absolute bar for subsystems whose untested
 // branches are disproportionately dangerous).
 var floors = map[string]float64{
-	"rcast/internal/fault":  85.0,
-	"rcast/internal/replay": 85.0,
+	"rcast/internal/fault":       85.0,
+	"rcast/internal/propagation": 85.0,
+	"rcast/internal/replay":      85.0,
 }
 
 // coverLine matches the summary go test prints per covered package, e.g.

@@ -41,11 +41,14 @@ func main() {
 }
 
 // sweepReq is the small sweep driven through the fleet: 2 schemes × 2
-// mobility points = 4 cells at quick scale.
+// mobility points × 2 channels = 8 cells at quick scale. The fading axis
+// makes the parity check below also prove that a cell under a random
+// propagation model round-trips byte-identically through the fleet.
 func sweepReq() serve.SweepRequest {
 	return serve.SweepRequest{
 		Schemes:     []string{"802.11", "Rcast"},
 		PausesSec:   []float64{0, -1},
+		Channels:    []string{"disk", "fading"},
 		Nodes:       12,
 		Connections: 3,
 		DurationSec: 10,
@@ -189,6 +192,22 @@ func run() error {
 		}
 	}
 	fmt.Println("fleetsmoke: metrics ok, peer cache hit counted and both workers up")
+
+	// The faded cells executed on the workers; at least one worker must
+	// report runs under the fading label (the coordinator itself only
+	// dispatches, so its own runs_total stays disk-only or empty).
+	pageA, err := workerA.metricsPage()
+	if err != nil {
+		return err
+	}
+	pageB, err := workerB.metricsPage()
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(pageA+pageB, `rcast_serve_runs_total{channel="fading"}`) {
+		return fmt.Errorf("no worker reported fading-channel runs:\nworkerA:\n%s\nworkerB:\n%s", pageA, pageB)
+	}
+	fmt.Println("fleetsmoke: fading cells executed and labeled in worker metrics")
 	return nil
 }
 
