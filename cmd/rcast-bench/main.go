@@ -37,7 +37,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("rcast-bench", flag.ContinueOnError)
 	var (
 		profileName = fs.String("profile", "quick", "experiment profile: quick or paper")
-		only        = fs.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,a1,a2,a3,a4,a5,a6,a7,a8,a9")
+		only        = fs.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,a1,a2,a3,a4,a5,a6,a7,a8,a9,a10")
 		reps        = fs.Int("reps", 0, "override replication count (0 = profile default)")
 		csvDir      = fs.String("csv", "", "also write sweep/fig5/fig9 series as CSV into this directory")
 		workers     = fs.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
@@ -146,6 +146,7 @@ func runFigures(s *experiments.Suite, only string) error {
 		"a7":     func() error { _, err := s.AblationATIM(); return err },
 		"a8":     func() error { _, err := s.AblationFaults(); return err },
 		"a9":     func() error { _, err := s.AblationChannels(); return err },
+		"a10":    func() error { _, err := s.AblationTxPower(); return err },
 	}
 	for _, name := range strings.Split(only, ",") {
 		name = strings.TrimSpace(strings.ToLower(name))

@@ -32,10 +32,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("rcast-sim", flag.ContinueOnError)
 	var (
 		schemeName = fs.String("scheme", "Rcast", "scheme: 802.11, PSM, PSM-no-overhear, ODPM, Rcast")
+		policyName = fs.String("policy", "", "overhearing policy: "+strings.Join(rcast.PolicyNames(), ", ")+" (default: the scheme's own)")
 		nodes      = fs.Int("nodes", 100, "number of nodes")
 		fieldW     = fs.Float64("field-w", 1500, "field width (m)")
 		fieldH     = fs.Float64("field-h", 300, "field height (m)")
 		rng        = fs.Float64("range", 250, "radio range (m)")
+		txPower    = fs.Float64("tx-power", 0, "transmit power offset in dB from nominal (scales range by 10^(dB/40), energy by 10^(dB/10))")
 		conns      = fs.Int("connections", 20, "CBR connections")
 		rate       = fs.Float64("rate", 0.4, "packets per second per connection")
 		size       = fs.Int("size", 512, "payload bytes per packet")
@@ -83,9 +85,11 @@ func run(args []string) error {
 	}
 	cfg := rcast.PaperDefaults()
 	cfg.Scheme = scheme
+	cfg.PolicyName = *policyName
 	cfg.Nodes = *nodes
 	cfg.FieldW, cfg.FieldH = *fieldW, *fieldH
 	cfg.RangeM = *rng
+	cfg.TxPowerDBm = *txPower
 	cfg.Connections = *conns
 	cfg.PacketRate = *rate
 	cfg.PacketBytes = *size
@@ -177,6 +181,9 @@ func run(args []string) error {
 	// historical byte-identical stdout.
 	if cfg.Channel != "disk" || cfg.Mobility != "waypoint" {
 		fmt.Printf("models            channel %s, mobility %s\n", cfg.Channel, cfg.Mobility)
+	}
+	if cfg.PolicyName != "" || cfg.TxPowerDBm != 0 {
+		fmt.Printf("overhearing       policy %s, tx power %+.1f dB\n", cfg.EffectivePolicyName(), cfg.TxPowerDBm)
 	}
 	fmt.Println()
 	fmt.Printf("packet delivery   %.2f%% ± %.2f\n", 100*agg.PDR.Mean(), 100*agg.PDR.CI95())

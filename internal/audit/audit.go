@@ -352,14 +352,14 @@ func (a *Auditor) CheckMeters(now sim.Time, final bool) {
 				"awake %v + sleep %v != powered lifetime %v",
 				m.AwakeTime(), m.SleepTime(), powered)
 		}
-		want := m.AwakeWatts()*m.AwakeTime().Seconds() + m.SleepWatts()*m.SleepTime().Seconds()
+		want := m.AwakeWatts()*m.AwakeTime().Seconds() + m.SleepWatts()*m.SleepTime().Seconds() + m.TxExtraJoules()
 		if cap := m.Capacity(); cap > 0 && want > cap {
 			want = cap
 		}
 		tol := 1e-6 * (1 + math.Abs(want))
 		if diff := m.Joules() - want; diff > tol || diff < -tol {
 			a.violatef(now, id, "energy-joule-decomposition",
-				"joules %.9f != awakeW*awake + sleepW*sleep = %.9f", m.Joules(), want)
+				"joules %.9f != awakeW*awake + sleepW*sleep + txExtra = %.9f", m.Joules(), want)
 		}
 		if cap := m.Capacity(); cap > 0 && m.Joules() > cap {
 			a.violatef(now, id, "energy-over-capacity",

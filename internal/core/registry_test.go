@@ -1,0 +1,48 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPolicyNamesOrderAndCoverage(t *testing.T) {
+	want := []string{"rcast", "unconditional", "none", "sender-id", "battery", "mobility", "combined"}
+	if got := PolicyNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PolicyNames() = %v, want %v", got, want)
+	}
+}
+
+func TestParsePolicyRoundTrips(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ParsePolicy(%q).Name() = %q", name, p.Name())
+		}
+		if !PolicyKnown(name) {
+			t.Fatalf("PolicyKnown(%q) = false", name)
+		}
+	}
+}
+
+func TestParsePolicyUnknown(t *testing.T) {
+	if _, err := ParsePolicy("fixed-0.50"); err == nil {
+		t.Fatal("FixedProb must not be a registered (canonical) policy")
+	}
+	if PolicyKnown("") {
+		t.Fatal(`PolicyKnown("") = true; the empty name is "scheme default", not a policy`)
+	}
+}
+
+func TestPoliciesReturnsCopy(t *testing.T) {
+	ps := Policies()
+	if len(ps) == 0 {
+		t.Fatal("no registered policies")
+	}
+	ps[0] = nil
+	if policyRegistry[0] == nil {
+		t.Fatal("Policies() exposed the registry backing array")
+	}
+}

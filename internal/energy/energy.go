@@ -27,6 +27,13 @@ const (
 	PaperTextSleepWatt = 0.45  // the figure §4.3's in-text arithmetic uses
 )
 
+// DefaultTxWatts is the nominal radiated transmit power (ns-2's two-ray
+// ground default Pt = 0.2818 W, the paper's 250 m range). The two-state
+// model above already folds nominal transmission into the awake draw; only
+// the *delta* from scaling transmit power up or down is charged separately,
+// via AddTxJoules, per transmission.
+const DefaultTxWatts = 0.2818
+
 // State is the radio power state.
 type State int
 
@@ -63,6 +70,12 @@ type Meter struct {
 
 	awakeFor sim.Time
 	sleepFor sim.Time
+
+	// txExtra is the cumulative per-transmission energy delta charged via
+	// AddTxJoules (variable TX power), already included in joules. The
+	// invariant joules == awake/sleep integral + txExtra holds by
+	// construction: every clamp applied to joules is applied to txExtra.
+	txExtra float64
 
 	capacity   float64 // joules; 0 means unlimited
 	depletedAt sim.Time
@@ -139,6 +152,40 @@ func (m *Meter) accrue(now sim.Time) error {
 	}
 	return nil
 }
+
+// AddTxJoules integrates consumption up to now, then charges j extra
+// joules for a transmission at non-nominal power (j may be negative for
+// reduced-power radios — the awake draw already includes nominal
+// transmission cost). A negative charge never drives total consumption
+// below zero, and a charge that crosses a limited battery's capacity
+// depletes it at now. It returns ErrTimeReversal if now precedes the last
+// update; a depleted battery absorbs nothing.
+func (m *Meter) AddTxJoules(now sim.Time, j float64) error {
+	if err := m.accrue(now); err != nil {
+		return err
+	}
+	if m.Depleted() {
+		return nil
+	}
+	if m.joules+j < 0 {
+		j = -m.joules
+	}
+	if m.capacity > 0 && m.joules+j >= m.capacity {
+		j = m.capacity - m.joules
+		m.joules = m.capacity
+		m.txExtra += j
+		m.depleted = true
+		m.depletedAt = now
+		return nil
+	}
+	m.joules += j
+	m.txExtra += j
+	return nil
+}
+
+// TxExtraJoules returns the cumulative per-transmission energy delta
+// charged via AddTxJoules (already included in Joules).
+func (m *Meter) TxExtraJoules() float64 { return m.txExtra }
 
 // DepletionIn returns how long the battery lasts from the last update at
 // the current state's draw, or sim.MaxTime for an unlimited battery or a

@@ -246,3 +246,61 @@ func TestDepletionExactBoundary(t *testing.T) {
 		t.Errorf("AwakeTime = %v, want 10s", m.AwakeTime())
 	}
 }
+
+// TestAddTxJoulesMaintainsInvariant: the extra TX energy folds into the
+// meter while keeping joules == awakeW*awake + sleepW*sleep + txExtra —
+// the decomposition the cross-layer audit checks.
+func TestAddTxJoulesMaintainsInvariant(t *testing.T) {
+	m := NewMeter(1.0, 0.05, 0)
+	if err := m.AddTxJoules(2*sim.Second, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddTxJoules(5*sim.Second, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TxExtraJoules(); !almostEqual(got, 0.75) {
+		t.Fatalf("TxExtraJoules = %v, want 0.75", got)
+	}
+	want := m.AwakeWatts()*m.AwakeTime().Seconds() + m.SleepWatts()*m.SleepTime().Seconds() + m.TxExtraJoules()
+	if !almostEqual(m.Joules(), want) {
+		t.Fatalf("joules %v != decomposition %v", m.Joules(), want)
+	}
+}
+
+// TestAddTxJoulesNegativeFloorsAtZeroSpend: a reduced-power radio saves
+// energy, but the saving can never exceed what the meter has accrued.
+func TestAddTxJoulesNegativeFloorsAtZeroSpend(t *testing.T) {
+	m := NewMeter(1.0, 0.05, 0)
+	if err := m.AddTxJoules(1*sim.Second, -5); err != nil { // accrued only 1 J
+		t.Fatal(err)
+	}
+	if got := m.Joules(); got != 0 {
+		t.Fatalf("joules = %v, want clamp at 0", got)
+	}
+	if got := m.TxExtraJoules(); !almostEqual(got, -1) {
+		t.Fatalf("TxExtraJoules = %v, want -1 (the accrued joule)", got)
+	}
+}
+
+// TestAddTxJoulesDepletesBattery: TX-driven spend that hits a finite
+// capacity depletes the node at that instant, not at the next accrual.
+func TestAddTxJoulesDepletesBattery(t *testing.T) {
+	m := NewMeter(1.0, 0.05, 3)
+	if err := m.AddTxJoules(2*sim.Second, 10); err != nil { // 2 accrued + 10 >> 3
+		t.Fatal(err)
+	}
+	if !m.Depleted() {
+		t.Fatal("meter not depleted after TX spend past capacity")
+	}
+	if at, ok := m.DepletedAt(); !ok || at != 2*sim.Second {
+		t.Fatalf("DepletedAt = %v,%v; want 2s", at, ok)
+	}
+	if got := m.Joules(); !almostEqual(got, 3) {
+		t.Fatalf("joules = %v, want capacity 3", got)
+	}
+	// The decomposition still holds: txExtra absorbed only what fit.
+	want := m.AwakeWatts()*m.AwakeTime().Seconds() + m.SleepWatts()*m.SleepTime().Seconds() + m.TxExtraJoules()
+	if !almostEqual(m.Joules(), want) {
+		t.Fatalf("joules %v != decomposition %v", m.Joules(), want)
+	}
+}

@@ -19,13 +19,11 @@ type PolicyResult struct {
 // against the §3.2/§5 factor policies (sender ID, battery, mobility, and
 // all factors combined) on the Rcast stack at the low-rate mobile point.
 func (s *Suite) AblationPolicies() ([]PolicyResult, error) {
-	policies := []core.Policy{
-		core.Rcast{}, core.SenderID{}, core.Battery{}, core.Mobility{}, core.Combined{},
-	}
+	policies := []string{"rcast", "sender-id", "battery", "mobility", "combined"}
 	cfgs := make([]scenario.Config, len(policies))
-	for i, pol := range policies {
+	for i, name := range policies {
 		cfgs[i] = s.config(runKey{scheme: scenario.SchemeRcast, rate: s.p.LowRate})
-		cfgs[i].Policy = pol
+		cfgs[i].PolicyName = name
 	}
 	aggs, err := s.runConfigs(cfgs)
 	if err != nil {
@@ -34,10 +32,10 @@ func (s *Suite) AblationPolicies() ([]PolicyResult, error) {
 	s.printf("== Ablation A1: overhearing-decision factors (Rcast stack, rate=%.1f, mobile) ==\n", s.p.LowRate)
 	s.printf("%-10s %10s %10s %8s %9s %9s\n", "policy", "energy(J)", "varJ", "PDR", "delay(s)", "overhead")
 	var rows []PolicyResult
-	for i, pol := range policies {
+	for i, name := range policies {
 		a := aggs[i]
 		row := PolicyResult{
-			Policy:         pol.Name(),
+			Policy:         name,
 			TotalJoules:    a.TotalJoules.Mean(),
 			EnergyVariance: a.EnergyVariance.Mean(),
 			PDR:            a.PDR.Mean(),

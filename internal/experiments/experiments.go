@@ -309,6 +309,7 @@ func (s *Suite) All() error {
 		func() error { _, err := s.AblationATIM(); return err },
 		func() error { _, err := s.AblationFaults(); return err },
 		func() error { _, err := s.AblationChannels(); return err },
+		func() error { _, err := s.AblationTxPower(); return err },
 	}
 	for _, step := range steps {
 		if err := step(); err != nil {

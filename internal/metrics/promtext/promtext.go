@@ -283,6 +283,75 @@ func (cv *CounterVec) write(w io.Writer) error {
 	return nil
 }
 
+// CounterVec2 is a counter family partitioned by two labels (e.g. runs
+// by propagation model and overhearing policy).
+type CounterVec2 struct {
+	nm, help, label1, label2 string
+
+	mu sync.Mutex
+	m  map[[2]string]*atomic.Uint64
+}
+
+// NewCounterVec2 registers a two-label counter family.
+func (r *Registry) NewCounterVec2(name, help, label1, label2 string) *CounterVec2 {
+	cv := &CounterVec2{nm: name, help: help, label1: label1, label2: label2, m: make(map[[2]string]*atomic.Uint64)}
+	r.register(cv)
+	return cv
+}
+
+// Inc adds one to the child for the given label values.
+func (cv *CounterVec2) Inc(v1, v2 string) {
+	k := [2]string{v1, v2}
+	cv.mu.Lock()
+	c, ok := cv.m[k]
+	if !ok {
+		c = new(atomic.Uint64)
+		cv.m[k] = c
+	}
+	cv.mu.Unlock()
+	c.Add(1)
+}
+
+// Value returns the count for one label pair (0 if never incremented).
+func (cv *CounterVec2) Value(v1, v2 string) uint64 {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if c, ok := cv.m[[2]string{v1, v2}]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+func (cv *CounterVec2) name() string { return cv.nm }
+
+func (cv *CounterVec2) write(w io.Writer) error {
+	if err := writeHeader(w, cv.nm, cv.help, "counter"); err != nil {
+		return err
+	}
+	cv.mu.Lock()
+	keys := make([][2]string, 0, len(cv.m))
+	for k := range cv.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	counts := make([]uint64, len(keys))
+	for i, k := range keys {
+		counts[i] = cv.m[k].Load()
+	}
+	cv.mu.Unlock()
+	for i, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q,%s=%q} %d\n", cv.nm, cv.label1, k[0], cv.label2, k[1], counts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // GaugeVec is a gauge family partitioned by one label (e.g. per-worker
 // health in a fleet).
 type GaugeVec struct {

@@ -158,6 +158,51 @@ test_worker_up{worker="http://b:1"} 0
 	}
 }
 
+func TestCounterVec2(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec2("test_runs_total", "Runs by channel and policy.", "channel", "policy")
+	cv.Inc("fading", "rcast")
+	cv.Inc("disk", "rcast")
+	cv.Inc("disk", "battery")
+	cv.Inc("disk", "rcast")
+
+	if got := cv.Value("disk", "rcast"); got != 2 {
+		t.Fatalf("Value(disk,rcast) = %d, want 2", got)
+	}
+	if got := cv.Value("disk", "none"); got != 0 {
+		t.Fatalf("Value of untouched pair = %d, want 0", got)
+	}
+	got := render(t, r)
+	want := `# HELP test_runs_total Runs by channel and policy.
+# TYPE test_runs_total counter
+test_runs_total{channel="disk",policy="battery"} 1
+test_runs_total{channel="disk",policy="rcast"} 2
+test_runs_total{channel="fading",policy="rcast"} 1
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCounterVec2Concurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec2("test_conc_total", "Concurrency check.", "a", "b")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				cv.Inc("x", "y")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cv.Value("x", "y"); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
 func TestGaugeFuncVec2SortedOutput(t *testing.T) {
 	r := NewRegistry()
 	r.NewGaugeFuncVec2("demo_events", "Demo family.", "scheme", "kind", func() []Sample2 {

@@ -109,6 +109,14 @@ type DropObserver interface {
 	FrameLost(now sim.Time, rx NodeID, f Frame, reason string)
 }
 
+// TxObserver is notified of every frame put on the air, at the instant
+// the transmission starts (per-transmission energy accounting under
+// variable TX power). A nil observer costs one pointer check per
+// transmission.
+type TxObserver interface {
+	FrameTransmitted(now sim.Time, tx NodeID, airtime sim.Time)
+}
+
 // Stats counts channel-level events. ChannelLost is omitempty so results
 // from disk-channel runs keep their historical JSON encoding byte for
 // byte (the golden corpus pins those bytes).
@@ -142,6 +150,12 @@ type LossModel interface {
 // MaxRange: the spatial grid prunes candidates at that bound, so a
 // verdict beyond it would silently differ between the grid path and the
 // exhaustive scan.
+//
+// Per-transmitter power control composes on top of this contract without
+// breaking purity or symmetry: a transmitter whose range is scaled by s
+// is queried at dist/s against reach MaxRange()*s, so the model itself
+// stays a symmetric function of distance while links become directional
+// (A at high power may reach B while B at low power cannot reach A).
 type Propagation interface {
 	// Decodable reports whether a frame transmitted between a and b
 	// (unordered) at instant now spanning dist metres decodes.
@@ -174,6 +188,7 @@ type Channel struct {
 
 	obs     DeliveryObserver // nil = no delivery instrumentation
 	dropObs DropObserver     // nil = no loss instrumentation
+	txObs   TxObserver       // nil = no transmission instrumentation
 	loss    LossModel        // nil = clean channel
 
 	// Propagation model state. prop == nil is the hot disk fast path:
@@ -192,6 +207,9 @@ func (c *Channel) SetDeliveryObserver(o DeliveryObserver) { c.obs = o }
 
 // SetDropObserver installs the frame-loss observer (nil disables it).
 func (c *Channel) SetDropObserver(o DropObserver) { c.dropObs = o }
+
+// SetTxObserver installs the transmission observer (nil disables it).
+func (c *Channel) SetTxObserver(o TxObserver) { c.txObs = o }
 
 // frameLost reports a loss to the drop observer. Call sites mirror the
 // Stats loss counters exactly: one frameLost per counted loss.
@@ -261,9 +279,10 @@ func (c *Channel) Stats() Stats { return c.stats }
 // Range returns the decode radius in metres.
 func (c *Channel) Range() float64 { return c.rangeM }
 
-// AddRadio registers a radio for a node. Radios start awake.
+// AddRadio registers a radio for a node. Radios start awake at nominal
+// transmit power.
 func (c *Channel) AddRadio(id NodeID, mob mobility.Model) *Radio {
-	r := &Radio{id: id, ch: c, mob: mob, awake: true}
+	r := &Radio{id: id, ch: c, mob: mob, awake: true, txScale: 1}
 	c.radios = append(c.radios, r)
 	c.byID[id] = r
 	c.grid.valid = false
@@ -279,25 +298,33 @@ func (c *Channel) RadioOf(id NodeID) *Radio {
 	return c.byID[id]
 }
 
-// InRange reports whether nodes a and b can hear each other at instant now.
+// InRange reports whether a transmission from a reaches b at instant now.
+// The verdict is directional under power control: it uses a's transmit
+// range scale, so InRange(a, b) and InRange(b, a) can disagree when the
+// two radios transmit at different powers.
 func (c *Channel) InRange(a, b *Radio, now sim.Time) bool {
 	d := a.Position(now).DistanceTo(b.Position(now))
+	s := a.txScale
 	if c.prop != nil {
-		return d <= c.maxRange && c.prop.Decodable(now, a.id, b.id, d)
+		return d <= c.maxRange*s && c.prop.Decodable(now, a.id, b.id, d/s)
 	}
-	return d <= c.rangeM
+	return d <= c.rangeM*s
 }
 
-// visitInRange calls visit for every radio other than center within range
-// of center at instant now, in registration order (deterministic regardless
-// of whether the grid index or the exhaustive scan answers the query). With
-// a propagation model installed, "within range" means the model's verdict
-// for the (center, other) link at now; the grid is queried at the model's
-// MaxRange so no candidate with a possibly-true verdict is pruned.
+// visitInRange calls visit for every radio other than center that a
+// transmission from center reaches at instant now, in registration order
+// (deterministic regardless of whether the grid index or the exhaustive
+// scan answers the query). Reach uses center's transmit range scale, so
+// the answer is directional under power control. With a propagation model
+// installed, "within range" means the model's verdict for the (center,
+// other) link at now queried at the power-normalized distance; the grid
+// is queried at the scaled reach so no candidate with a possibly-true
+// verdict is pruned (grid queries accept radii larger than the cell edge).
 func (c *Channel) visitInRange(center *Radio, now sim.Time, visit func(*Radio)) {
 	p := center.Position(now)
+	s := center.txScale
 	if c.prop != nil {
-		reach := c.maxRange
+		reach := c.maxRange * s
 		if c.motionBoundSet && reach > 0 {
 			if c.grid.stale(now, c.motionBound) {
 				c.grid.rebin(c.radios, now)
@@ -308,7 +335,7 @@ func (c *Channel) visitInRange(center *Radio, now sim.Time, visit func(*Radio)) 
 				if o == center {
 					continue
 				}
-				if d := p.DistanceTo(o.Position(now)); d <= reach && c.prop.Decodable(now, center.id, o.id, d) {
+				if d := p.DistanceTo(o.Position(now)); d <= reach && c.prop.Decodable(now, center.id, o.id, d/s) {
 					visit(o)
 				}
 			}
@@ -318,23 +345,24 @@ func (c *Channel) visitInRange(center *Radio, now sim.Time, visit func(*Radio)) 
 			if o == center {
 				continue
 			}
-			if d := p.DistanceTo(o.Position(now)); d <= reach && c.prop.Decodable(now, center.id, o.id, d) {
+			if d := p.DistanceTo(o.Position(now)); d <= reach && c.prop.Decodable(now, center.id, o.id, d/s) {
 				visit(o)
 			}
 		}
 		return
 	}
-	if c.motionBoundSet && c.rangeM > 0 {
+	reach := c.rangeM * s
+	if c.motionBoundSet && reach > 0 {
 		if c.grid.stale(now, c.motionBound) {
 			c.grid.rebin(c.radios, now)
 		}
-		c.scratch = c.grid.candidates(p, c.rangeM, c.scratch)
+		c.scratch = c.grid.candidates(p, reach, c.scratch)
 		for _, i := range c.scratch {
 			o := c.radios[i]
 			if o == center {
 				continue
 			}
-			if p.DistanceTo(o.Position(now)) <= c.rangeM {
+			if p.DistanceTo(o.Position(now)) <= reach {
 				visit(o)
 			}
 		}
@@ -344,7 +372,7 @@ func (c *Channel) visitInRange(center *Radio, now sim.Time, visit func(*Radio)) 
 		if o == center {
 			continue
 		}
-		if p.DistanceTo(o.Position(now)) <= c.rangeM {
+		if p.DistanceTo(o.Position(now)) <= reach {
 			visit(o)
 		}
 	}
@@ -369,17 +397,18 @@ func (c *Channel) VisitNeighbors(r *Radio, now sim.Time, visit func(NodeID)) {
 		return
 	}
 	p := r.Position(now)
-	if c.motionBoundSet && c.rangeM > 0 {
+	reach := c.rangeM * r.txScale
+	if c.motionBoundSet && reach > 0 {
 		if c.grid.stale(now, c.motionBound) {
 			c.grid.rebin(c.radios, now)
 		}
-		c.scratch = c.grid.candidates(p, c.rangeM, c.scratch)
+		c.scratch = c.grid.candidates(p, reach, c.scratch)
 		for _, i := range c.scratch {
 			o := c.radios[i]
 			if o == r {
 				continue
 			}
-			if p.DistanceTo(o.Position(now)) <= c.rangeM {
+			if p.DistanceTo(o.Position(now)) <= reach {
 				visit(o.id)
 			}
 		}
@@ -389,7 +418,7 @@ func (c *Channel) VisitNeighbors(r *Radio, now sim.Time, visit func(NodeID)) {
 		if o == r {
 			continue
 		}
-		if p.DistanceTo(o.Position(now)) <= c.rangeM {
+		if p.DistanceTo(o.Position(now)) <= reach {
 			visit(o.id)
 		}
 	}
@@ -414,6 +443,9 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 	now := c.sched.Now()
 	end := now + Airtime(f.Bytes, rateMbps)
 	c.stats.Transmissions++
+	if c.txObs != nil {
+		c.txObs.FrameTransmitted(now, tx.id, end-now)
+	}
 
 	// Half duplex: transmitting corrupts any reception in progress at tx.
 	if tx.current != nil {
@@ -426,8 +458,9 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 	b.frame = f
 	b.end = end
 	p := tx.Position(now)
+	s := tx.txScale
 	if c.prop != nil {
-		reach := c.maxRange
+		reach := c.maxRange * s
 		if c.motionBoundSet && reach > 0 {
 			if c.grid.stale(now, c.motionBound) {
 				c.grid.rebin(c.radios, now)
@@ -439,7 +472,7 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 					continue
 				}
 				if d := p.DistanceTo(rx.Position(now)); d <= reach {
-					c.admitReception(b, tx, rx, now, end, d)
+					c.admitReception(b, tx, rx, now, end, d/s)
 				}
 			}
 		} else {
@@ -448,21 +481,21 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 					continue
 				}
 				if d := p.DistanceTo(rx.Position(now)); d <= reach {
-					c.admitReception(b, tx, rx, now, end, d)
+					c.admitReception(b, tx, rx, now, end, d/s)
 				}
 			}
 		}
-	} else if c.motionBoundSet && c.rangeM > 0 {
+	} else if reach := c.rangeM * s; c.motionBoundSet && reach > 0 {
 		if c.grid.stale(now, c.motionBound) {
 			c.grid.rebin(c.radios, now)
 		}
-		c.scratch = c.grid.candidates(p, c.rangeM, c.scratch)
+		c.scratch = c.grid.candidates(p, reach, c.scratch)
 		for _, i := range c.scratch {
 			rx := c.radios[i]
 			if rx == tx {
 				continue
 			}
-			if p.DistanceTo(rx.Position(now)) <= c.rangeM {
+			if p.DistanceTo(rx.Position(now)) <= reach {
 				rx.extendCarrier(end)
 				c.beginReception(b, rx, now, end)
 			}
@@ -472,7 +505,7 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 			if rx == tx {
 				continue
 			}
-			if p.DistanceTo(rx.Position(now)) <= c.rangeM {
+			if p.DistanceTo(rx.Position(now)) <= reach {
 				rx.extendCarrier(end)
 				c.beginReception(b, rx, now, end)
 			}
@@ -488,9 +521,11 @@ func (c *Channel) Transmit(tx *Radio, f Frame, rateMbps float64) {
 }
 
 // admitReception is the per-candidate transmit step under a propagation
-// model: rx is within the model's reach, and the model's (or, during
-// replay, the recorded stream's) verdict decides whether the link exists
-// for this frame. A declined link is counted and traced as chan-lost — the
+// model: rx is within the transmitter's reach, and the model's (or,
+// during replay, the recorded stream's) verdict decides whether the link
+// exists for this frame. dist is the power-normalized distance (geometric
+// distance over the transmitter's range scale), so the model sees the
+// link as if transmitted at nominal power. A declined link is counted and traced as chan-lost — the
 // frame never reaches the receiver, so it neither extends carrier sense
 // nor enters the reception state. Candidates are consulted in registration
 // order, so the chan-lost decision sequence is deterministic and
@@ -669,6 +704,11 @@ type Radio struct {
 	txUntil      sim.Time
 	current      *delivery
 
+	// txScale stretches this radio's transmit reach relative to the
+	// channel's nominal range (power control; 1 = nominal). Reception is
+	// unaffected — only how far this radio's own frames carry.
+	txScale float64
+
 	// Single-instant position cache: one transmission (or neighbor query)
 	// asks many radios for their position at the same now, and mobility
 	// models answer by binary-searching a trajectory; caching the latest
@@ -696,6 +736,20 @@ func (r *Radio) Position(now sim.Time) geom.Point {
 	r.posAt, r.pos, r.posOK = now, p, true
 	return p
 }
+
+// SetTxRangeScale sets the factor this radio's transmissions stretch the
+// nominal decode range by (transmit power control; 1 restores nominal).
+// Links become asymmetric when radios transmit at different scales: A may
+// reach B while B cannot reach A. Non-positive scales are clamped to 1.
+func (r *Radio) SetTxRangeScale(s float64) {
+	if !(s > 0) {
+		s = 1
+	}
+	r.txScale = s
+}
+
+// TxRangeScale returns the radio's transmit range scale.
+func (r *Radio) TxRangeScale() float64 { return r.txScale }
 
 // Awake reports whether the radio can currently receive.
 func (r *Radio) Awake() bool { return r.awake }

@@ -87,6 +87,56 @@ func TestReplayPropertySeedsSchemes(t *testing.T) {
 	}
 }
 
+// TestReplayNamedPolicyAndTxPower: a run configured through the new
+// registry knobs — a named overhearing policy and an off-nominal transmit
+// power — records and replays like any other cell: same tallies, same
+// Result, byte-identical event stream length.
+func TestReplayNamedPolicyAndTxPower(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		policy  string
+		txPower float64
+		battery float64
+	}{
+		{name: "battery-policy", policy: "battery", battery: 2000},
+		{name: "reduced-power", txPower: -3},
+		{name: "combined-boosted", policy: "combined", txPower: 3},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := smallCell(11)
+			cfg.PolicyName = tc.policy
+			cfg.TxPowerDBm = tc.txPower
+			cfg.BatteryJoules = tc.battery
+			res, events, counts := record(t, cfg)
+			if counts[trace.KindLottery] == 0 {
+				t.Fatal("cell too small: no lotteries recorded")
+			}
+
+			ctr := trace.NewCounter()
+			cfg2 := smallCell(11)
+			cfg2.PolicyName = tc.policy
+			cfg2.TxPowerDBm = tc.txPower
+			cfg2.BatteryJoules = tc.battery
+			cfg2.Trace = ctr
+			res2, replayed, err := Run(cfg2, events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(replayed) != len(events) {
+				t.Fatalf("replayed %d events, recorded %d", len(replayed), len(events))
+			}
+			if got := ctr.Snapshot(); !reflect.DeepEqual(got, counts) {
+				t.Fatalf("counter mismatch:\n got %v\nwant %v", got, counts)
+			}
+			if !reflect.DeepEqual(res, res2) {
+				t.Fatalf("results differ:\n got %+v\nwant %+v", res2, res)
+			}
+		})
+	}
+}
+
 // TestReplayOverridesPolicyProbability demonstrates that lottery verdicts
 // really come from the trace: the replay runs under a different (but
 // equally RNG-hungry) overhearing probability and still reproduces the

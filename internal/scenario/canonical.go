@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rcast/internal/core"
 	"rcast/internal/fault"
 )
 
@@ -17,7 +18,8 @@ import (
 // drift breaks CI instead of silently splitting result caches.
 //
 // v2: added the channel (propagation model) and mobility model fields.
-const CanonicalVersion = 2
+// v3: added the named overhearing policy and tx_power_dbm fields.
+const CanonicalVersion = 3
 
 // ErrNotCanonical reports a Config carrying runtime-only state (a custom
 // Policy, a Trace sink, a programmatic DSR gossip hook) that has no stable
@@ -32,12 +34,14 @@ var ErrNotCanonical = errors.New("scenario: config has runtime-only fields and n
 type canonicalConfig struct {
 	V       int    `json:"v"`
 	Scheme  string `json:"scheme"`
+	Policy  string `json:"policy"`
 	Routing string `json:"routing"`
 
-	Nodes  int     `json:"nodes"`
-	FieldW float64 `json:"field_w"`
-	FieldH float64 `json:"field_h"`
-	RangeM float64 `json:"range_m"`
+	Nodes      int     `json:"nodes"`
+	FieldW     float64 `json:"field_w"`
+	FieldH     float64 `json:"field_h"`
+	RangeM     float64 `json:"range_m"`
+	TxPowerDBm float64 `json:"tx_power_dbm"`
 
 	Connections    int     `json:"connections"`
 	PacketRate     float64 `json:"packet_rate"`
@@ -160,11 +164,18 @@ type canonicalPartition struct {
 // Runtime-only fields — Policy, Trace, Replay, DSR.Gossip,
 // DSR.NeighborCount — must be nil; anything else returns ErrNotCanonical.
 // (GossipFanout is the canonical way to enable the broadcast-Rcast
-// extension.)
+// extension; PolicyName is the canonical way to pick an overhearing
+// policy.) The encoded "policy" field is the effective policy name — an
+// explicit PolicyName equal to the scheme default encodes identically to
+// leaving it empty, so the two spellings share a cache key.
 func (c Config) CanonicalJSON() ([]byte, error) {
 	switch {
 	case c.Policy != nil:
-		return nil, fmt.Errorf("%w: Policy is set (schemes imply their policy)", ErrNotCanonical)
+		return nil, fmt.Errorf("%w: Policy is set (use PolicyName for registered policies)", ErrNotCanonical)
+	case c.PolicyName != "" && !core.PolicyKnown(c.PolicyName):
+		return nil, fmt.Errorf("%w: unknown policy %q (want one of %v)", ErrNotCanonical, c.PolicyName, core.PolicyNames())
+	case c.PolicyName != "" && c.Scheme == SchemeAlwaysOn:
+		return nil, fmt.Errorf("%w: scheme %v ignores overhearing policies", ErrNotCanonical, c.Scheme)
 	case c.Trace != nil:
 		return nil, fmt.Errorf("%w: Trace sink is set", ErrNotCanonical)
 	case c.Replay != nil:
@@ -175,12 +186,14 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 	enc := canonicalConfig{
 		V:       CanonicalVersion,
 		Scheme:  c.Scheme.String(),
+		Policy:  c.EffectivePolicyName(),
 		Routing: c.Routing.String(),
 
-		Nodes:  c.Nodes,
-		FieldW: c.FieldW,
-		FieldH: c.FieldH,
-		RangeM: c.RangeM,
+		Nodes:      c.Nodes,
+		FieldW:     c.FieldW,
+		FieldH:     c.FieldH,
+		RangeM:     c.RangeM,
+		TxPowerDBm: c.TxPowerDBm,
 
 		Connections:    c.Connections,
 		PacketRate:     c.PacketRate,

@@ -16,9 +16,9 @@ import (
 // fails because you changed Config, that is the alarm working: bump
 // CanonicalVersion, regenerate the strings, and say so in the changelog.
 const (
-	goldenDefault = `{"v":2,"scheme":"Rcast","routing":"DSR","nodes":100,"field_w":1500,"field_h":300,"range_m":250,"connections":20,"packet_rate":0.4,"packet_bytes":512,"traffic_start_us":5000000,"traffic_stop_us":0,"min_speed":1,"max_speed":20,"pause_us":600000000,"channel":"disk","shadow_sigma_db":0,"mobility":"waypoint","group_size":0,"group_radius_m":0,"duration_us":1125000000,"seed":1,"mac":{"slot_time_us":20,"sifs_us":10,"difs_us":50,"cw_min":31,"cw_max":1023,"retry_limit":7,"data_rate_mbps":2,"data_header_bytes":34,"ack_bytes":14,"rts_bytes":20,"cts_bytes":14,"rts_threshold_bytes":0,"beacon_interval_us":250000,"atim_window_us":50000,"max_announcements":64,"atim_contention":false,"atim_slots":64,"atim_retry_limit":3},"dsr":{"cache_capacity":64,"cache_lifetime_us":0,"non_propagating_first":true,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"send_buffer_cap":64,"send_buffer_timeout_us":30000000,"cache_replies":true,"max_replies_per_request":3,"max_salvage":1,"rebroadcast_jitter_us":10000},"aodv":{"active_route_timeout_us":3000000,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"non_propagating_first":true,"hello_interval_us":1000000,"send_buffer_cap":64,"rebroadcast_jitter_us":10000,"intermediate_replies":true},"odpm_rrep_keepalive_us":0,"odpm_data_keepalive_us":0,"odpm_promiscuous_refresh":false,"awake_watts":0,"sleep_watts":0,"battery_joules":0,"gossip_fanout":0,"faults":null,"audit":false}`
+	goldenDefault = `{"v":3,"scheme":"Rcast","policy":"rcast","routing":"DSR","nodes":100,"field_w":1500,"field_h":300,"range_m":250,"tx_power_dbm":0,"connections":20,"packet_rate":0.4,"packet_bytes":512,"traffic_start_us":5000000,"traffic_stop_us":0,"min_speed":1,"max_speed":20,"pause_us":600000000,"channel":"disk","shadow_sigma_db":0,"mobility":"waypoint","group_size":0,"group_radius_m":0,"duration_us":1125000000,"seed":1,"mac":{"slot_time_us":20,"sifs_us":10,"difs_us":50,"cw_min":31,"cw_max":1023,"retry_limit":7,"data_rate_mbps":2,"data_header_bytes":34,"ack_bytes":14,"rts_bytes":20,"cts_bytes":14,"rts_threshold_bytes":0,"beacon_interval_us":250000,"atim_window_us":50000,"max_announcements":64,"atim_contention":false,"atim_slots":64,"atim_retry_limit":3},"dsr":{"cache_capacity":64,"cache_lifetime_us":0,"non_propagating_first":true,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"send_buffer_cap":64,"send_buffer_timeout_us":30000000,"cache_replies":true,"max_replies_per_request":3,"max_salvage":1,"rebroadcast_jitter_us":10000},"aodv":{"active_route_timeout_us":3000000,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"non_propagating_first":true,"hello_interval_us":1000000,"send_buffer_cap":64,"rebroadcast_jitter_us":10000,"intermediate_replies":true},"odpm_rrep_keepalive_us":0,"odpm_data_keepalive_us":0,"odpm_promiscuous_refresh":false,"awake_watts":0,"sleep_watts":0,"battery_joules":0,"gossip_fanout":0,"faults":null,"audit":false}`
 
-	goldenFaulted = `{"v":2,"scheme":"Rcast","routing":"DSR","nodes":100,"field_w":1500,"field_h":300,"range_m":250,"connections":20,"packet_rate":0.4,"packet_bytes":512,"traffic_start_us":5000000,"traffic_stop_us":0,"min_speed":1,"max_speed":20,"pause_us":600000000,"channel":"disk","shadow_sigma_db":0,"mobility":"waypoint","group_size":0,"group_radius_m":0,"duration_us":1125000000,"seed":1,"mac":{"slot_time_us":20,"sifs_us":10,"difs_us":50,"cw_min":31,"cw_max":1023,"retry_limit":7,"data_rate_mbps":2,"data_header_bytes":34,"ack_bytes":14,"rts_bytes":20,"cts_bytes":14,"rts_threshold_bytes":0,"beacon_interval_us":250000,"atim_window_us":50000,"max_announcements":64,"atim_contention":false,"atim_slots":64,"atim_retry_limit":3},"dsr":{"cache_capacity":64,"cache_lifetime_us":0,"non_propagating_first":true,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"send_buffer_cap":64,"send_buffer_timeout_us":30000000,"cache_replies":true,"max_replies_per_request":3,"max_salvage":1,"rebroadcast_jitter_us":10000},"aodv":{"active_route_timeout_us":3000000,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"non_propagating_first":true,"hello_interval_us":1000000,"send_buffer_cap":64,"rebroadcast_jitter_us":10000,"intermediate_replies":true},"odpm_rrep_keepalive_us":0,"odpm_data_keepalive_us":0,"odpm_promiscuous_refresh":false,"awake_watts":0,"sleep_watts":0,"battery_joules":0,"gossip_fanout":0,"faults":{"crashes":[{"node":3,"at_us":10000000,"recover_at_us":40000000}],"crash_fraction":0.2,"downtime_us":30000000,"loss":{"p_good":0.02,"p_bad":0.6,"mean_good_us":10000000,"mean_bad_us":1000000,"per_link":true},"partitions":[{"start_frac":0.4,"stop_frac":0.7,"ramp_us":10000000}],"battery_jitter":0.5},"audit":true}`
+	goldenFaulted = `{"v":3,"scheme":"Rcast","policy":"rcast","routing":"DSR","nodes":100,"field_w":1500,"field_h":300,"range_m":250,"tx_power_dbm":0,"connections":20,"packet_rate":0.4,"packet_bytes":512,"traffic_start_us":5000000,"traffic_stop_us":0,"min_speed":1,"max_speed":20,"pause_us":600000000,"channel":"disk","shadow_sigma_db":0,"mobility":"waypoint","group_size":0,"group_radius_m":0,"duration_us":1125000000,"seed":1,"mac":{"slot_time_us":20,"sifs_us":10,"difs_us":50,"cw_min":31,"cw_max":1023,"retry_limit":7,"data_rate_mbps":2,"data_header_bytes":34,"ack_bytes":14,"rts_bytes":20,"cts_bytes":14,"rts_threshold_bytes":0,"beacon_interval_us":250000,"atim_window_us":50000,"max_announcements":64,"atim_contention":false,"atim_slots":64,"atim_retry_limit":3},"dsr":{"cache_capacity":64,"cache_lifetime_us":0,"non_propagating_first":true,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"send_buffer_cap":64,"send_buffer_timeout_us":30000000,"cache_replies":true,"max_replies_per_request":3,"max_salvage":1,"rebroadcast_jitter_us":10000},"aodv":{"active_route_timeout_us":3000000,"discovery_timeout_us":1000000,"max_discovery_attempts":6,"non_propagating_first":true,"hello_interval_us":1000000,"send_buffer_cap":64,"rebroadcast_jitter_us":10000,"intermediate_replies":true},"odpm_rrep_keepalive_us":0,"odpm_data_keepalive_us":0,"odpm_promiscuous_refresh":false,"awake_watts":0,"sleep_watts":0,"battery_joules":0,"gossip_fanout":0,"faults":{"crashes":[{"node":3,"at_us":10000000,"recover_at_us":40000000}],"crash_fraction":0.2,"downtime_us":30000000,"loss":{"p_good":0.02,"p_bad":0.6,"mean_good_us":10000000,"mean_bad_us":1000000,"per_link":true},"partitions":[{"start_frac":0.4,"stop_frac":0.7,"ramp_us":10000000}],"battery_jitter":0.5},"audit":true}`
 )
 
 func faultedGoldenConfig() Config {
@@ -93,6 +93,10 @@ func TestCanonicalJSONRejectsRuntimeFields(t *testing.T) {
 		"trace":  func(c *Config) { c.Trace = trace.NewRing(4) },
 		"replay": func(c *Config) { c.Replay = &ReplayHooks{} },
 		"gossip": func(c *Config) { c.DSR.Gossip = &core.BroadcastGossip{Fanout: 3} },
+		// Regression: an overhearing policy on the always-on scheme used to
+		// be silently ignored; the encoder must refuse to cache the lie.
+		"policy on 802.11": func(c *Config) { c.Scheme = SchemeAlwaysOn; c.PolicyName = "rcast" },
+		"unknown policy":   func(c *Config) { c.PolicyName = "fixed-0.50" },
 	}
 	for name, mutate := range cases {
 		cfg := PaperDefaults()
@@ -100,6 +104,36 @@ func TestCanonicalJSONRejectsRuntimeFields(t *testing.T) {
 		if _, err := cfg.CanonicalJSON(); !errors.Is(err, ErrNotCanonical) {
 			t.Errorf("%s: got %v, want ErrNotCanonical", name, err)
 		}
+	}
+}
+
+// TestCanonicalJSONDefaultPolicyNameNormalizes: naming a scheme's own
+// default policy explicitly changes nothing at runtime, so it must share
+// a cache key with the empty name — while a genuinely different policy
+// must not.
+func TestCanonicalJSONDefaultPolicyNameNormalizes(t *testing.T) {
+	implicit := PaperDefaults() // Rcast scheme, PolicyName ""
+	explicit := PaperDefaults()
+	explicit.PolicyName = "rcast"
+	a, err := implicit.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explicit.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("explicit default policy name encodes differently:\n%s\n%s", a, b)
+	}
+	other := PaperDefaults()
+	other.PolicyName = "battery"
+	c, err := other.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c) == string(a) {
+		t.Fatal("battery policy shares an encoding with the default")
 	}
 }
 

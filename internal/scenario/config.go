@@ -7,6 +7,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"rcast/internal/core"
 	"rcast/internal/fault"
@@ -56,9 +57,26 @@ const (
 	SchemeRcast
 )
 
-// Schemes lists all schemes in presentation order.
+// schemeRegistry is the table of registered schemes in presentation
+// order. Validation (Config.Validate, Grid.validate) checks membership
+// against this table rather than an enum span, so registering a scheme
+// here is the single step that makes it sweepable and parseable.
+var schemeRegistry = []Scheme{SchemeAlwaysOn, SchemePSM, SchemePSMNoOverhear, SchemeODPM, SchemeRcast}
+
+// Schemes lists all registered schemes in presentation order. The slice
+// is a copy; mutating it does not affect the registry.
 func Schemes() []Scheme {
-	return []Scheme{SchemeAlwaysOn, SchemePSM, SchemePSMNoOverhear, SchemeODPM, SchemeRcast}
+	return append([]Scheme(nil), schemeRegistry...)
+}
+
+// Known reports whether s is a registered scheme.
+func (s Scheme) Known() bool {
+	for _, k := range schemeRegistry {
+		if k == s {
+			return true
+		}
+	}
+	return false
 }
 
 // String implements fmt.Stringer.
@@ -108,12 +126,32 @@ func (s Scheme) defaultPolicy() core.Policy {
 type Config struct {
 	Scheme Scheme
 	// Policy overrides the scheme's overhearing policy (PSM family only);
-	// nil selects the scheme default. Used by the ablation benches.
+	// nil selects PolicyName, or the scheme default when that is empty
+	// too. Runtime-only — a Config carrying a Policy value has no
+	// canonical form; prefer PolicyName, which covers every registered
+	// policy. Kept for custom/parameterized policies (core.FixedProb).
 	Policy core.Policy
+	// PolicyName selects a registered overhearing policy by name (see
+	// core.PolicyNames: rcast, unconditional, none, sender-id, battery,
+	// mobility, combined); "" selects the scheme's default. Unlike Policy
+	// it is part of the canonical encoding (v3), so named-policy runs are
+	// cacheable, sweepable and replayable. PSM-family schemes only:
+	// SchemeAlwaysOn never consults a policy, so setting either policy
+	// field alongside it is a validation error rather than a silent no-op.
+	PolicyName string
 
 	Nodes          int
 	FieldW, FieldH float64 // metres
 	RangeM         float64 // radio range
+
+	// TxPowerDBm offsets every node's transmit power from the nominal
+	// two-ray-ground setting (ns-2's Pt = 0.2818 W, which yields RangeM)
+	// in dB. Under the model's d^-4 path loss a +x dB offset stretches
+	// every node's effective transmit range by 10^(x/40), composing with
+	// any shadowing/fading gains; the energy meters charge (or credit)
+	// the transmit-power delta per transmission. 0 keeps the paper setup
+	// byte-identical. Bounded to ±40 dB (a 10× range factor either way).
+	TxPowerDBm float64
 
 	Connections  int
 	PacketRate   float64 // packets/second per connection
@@ -272,6 +310,30 @@ func (c Config) groupRadius() float64 {
 	return c.GroupRadiusM
 }
 
+// EffectivePolicyName resolves the named overhearing policy in force for
+// the run: PolicyName when set, else the name of the scheme's default
+// policy. A runtime Policy override (non-nil Config.Policy) is not
+// reflected here — it has no canonical name.
+func (c Config) EffectivePolicyName() string {
+	if c.PolicyName != "" {
+		return c.PolicyName
+	}
+	return c.Scheme.defaultPolicy().Name()
+}
+
+// txRangeScale returns the factor TxPowerDBm stretches the effective
+// transmit range by. Received power falls off as d^-4 under two-ray
+// ground, so range scales with the fourth root of transmit power: an
+// x dB offset is a range factor of 10^(x/40).
+func (c Config) txRangeScale() float64 {
+	return math.Pow(10, c.TxPowerDBm/40)
+}
+
+// txPowerRatio returns the linear transmit-power ratio 10^(dB/10).
+func (c Config) txPowerRatio() float64 {
+	return math.Pow(10, c.TxPowerDBm/10)
+}
+
 // nameKnown reports whether name is one of names.
 func nameKnown(name string, names []string) bool {
 	for _, n := range names {
@@ -311,8 +373,19 @@ func PaperDefaults() Config {
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	switch {
-	case c.Scheme < SchemeAlwaysOn || c.Scheme > SchemeRcast:
+	case !c.Scheme.Known():
 		return fmt.Errorf("scenario: invalid scheme %d", int(c.Scheme))
+	case c.Policy != nil && c.PolicyName != "":
+		return fmt.Errorf("scenario: Policy and PolicyName %q are both set (pick one)", c.PolicyName)
+	case (c.Policy != nil || c.PolicyName != "") && c.Scheme == SchemeAlwaysOn:
+		// SchemeAlwaysOn never consults an overhearing policy; silently
+		// ignoring one would let two behaviourally identical runs cache
+		// under different keys — and read as different experiments.
+		return fmt.Errorf("scenario: scheme %v ignores overhearing policies; drop the policy or pick a PSM-family scheme", c.Scheme)
+	case c.PolicyName != "" && !core.PolicyKnown(c.PolicyName):
+		return fmt.Errorf("scenario: unknown policy %q (want one of %v)", c.PolicyName, core.PolicyNames())
+	case !(c.TxPowerDBm >= -40 && c.TxPowerDBm <= 40):
+		return fmt.Errorf("scenario: tx power %v dB outside [-40, 40]", c.TxPowerDBm)
 	case c.Routing != RoutingDSR && c.Routing != RoutingAODV:
 		return fmt.Errorf("scenario: invalid routing %d", int(c.Routing))
 	case c.Nodes < 2:

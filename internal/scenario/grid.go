@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"rcast/internal/core"
 	"rcast/internal/fault"
 	"rcast/internal/sim"
 )
@@ -40,6 +41,13 @@ type Grid struct {
 	// Mobilities is the mobility-model axis by name (see MobilityNames);
 	// "" means the base Config's mobility.
 	Mobilities []string
+	// Policies is the overhearing-policy axis by registered name (see
+	// core.PolicyNames); "" means the base Config's policy (usually the
+	// scheme default).
+	Policies []string
+	// TxPowersDBm is the transmit-power axis in dB relative to the nominal
+	// radio power; 0 is the paper's fixed-range default.
+	TxPowersDBm []float64
 }
 
 // GridPoint is one cell of an expanded Grid. Optional axes that were
@@ -64,6 +72,12 @@ type GridPoint struct {
 
 	HasMobility bool
 	Mobility    string
+
+	HasPolicy bool
+	Policy    string
+
+	HasTxPower bool
+	TxPowerDBm float64
 }
 
 // Static reports whether the point pins pause to the simulation duration.
@@ -73,7 +87,7 @@ func (p GridPoint) Static() bool { return p.HasPause && p.PauseSec < 0 }
 // scheme is set).
 func (g Grid) Size() int {
 	n := len(g.Schemes)
-	for _, axis := range []int{len(g.Rates), len(g.PausesSec), len(g.FaultPresets), len(g.GossipFanouts), len(g.Channels), len(g.Mobilities)} {
+	for _, axis := range []int{len(g.Rates), len(g.PausesSec), len(g.FaultPresets), len(g.GossipFanouts), len(g.Channels), len(g.Mobilities), len(g.Policies), len(g.TxPowersDBm)} {
 		if axis > 0 {
 			n *= axis
 		}
@@ -87,7 +101,9 @@ func (g Grid) validate() error {
 		return fmt.Errorf("scenario: grid has no schemes")
 	}
 	for _, s := range g.Schemes {
-		if s < SchemeAlwaysOn || s > SchemeRcast {
+		// Membership in the scheme registry, not an enum-span check: a
+		// hard-coded span silently desyncs the moment a scheme is added.
+		if !s.Known() {
 			return fmt.Errorf("scenario: grid has invalid scheme %d", s)
 		}
 	}
@@ -116,14 +132,24 @@ func (g Grid) validate() error {
 			return fmt.Errorf("scenario: grid has unknown mobility %q (want one of %v)", m, MobilityNames())
 		}
 	}
+	for _, p := range g.Policies {
+		if p != "" && !core.PolicyKnown(p) {
+			return fmt.Errorf("scenario: grid has unknown policy %q (want one of %v)", p, core.PolicyNames())
+		}
+	}
+	for _, db := range g.TxPowersDBm {
+		if !(db >= -40 && db <= 40) {
+			return fmt.Errorf("scenario: grid tx power %v dB outside [-40, 40]", db)
+		}
+	}
 	return nil
 }
 
 // Points expands the grid into its cells in the canonical order: scheme
-// outermost, then rate, pause, fault preset, gossip fanout, channel, and
-// mobility innermost. The newer axes are innermost so a grid that leaves
-// them empty expands to exactly the cells (in the same order) it did
-// before the axes existed.
+// outermost, then rate, pause, fault preset, gossip fanout, channel,
+// mobility, policy, and tx power innermost. The newer axes are innermost
+// so a grid that leaves them empty expands to exactly the cells (in the
+// same order) it did before the axes existed.
 func (g Grid) Points() ([]GridPoint, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -136,6 +162,8 @@ func (g Grid) Points() ([]GridPoint, error) {
 	gossips, hasGossip := optionalAxis(g.GossipFanouts)
 	channels, hasChannel := optionalAxis(g.Channels)
 	mobilities, hasMobility := optionalAxis(g.Mobilities)
+	policies, hasPolicy := optionalAxis(g.Policies)
+	txPowers, hasTxPower := optionalAxis(g.TxPowersDBm)
 
 	pts := make([]GridPoint, 0, g.Size())
 	for _, sch := range g.Schemes {
@@ -145,21 +173,29 @@ func (g Grid) Points() ([]GridPoint, error) {
 					for _, gf := range gossips {
 						for _, ch := range channels {
 							for _, mb := range mobilities {
-								pts = append(pts, GridPoint{
-									Scheme:       sch,
-									HasRate:      hasRate,
-									Rate:         rate,
-									HasPause:     hasPause,
-									PauseSec:     pause,
-									HasFault:     hasFault,
-									FaultPreset:  fp,
-									HasGossip:    hasGossip,
-									GossipFanout: gf,
-									HasChannel:   hasChannel,
-									Channel:      ch,
-									HasMobility:  hasMobility,
-									Mobility:     mb,
-								})
+								for _, pol := range policies {
+									for _, db := range txPowers {
+										pts = append(pts, GridPoint{
+											Scheme:       sch,
+											HasRate:      hasRate,
+											Rate:         rate,
+											HasPause:     hasPause,
+											PauseSec:     pause,
+											HasFault:     hasFault,
+											FaultPreset:  fp,
+											HasGossip:    hasGossip,
+											GossipFanout: gf,
+											HasChannel:   hasChannel,
+											Channel:      ch,
+											HasMobility:  hasMobility,
+											Mobility:     mb,
+											HasPolicy:    hasPolicy,
+											Policy:       pol,
+											HasTxPower:   hasTxPower,
+											TxPowerDBm:   db,
+										})
+									}
+								}
 							}
 						}
 					}
@@ -210,6 +246,12 @@ func (p GridPoint) Apply(base Config) (Config, error) {
 	}
 	if p.HasMobility {
 		cfg.Mobility = p.Mobility
+	}
+	if p.HasPolicy {
+		cfg.PolicyName = p.Policy
+	}
+	if p.HasTxPower {
+		cfg.TxPowerDBm = p.TxPowerDBm
 	}
 	return cfg, nil
 }

@@ -131,6 +131,73 @@ func TestGridValidation(t *testing.T) {
 	}
 }
 
+// TestGridAcceptsRegisteredScheme is the regression test for the
+// registry-desync bug: Grid.validate used to check schemes against a
+// hard-coded enum span instead of the scheme registry, so a scheme
+// registered outside that span was accepted by Config.Validate but
+// rejected by every sweep. With the fix, grid validation and the
+// registry cannot disagree by construction.
+func TestGridAcceptsRegisteredScheme(t *testing.T) {
+	const extra = Scheme(99)
+	saved := schemeRegistry
+	schemeRegistry = append(append([]Scheme(nil), saved...), extra)
+	t.Cleanup(func() { schemeRegistry = saved })
+
+	if !extra.Known() {
+		t.Fatal("registered scheme not Known")
+	}
+	pts, err := Grid{Schemes: []Scheme{extra}}.Points()
+	if err != nil {
+		t.Fatalf("grid rejected a registered scheme: %v", err)
+	}
+	if len(pts) != 1 || pts[0].Scheme != extra {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestGridPolicyAndTxPowerAxes(t *testing.T) {
+	g := Grid{
+		Schemes:     []Scheme{SchemeRcast},
+		Policies:    []string{"", "battery"},
+		TxPowersDBm: []float64{-3, 0},
+	}
+	if got := g.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatalf("Points: %v", err)
+	}
+	// Policy expands outside tx power, both innermost of all axes.
+	want := []GridPoint{
+		{Scheme: SchemeRcast, HasPolicy: true, HasTxPower: true, TxPowerDBm: -3},
+		{Scheme: SchemeRcast, HasPolicy: true, HasTxPower: true, TxPowerDBm: 0},
+		{Scheme: SchemeRcast, HasPolicy: true, Policy: "battery", HasTxPower: true, TxPowerDBm: -3},
+		{Scheme: SchemeRcast, HasPolicy: true, Policy: "battery", HasTxPower: true, TxPowerDBm: 0},
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+	cfg, err := pts[2].Apply(PaperDefaults())
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if cfg.PolicyName != "battery" || cfg.TxPowerDBm != -3 {
+		t.Fatalf("Apply produced policy=%q txPower=%v", cfg.PolicyName, cfg.TxPowerDBm)
+	}
+
+	for _, bad := range []Grid{
+		{Schemes: []Scheme{SchemeRcast}, Policies: []string{"fixed-0.50"}},
+		{Schemes: []Scheme{SchemeRcast}, TxPowersDBm: []float64{-80}},
+	} {
+		if _, err := bad.Points(); err == nil {
+			t.Fatalf("grid %+v accepted", bad)
+		}
+	}
+}
+
 func TestGridChannelMobilityAxes(t *testing.T) {
 	g := Grid{
 		Schemes:    []Scheme{SchemeRcast},

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math"
 	"testing"
 
 	"rcast/internal/core"
@@ -191,6 +192,14 @@ func TestValidateRejections(t *testing.T) {
 		{name: "no duration", mutate: func(c *Config) { c.Duration = 0 }},
 		{name: "speed bounds", mutate: func(c *Config) { c.MinSpeed = 30 }},
 		{name: "traffic after end", mutate: func(c *Config) { c.TrafficStart = c.Duration }},
+		{name: "unknown policy", mutate: func(c *Config) { c.PolicyName = "fixed-0.50" }},
+		{name: "policy and name", mutate: func(c *Config) { c.Policy = core.Rcast{}; c.PolicyName = "rcast" }},
+		// A policy on a scheme with no PSM sleep cycle would be silently
+		// ignored; that misconfiguration must be loud.
+		{name: "policy on 802.11", mutate: func(c *Config) { c.Scheme = SchemeAlwaysOn; c.PolicyName = "rcast" }},
+		{name: "policy obj on 802.11", mutate: func(c *Config) { c.Scheme = SchemeAlwaysOn; c.Policy = core.Rcast{} }},
+		{name: "tx power too low", mutate: func(c *Config) { c.TxPowerDBm = -60 }},
+		{name: "tx power NaN", mutate: func(c *Config) { c.TxPowerDBm = math.NaN() }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -248,6 +248,9 @@ func newWorld(cfg Config) (*world, error) {
 		w.traceDetails = make(map[uint64]string)
 	}
 	policy := cfg.Policy
+	if policy == nil && cfg.PolicyName != "" {
+		policy, _ = core.ParsePolicy(cfg.PolicyName) // Validate caught unknown names
+	}
 	if policy == nil {
 		policy = cfg.Scheme.defaultPolicy()
 	}
@@ -363,6 +366,21 @@ func newWorld(cfg Config) (*world, error) {
 				macTransport{n: n}, dsrCfg, w.hooksFor(n))
 		}
 		w.nodes = append(w.nodes, n)
+	}
+
+	// Variable TX power: stretch every radio's reach by the power-derived
+	// range scale and charge each transmission the energy delta between the
+	// scaled and nominal radiated power. Gated on a non-zero knob so
+	// default runs take none of these paths and stay byte-identical.
+	if cfg.TxPowerDBm != 0 {
+		scale := cfg.txRangeScale()
+		for _, n := range w.nodes {
+			n.radio.SetTxRangeScale(scale)
+		}
+		w.ch.SetTxObserver(txEnergyAdapter{
+			w:      w,
+			extraW: energy.DefaultTxWatts * (cfg.txPowerRatio() - 1),
+		})
 	}
 
 	// ODPM fast path: senders know their next hop's power-management mode
@@ -623,6 +641,25 @@ func dataUID(payload any) string {
 		return trace.PacketUID(p.Src, p.FlowID, p.Seq)
 	}
 	return ""
+}
+
+// txEnergyAdapter charges each transmission the energy delta between the
+// configured and nominal radiated TX power (phy.TxObserver). Installed
+// only when TxPowerDBm is non-zero. extraW is negative for reduced-power
+// runs: the awake draw already includes nominal transmission cost, so a
+// quieter radio gets energy back relative to the two-state model.
+type txEnergyAdapter struct {
+	w      *world
+	extraW float64 // watts beyond the nominal radiated power
+}
+
+func (a txEnergyAdapter) FrameTransmitted(now sim.Time, tx phy.NodeID, airtime sim.Time) {
+	if int(tx) >= len(a.w.nodes) {
+		return
+	}
+	// AddTxJoules accrues to now first, and transmissions happen at the
+	// scheduler's current instant, so time reversal is impossible here.
+	_ = a.w.nodes[tx].meter.AddTxJoules(now, a.extraW*airtime.Seconds())
 }
 
 // macTraceAdapter forwards MAC lifecycle callbacks (mac.Trace) into the

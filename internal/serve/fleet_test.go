@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"rcast/internal/core"
 	"rcast/internal/scenario"
 )
 
@@ -92,6 +93,18 @@ func serialSweepDoc(t *testing.T, req SweepRequest) []byte {
 }
 
 // TestFleetSweepByteIdenticalToSerial is the determinism proof for the
+
+// diskRuns sums a worker's executed-run counter across every registered
+// overhearing policy (the sweeps here span schemes with different default
+// policies, so no single label pair sees all runs).
+func diskRuns(s *Server) uint64 {
+	var n uint64
+	for _, p := range core.PolicyNames() {
+		n += s.mRuns.Value("disk", p)
+	}
+	return n
+}
+
 // fleet: the paper's scheme suite plus ablation-style fault axes, run as
 // one sweep across a simulated 8-worker fleet, must produce a result
 // document byte-identical to computing every cell serially through the
@@ -143,7 +156,7 @@ func TestFleetSweepByteIdenticalToSerial(t *testing.T) {
 	// onto one unless stealing is broken).
 	busy := 0
 	for _, w := range workers {
-		if w.s.mRuns.Value("disk") > 0 {
+		if diskRuns(w.s) > 0 {
 			busy++
 		}
 	}
@@ -164,6 +177,41 @@ func TestFleetSweepByteIdenticalToSerial(t *testing.T) {
 	}
 	if string(lsw.Result()) != string(want) {
 		t.Fatal("local sweep diverges from serial path")
+	}
+}
+
+// TestFleetNamedPolicySweepByteIdenticalToSerial: a sweep over the new
+// policy and tx-power axes through a 2-worker fleet produces the result
+// document byte-identical to the serial direct-engine path.
+func TestFleetNamedPolicySweepByteIdenticalToSerial(t *testing.T) {
+	// {PSM, Rcast} × {scheme default, battery, mobility} × {-3 dB, nominal}
+	// at quick scale: 12 cells.
+	req := SweepRequest{
+		Schemes:     []string{"PSM", "Rcast"},
+		Policies:    []string{"", "battery", "mobility"},
+		TxPowersDBm: []float64{-3, 0},
+		Nodes:       12,
+		Connections: 3,
+		DurationSec: 10,
+		Static:      true,
+		Reps:        1,
+	}
+	coord, _ := startFleet(t, 2, FleetOptions{})
+
+	sw, out, err := coord.SubmitSweep(req)
+	if err != nil || out != OutcomeAccepted {
+		t.Fatalf("submit: out=%v err=%v", out, err)
+	}
+	st := waitSweepTerminal(t, sw)
+	if st.State != StateDone {
+		t.Fatalf("sweep ended %s: %s", st.State, st.Error)
+	}
+	if st.Completed != 12 {
+		t.Fatalf("completed = %d, want 12", st.Completed)
+	}
+	want := serialSweepDoc(t, req)
+	if string(sw.Result()) != string(want) {
+		t.Fatalf("fleet named-policy sweep diverges from serial path\nfleet:  %.200s...\nserial: %.200s...", sw.Result(), want)
 	}
 }
 
@@ -389,7 +437,7 @@ func TestFleetPeerCacheFill(t *testing.T) {
 			t.Fatalf("warm job ended %s: %s", st.State, st.Error)
 		}
 	}
-	runsBefore := workers[0].s.mRuns.Value("disk") + workers[1].s.mRuns.Value("disk")
+	runsBefore := diskRuns(workers[0].s) + diskRuns(workers[1].s)
 
 	sw, out, err := coord.SubmitSweep(req)
 	if err != nil || out != OutcomeAccepted {
@@ -405,7 +453,7 @@ func TestFleetPeerCacheFill(t *testing.T) {
 	if got := coord.mFleetCells.Value(CellSourcePeerCache); got != 4 {
 		t.Fatalf("fleet peer_cache counter = %d, want 4", got)
 	}
-	after := workers[0].s.mRuns.Value("disk") + workers[1].s.mRuns.Value("disk")
+	after := diskRuns(workers[0].s) + diskRuns(workers[1].s)
 	if after != runsBefore {
 		t.Fatalf("peer-cached sweep re-executed cells: runs %d -> %d", runsBefore, after)
 	}

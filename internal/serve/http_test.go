@@ -173,6 +173,52 @@ func TestHTTPParityWithCLIPath(t *testing.T) {
 	}
 }
 
+// TestHTTPNamedPolicyParityWithCLIPath is the same pin for a cell selected
+// through the policy registry and the tx-power knob: a named policy at
+// reduced power resolves to the identical engine run over the wire and on
+// the CLI path.
+func TestHTTPNamedPolicyParityWithCLIPath(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8, SimWorkers: 2})
+
+	body := `{"scheme":"Rcast","policy":"battery","tx_power_dbm":-3,"battery_joules":3000,"nodes":12,"connections":3,"duration_sec":10,"static":true,"reps":2,"seed":7}`
+	resp, st := postJob(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if fin := waitHTTPTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("job ended %s: %s", fin.State, fin.Error)
+	}
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp2.Body.Close()
+	got, _ := io.ReadAll(resp2.Body)
+
+	req, err := ParseJobRequest(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("ParseJobRequest: %v", err)
+	}
+	cfg, reps, err := req.Config()
+	if err != nil {
+		t.Fatalf("Config: %v", err)
+	}
+	if cfg.PolicyName != "battery" || cfg.TxPowerDBm != -3 {
+		t.Fatalf("request did not thread policy/tx-power: %+v", cfg)
+	}
+	agg, err := scenario.RunReplicationsContext(context.Background(), cfg, reps, 1)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	want, err := MarshalResult(st.Key, reps, agg)
+	if err != nil {
+		t.Fatalf("MarshalResult: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HTTP result bytes diverge from CLI-path engine run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
 func TestHTTPBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
 
@@ -181,6 +227,11 @@ func TestHTTPBadRequests(t *testing.T) {
 		"unknown field": `{"scheme":"Rcast","warp":9}`,
 		"bad scheme":    `{"scheme":"warp"}`,
 		"bad routing":   `{"scheme":"Rcast","routing":"OSPF"}`,
+		// Regression: a policy on the always-on scheme used to be silently
+		// ignored; it must be a 400, not a cached lie.
+		"policy on 802.11": `{"scheme":"802.11","policy":"rcast"}`,
+		"unknown policy":   `{"scheme":"Rcast","policy":"fixed-0.50"}`,
+		"bad tx power":     `{"scheme":"Rcast","tx_power_dbm":-99}`,
 	} {
 		resp, _ := postJob(t, ts, body)
 		if resp.StatusCode != http.StatusBadRequest {
@@ -305,7 +356,7 @@ func TestHTTPCacheHitSecondSubmit(t *testing.T) {
 	if fin := waitHTTPTerminal(t, ts, st.ID); fin.State != StateDone {
 		t.Fatalf("first job ended %s", fin.State)
 	}
-	runs := s.mRuns.Value("disk")
+	runs := s.mRuns.Value("disk", "rcast")
 	resp2, st2 := postJob(t, ts, quickBody)
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("cache-hit submit status = %d, want 200", resp2.StatusCode)
@@ -313,7 +364,7 @@ func TestHTTPCacheHitSecondSubmit(t *testing.T) {
 	if !st2.CacheHit || st2.State != StateDone {
 		t.Fatalf("cache-hit status %+v", st2)
 	}
-	if s.mRuns.Value("disk") != runs {
+	if s.mRuns.Value("disk", "rcast") != runs {
 		t.Fatal("cache hit triggered a re-run")
 	}
 	respR, err := http.Get(ts.URL + "/api/v1/jobs/" + st2.ID + "/result")
@@ -434,7 +485,7 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	page, _ := io.ReadAll(resp2.Body)
 	for _, want := range []string{
 		"rcast_serve_jobs_submitted_total 1",
-		`rcast_serve_runs_total{channel="disk"} 1`,
+		`rcast_serve_runs_total{channel="disk",policy="rcast"} 1`,
 		`rcast_serve_jobs_total{state="done"} 1`,
 		"rcast_serve_queue_capacity 2",
 		"rcast_serve_run_seconds_count 1",

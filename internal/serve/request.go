@@ -29,12 +29,14 @@ import (
 // wrong experiment.
 type JobRequest struct {
 	Scheme  string `json:"scheme"`
+	Policy  string `json:"policy,omitempty"`  // overhearing policy; "" = scheme default
 	Routing string `json:"routing,omitempty"` // "DSR" (default) or "AODV"
 
 	Nodes       int     `json:"nodes,omitempty"`
 	FieldW      float64 `json:"field_w,omitempty"`
 	FieldH      float64 `json:"field_h,omitempty"`
 	RangeM      float64 `json:"range_m,omitempty"`
+	TxPowerDBm  float64 `json:"tx_power_dbm,omitempty"` // TX power offset; 0 = nominal
 	Connections int     `json:"connections,omitempty"`
 	PacketRate  float64 `json:"packet_rate,omitempty"`
 	PacketBytes int     `json:"packet_bytes,omitempty"`
@@ -99,6 +101,8 @@ func (jr JobRequest) Config() (scenario.Config, int, error) {
 		return cfg, 0, err
 	}
 	cfg.Scheme = scheme
+	cfg.PolicyName = jr.Policy
+	cfg.TxPowerDBm = jr.TxPowerDBm
 	switch jr.Routing {
 	case "", "DSR":
 		cfg.Routing = scenario.RoutingDSR

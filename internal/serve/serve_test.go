@@ -226,7 +226,7 @@ func TestCacheHitSkipsExecution(t *testing.T) {
 	if st.State != StateDone {
 		t.Fatalf("job ended %s: %s", st.State, st.Error)
 	}
-	runsBefore := s.mRuns.Value("disk")
+	runsBefore := s.mRuns.Value("disk", "rcast")
 
 	jobB, out, err := s.Submit(quickRequest())
 	if err != nil || out != OutcomeCacheHit {
@@ -239,7 +239,7 @@ func TestCacheHitSkipsExecution(t *testing.T) {
 	if string(jobB.Result()) != string(jobA.Result()) {
 		t.Fatal("cache served different bytes")
 	}
-	if got := s.mRuns.Value("disk"); got != runsBefore {
+	if got := s.mRuns.Value("disk", "rcast"); got != runsBefore {
 		t.Fatalf("cache hit re-executed: runs %d -> %d", runsBefore, got)
 	}
 	if s.mCacheHits.Value() != 1 {
@@ -277,8 +277,8 @@ func TestCancelQueuedJob(t *testing.T) {
 	close(release)
 	waitTerminal(t, jobA)
 	// The worker must skip the canceled job, not run it.
-	if s.mRuns.Value("disk") != 1 {
-		t.Fatalf("runs = %d, want 1 (canceled job must not execute)", s.mRuns.Value("disk"))
+	if s.mRuns.Value("disk", "rcast") != 1 {
+		t.Fatalf("runs = %d, want 1 (canceled job must not execute)", s.mRuns.Value("disk", "rcast"))
 	}
 	if s.Cancel(jobB.ID) {
 		t.Fatal("second cancel of terminal job succeeded")

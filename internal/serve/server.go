@@ -117,7 +117,7 @@ type Server struct {
 
 	reg           *promtext.Registry
 	mSubmitted    *promtext.Counter
-	mRuns         *promtext.CounterVec
+	mRuns         *promtext.CounterVec2
 	mCacheHits    *promtext.Counter
 	mCacheMisses  *promtext.Counter
 	mCoalesced    *promtext.Counter
@@ -150,6 +150,13 @@ func channelLabel(cfg scenario.Config) string {
 	return cfg.Channel
 }
 
+// policyLabel renders a config's effective overhearing policy for the
+// runs metric ("" resolves to the scheme default's name, matching the
+// canonical encoding).
+func policyLabel(cfg scenario.Config) string {
+	return cfg.EffectivePolicyName()
+}
+
 // New creates a server and starts its worker pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
@@ -174,7 +181,7 @@ func New(opts Options) *Server {
 	s.baseCtx, s.forceStop = context.WithCancelCause(context.Background())
 
 	s.mSubmitted = s.reg.NewCounter("rcast_serve_jobs_submitted_total", "Job submissions admitted (cache hits and coalesced submissions included).")
-	s.mRuns = s.reg.NewCounterVec("rcast_serve_runs_total", "Simulation batches actually executed, by propagation model (cache hits never increment this).", "channel")
+	s.mRuns = s.reg.NewCounterVec2("rcast_serve_runs_total", "Simulation batches actually executed, by propagation model and overhearing policy (cache hits never increment this).", "channel", "policy")
 	s.mCacheHits = s.reg.NewCounter("rcast_serve_cache_hits_total", "Submissions served from the content-addressed result cache.")
 	s.mCacheMisses = s.reg.NewCounter("rcast_serve_cache_misses_total", "Submissions that missed the result cache and were queued.")
 	s.mCoalesced = s.reg.NewCounter("rcast_serve_jobs_coalesced_total", "Submissions attached to an identical in-flight job.")
@@ -420,7 +427,7 @@ func (s *Server) execute(job *Job) {
 	agg, err := s.runFn(tctx, cfg, job.reps, s.opts.SimWorkers)
 	s.mRunSeconds.Observe(time.Since(start).Seconds())
 	s.mRunning.Dec()
-	s.mRuns.Inc(channelLabel(cfg))
+	s.mRuns.Inc(channelLabel(cfg), policyLabel(cfg))
 
 	// Persist the trace BEFORE classifying the outcome: a traced job that
 	// fails or hits its deadline is exactly the run its trace exists to

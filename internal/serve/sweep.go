@@ -16,8 +16,8 @@ import (
 
 // SweepRequest is the submission body for POST /api/v1/sweeps: a
 // parameter grid (schemes × rates × pause times × fault presets × gossip
-// fanouts × channels × mobilities) over a base configuration, expanded
-// server-side into cells
+// fanouts × channels × mobilities × policies × tx powers) over a base
+// configuration, expanded server-side into cells
 // keyed by scenario.CanonicalKey. Axis fields are plural; every other
 // field scopes the whole sweep and mirrors JobRequest. Unknown fields are
 // rejected so a typo cannot silently sweep the wrong grid.
@@ -32,6 +32,8 @@ type SweepRequest struct {
 	GossipFanouts []float64 `json:"gossip_fanouts,omitempty"`
 	Channels      []string  `json:"channels,omitempty"`
 	Mobilities    []string  `json:"mobilities,omitempty"`
+	Policies      []string  `json:"policies,omitempty"`
+	TxPowersDBm   []float64 `json:"tx_powers_dbm,omitempty"`
 
 	// Base configuration shared by every cell.
 	Routing       string   `json:"routing,omitempty"`
@@ -104,6 +106,8 @@ func (sr SweepRequest) grid() (scenario.Grid, error) {
 	g.GossipFanouts = sr.GossipFanouts
 	g.Channels = sr.Channels
 	g.Mobilities = sr.Mobilities
+	g.Policies = sr.Policies
+	g.TxPowersDBm = sr.TxPowersDBm
 	return g, nil
 }
 
@@ -171,6 +175,12 @@ func (sr SweepRequest) Cells() ([]SweepCell, error) {
 		}
 		if pt.HasMobility {
 			req.Mobility = pt.Mobility
+		}
+		if pt.HasPolicy {
+			req.Policy = pt.Policy
+		}
+		if pt.HasTxPower {
+			req.TxPowerDBm = pt.TxPowerDBm
 		}
 		cfg, reps, err := req.Config()
 		if err != nil {
@@ -737,7 +747,7 @@ func (l localSweepExecutor) execCell(ctx context.Context, sw *Sweep, c *SweepCel
 	}
 	tctx, tcancel := context.WithTimeoutCause(ctx, sw.timeout, context.DeadlineExceeded)
 	defer tcancel()
-	s.mRuns.Inc(channelLabel(c.cfg))
+	s.mRuns.Inc(channelLabel(c.cfg), policyLabel(c.cfg))
 	agg, err := s.runFn(tctx, c.cfg, c.reps, s.opts.SimWorkers)
 	if err != nil {
 		if errors.Is(err, scenario.ErrCanceled) {

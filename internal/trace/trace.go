@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"sync"
 
 	"rcast/internal/phy"
@@ -278,12 +279,15 @@ func parseLine(b []byte) (Event, error) {
 			// A well-formed JSON string (the outer unmarshal already
 			// validated it) — unquote.
 			if err := json.Unmarshal(w.Detail, &e.Detail); err != nil {
-				e.Detail = string(w.Detail)
+				e.Detail = strings.ToValidUTF8(string(w.Detail), "�")
 			}
 		} else if !bytes.Equal(w.Detail, []byte("null")) {
 			// Wrong type (number, bool, object…): keep the raw token so
-			// the event survives and the oddity stays visible.
-			e.Detail = string(w.Detail)
+			// the event survives and the oddity stays visible. Invalid
+			// UTF-8 inside the token is coerced to U+FFFD — json.Marshal
+			// does that anyway on write-out, so sanitizing here keeps
+			// read→write→read byte-stable.
+			e.Detail = strings.ToValidUTF8(string(w.Detail), "�")
 		}
 	}
 	return e, nil

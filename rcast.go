@@ -151,6 +151,16 @@ var (
 	PolicyCombined Policy = core.Combined{}
 )
 
+// ParsePolicy resolves a registered overhearing policy by name ("rcast",
+// "unconditional", "none", "sender-id", "battery", "mobility",
+// "combined"). Prefer setting Config.PolicyName over Config.Policy: named
+// policies canonically encode, so they cache, sweep and replay.
+func ParsePolicy(name string) (Policy, error) { return core.ParsePolicy(name) }
+
+// PolicyNames lists the registered overhearing policy names in
+// presentation order.
+func PolicyNames() []string { return core.PolicyNames() }
+
 // Tracing: set Config.Trace to observe the packet-lifecycle event stream
 // — routing, MAC (ATIM/overhearing/sleep-wake) and PHY-loss events, each
 // carrying a run-local sequence number and, where applicable, the packet

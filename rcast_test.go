@@ -114,6 +114,43 @@ func TestPublicBuiltinPolicies(t *testing.T) {
 	}
 }
 
+func TestPublicPolicyRegistry(t *testing.T) {
+	names := rcast.PolicyNames()
+	if len(names) == 0 {
+		t.Fatal("no registered policy names")
+	}
+	for _, name := range names {
+		p, err := rcast.ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ParsePolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := rcast.ParsePolicy("fixed-0.50"); err == nil {
+		t.Fatal("unregistered policy name accepted")
+	}
+}
+
+func TestPublicFaultPresets(t *testing.T) {
+	names := rcast.FaultPresetNames()
+	if len(names) == 0 {
+		t.Fatal("no fault presets")
+	}
+	for _, name := range names {
+		if plan, err := rcast.FaultPreset(name); err != nil || plan == nil {
+			t.Fatalf("FaultPreset(%q) = %v, %v", name, plan, err)
+		}
+	}
+	if plan, err := rcast.FaultPreset(""); err != nil || plan != nil {
+		t.Fatalf("empty preset = %v, %v; want nil, nil", plan, err)
+	}
+	if _, err := rcast.FaultPreset("warp"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
 func TestPublicRunContextCancel(t *testing.T) {
 	cfg := smallConfig(rcast.SchemeRcast)
 	cfg.Duration = 3600 * rcast.Second
@@ -140,6 +177,13 @@ func TestPublicRunReplicationsContext(t *testing.T) {
 	}
 	if got.PDR.Mean() != want.PDR.Mean() || got.TotalJoules.Mean() != want.TotalJoules.Mean() {
 		t.Fatal("context path diverges from RunReplications")
+	}
+	workers, err := rcast.RunReplicationsWorkers(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if workers.PDR.Mean() != want.PDR.Mean() || workers.TotalJoules.Mean() != want.TotalJoules.Mean() {
+		t.Fatal("worker path diverges from RunReplications")
 	}
 }
 

@@ -86,6 +86,17 @@ go run ./cmd/rcast-sim -nodes 12 -duration 12s -connections 3 -seed 4 \
   -replay "$tmpdir/fade.ndjson" -trace "$tmpdir/fade2.ndjson" > "$tmpdir/fade2.out"
 cmp "$tmpdir/fade.out" "$tmpdir/fade2.out"
 cmp "$tmpdir/fade.ndjson" "$tmpdir/fade2.ndjson"
+# And under a named overhearing policy at reduced transmit power with
+# finite batteries: the registry-selected policy's lottery stream and the
+# power-scaled energy accounting must round-trip byte-identically too.
+go run ./cmd/rcast-sim -nodes 12 -duration 12s -static -connections 3 -seed 4 \
+  -policy battery -battery 2000 -tx-power -3 \
+  -trace "$tmpdir/pol.ndjson" > "$tmpdir/pol.out"
+go run ./cmd/rcast-sim -nodes 12 -duration 12s -static -connections 3 -seed 4 \
+  -policy battery -battery 2000 -tx-power -3 \
+  -replay "$tmpdir/pol.ndjson" -trace "$tmpdir/pol2.ndjson" > "$tmpdir/pol2.out"
+cmp "$tmpdir/pol.out" "$tmpdir/pol2.out"
+cmp "$tmpdir/pol.ndjson" "$tmpdir/pol2.ndjson"
 
 echo "== audited smoke (race) =="
 go run -race ./cmd/rcast-bench -profile quick -only table1 -reps 1 -audit > /dev/null
@@ -95,6 +106,9 @@ go run -race ./cmd/rcast-bench -profile quick -only a8 -reps 1 -audit > /dev/nul
 
 echo "== audited channel-sweep smoke (race) =="
 go run -race ./cmd/rcast-bench -profile quick -only a9 -reps 1 -audit > /dev/null
+
+echo "== audited tx-power-sweep smoke (race) =="
+go run -race ./cmd/rcast-bench -profile quick -only a10 -reps 1 -audit > /dev/null
 
 echo "== serve smoke (race) =="
 go run ./tools/servesmoke

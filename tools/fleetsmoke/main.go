@@ -204,7 +204,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if !strings.Contains(pageA+pageB, `rcast_serve_runs_total{channel="fading"}`) {
+	if !strings.Contains(pageA+pageB, `rcast_serve_runs_total{channel="fading",policy="rcast"}`) {
 		return fmt.Errorf("no worker reported fading-channel runs:\nworkerA:\n%s\nworkerB:\n%s", pageA, pageB)
 	}
 	fmt.Println("fleetsmoke: fading cells executed and labeled in worker metrics")

@@ -245,7 +245,7 @@ func lifecyclePhase(bin string) error {
 	if err != nil {
 		return err
 	}
-	if !strings.Contains(page, `rcast_serve_runs_total{channel="disk"} 1`) {
+	if !strings.Contains(page, `rcast_serve_runs_total{channel="disk",policy="rcast"} 1`) {
 		return fmt.Errorf("metrics before resubmit missing runs_total 1:\n%s", page)
 	}
 	code2, st2, _, err := d.submit(quickJob)
@@ -260,7 +260,7 @@ func lifecyclePhase(bin string) error {
 		return err
 	}
 	for _, wantLine := range []string{
-		`rcast_serve_runs_total{channel="disk"} 1`, // unchanged: the hit executed nothing
+		`rcast_serve_runs_total{channel="disk",policy="rcast"} 1`, // unchanged: the hit executed nothing
 		"rcast_serve_cache_hits_total 1",
 		`rcast_serve_jobs_total{state="done"} 2`,
 	} {
